@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks for the routed/aggregating mailbox: all-to-all
+//! payload delivery under the three topologies (the Section III-B
+//! trade-off: fewer channels + more aggregation vs extra hops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use havoq_comm::{CommWorld, Mailbox, MailboxConfig, Quiescence, TopologyKind};
+
+fn all_to_all(p: usize, topo: TopologyKind, msgs_each: usize) -> u64 {
+    let out = CommWorld::run(p, |ctx| {
+        let mut mb = Mailbox::<u64>::open(
+            ctx,
+            1,
+            MailboxConfig { topology: topo, batch_size: 64, ..MailboxConfig::default() },
+        );
+        let mut q = Quiescence::new(ctx, 1);
+        for dst in 0..p {
+            for i in 0..msgs_each {
+                mb.send(dst, i as u64);
+            }
+        }
+        let mut got = Vec::new();
+        loop {
+            if mb.poll(&mut got) == 0 {
+                mb.flush();
+                if q.poll(mb.sent_count(), mb.received_count(), mb.pending_out() == 0) {
+                    break;
+                }
+            }
+        }
+        mb.received_count()
+    });
+    out.iter().sum()
+}
+
+fn bench_mailbox(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mailbox_all_to_all");
+    group.sample_size(10);
+    let p = 16;
+    let msgs = 2_000;
+    for (name, topo) in [
+        ("direct", TopologyKind::Direct),
+        ("routed2d", TopologyKind::Routed2D),
+        ("routed3d", TopologyKind::Routed3D),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, p), &topo, |b, &topo| {
+            b.iter(|| all_to_all(p, topo, msgs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mailbox);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 2: weak scaling of Graph500 partition imbalance for 1D and 2D
+//! block partitioning (plus the paper's edge-list partitioning, which is
+//! even by construction).
+//!
+//! Paper setup: 2^18 vertices per partition, imbalance = max/mean edges per
+//! partition. We weak-scale with 2^14 vertices per partition to keep the
+//! single-core run short; the ordering (1D >> 2D >> edge-list ~ 1.0) and
+//! the growth of 1D imbalance with partition count are the claims to
+//! reproduce.
+
+use havoq_bench::{csv_row, print_header, print_row, Csv};
+use havoq_graph::gen::rmat::RmatGenerator;
+use havoq_graph::partition::{
+    grid_dims, imbalance, one_d_partition, partition_histogram, two_d_partition,
+};
+
+fn main() {
+    // The paper uses 2^18 vertices/partition at scales where the max hub
+    // rivals the per-partition edge mean. At simulation scales the same
+    // hub/mean ratio needs fewer vertices per partition: 2^12.
+    let per_partition_log2: u32 = 12 - if havoq_bench::quick() { 2 } else { 0 };
+    let parts: Vec<usize> =
+        if havoq_bench::quick() { vec![4, 16, 64] } else { vec![2, 4, 8, 16, 32, 64, 128, 256, 512] };
+
+    println!("Figure 2 — weak scaling of partition imbalance (RMAT, 2^{per_partition_log2}");
+    println!("vertices per partition; imbalance = max edges / mean edges)\n");
+    print_header(&["partitions", "scale", "1D", "2D", "edge-list"]);
+    let mut csv = Csv::create(
+        "fig02_imbalance.csv",
+        &["partitions", "scale", "imbalance_1d", "imbalance_2d", "imbalance_edge_list"],
+    );
+
+    for &p in &parts {
+        let scale = per_partition_log2 + (p as f64).log2() as u32;
+        let gen = RmatGenerator::graph500(scale);
+        let n = gen.num_vertices();
+        let m = gen.num_edges();
+
+        let h1 = partition_histogram(gen.edges_range(7, 0..m), p, |e| one_d_partition(e, n, p));
+        let (rows, cols) = grid_dims(p);
+        let h2 =
+            partition_histogram(gen.edges_range(7, 0..m), p, |e| two_d_partition(e, n, rows, cols));
+        let hel: Vec<u64> =
+            (0..p as u64).map(|r| m * (r + 1) / p as u64 - m * r / p as u64).collect();
+
+        let (i1, i2, iel) = (imbalance(&h1), imbalance(&h2), imbalance(&hel));
+        print_row(&csv_row![p, scale, format!("{i1:.3}"), format!("{i2:.3}"), format!("{iel:.4}")]);
+        csv.row(&csv_row![p, scale, i1, i2, iel]);
+    }
+    csv.finish();
+    println!("\nPaper shape: 1D imbalance grows with partition count (a hub's whole");
+    println!("adjacency list lands on one partition); 2D stays much flatter; the");
+    println!("edge-list partitioning used by this work is exactly even.");
+}

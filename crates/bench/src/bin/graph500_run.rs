@@ -1,0 +1,89 @@
+//! Full Graph500-style benchmark run, the protocol behind the paper's
+//! Figure 5 / Table II submissions: generate an RMAT graph, construct the
+//! distributed data structure (timed), run BFS from a sample of random
+//! search keys with nonzero degree, *validate every BFS tree*, and report
+//! the TEPS statistics (min/harmonic-mean/max) the benchmark defines.
+
+use havoq_bench::{csv_row, print_header, print_row, Csv};
+use havoq_comm::CommWorld;
+use havoq_core::algorithms::bfs::{bfs, BfsConfig};
+use havoq_core::algorithms::validate::validate_bfs;
+use havoq_graph::csr::GraphConfig;
+use havoq_graph::dist::{DistGraph, PartitionStrategy};
+use havoq_graph::gen::rmat::RmatGenerator;
+use havoq_graph::types::VertexId;
+
+fn main() {
+    let quick = havoq_bench::quick();
+    let scale: u32 = if quick { 10 } else { 14 };
+    let ranks: usize = if quick { 2 } else { 8 };
+    let num_keys: usize = if quick { 4 } else { 16 }; // official runs use 64
+
+    println!("Graph500-style run: RMAT scale {scale}, {ranks} ranks, {num_keys} search keys\n");
+    let gen = RmatGenerator::graph500(scale);
+
+    let results = CommWorld::run(ranks, |ctx| {
+        let t0 = std::time::Instant::now();
+        let mut local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
+        local.extend(local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()));
+        let g = DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default());
+        ctx.barrier();
+        let construction = t0.elapsed();
+
+        // search keys: deterministic pseudo-random vertices; skip keys with
+        // no edges (benchmark rule), detected by a degree probe
+        let mut runs = Vec::new();
+        let mut key_state = 0x9E3779B97F4A7C15u64;
+        let mut tried = 0;
+        while runs.len() < num_keys && tried < num_keys * 4 {
+            key_state ^= key_state << 13;
+            key_state ^= key_state >> 7;
+            key_state ^= key_state << 17;
+            tried += 1;
+            let key = VertexId(key_state % g.num_vertices());
+            // degree probe: the master broadcasts whether the key has edges
+            let deg = if g.is_master(key) { g.total_degree(key) } else { 0 };
+            if ctx.all_reduce_max(deg) == 0 {
+                continue;
+            }
+            let r = bfs(ctx, &g, key, &BfsConfig::default());
+            let report = validate_bfs(ctx, &g, key, &r.local_state);
+            runs.push((key.0, r.traversed_edges, r.elapsed, report.is_valid()));
+        }
+        (construction, runs)
+    });
+
+    let (construction, runs) = &results[0];
+    println!("construction time: {construction:?}\n");
+    print_header(&["key", "traversed", "time_ms", "MTEPS", "valid"]);
+    let mut csv = Csv::create(
+        "graph500_run.csv",
+        &["key", "traversed_edges", "time_ms", "mteps", "valid"],
+    );
+    let mut teps: Vec<f64> = Vec::new();
+    let mut all_valid = true;
+    for (i, (key, traversed, _elapsed, valid)) in runs.iter().enumerate() {
+        // use the slowest rank's elapsed for this key
+        let elapsed = results.iter().map(|(_, rs)| rs[i].2).max().unwrap();
+        let t = *traversed as f64 / elapsed.as_secs_f64();
+        teps.push(t);
+        all_valid &= *valid;
+        print_row(&csv_row![
+            key,
+            traversed,
+            havoq_bench::ms(elapsed),
+            format!("{:.2}", t / 1e6),
+            valid
+        ]);
+        csv.row(&csv_row![key, traversed, elapsed.as_secs_f64() * 1e3, t / 1e6, valid]);
+    }
+    csv.finish();
+
+    let min = teps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = teps.iter().cloned().fold(0.0, f64::max);
+    let harmonic = teps.len() as f64 / teps.iter().map(|t| 1.0 / t).sum::<f64>();
+    println!("\nTEPS min / harmonic mean / max: {:.2} / {:.2} / {:.2} MTEPS",
+        min / 1e6, harmonic / 1e6, max / 1e6);
+    println!("all trees valid: {all_valid}");
+    assert!(all_valid, "Graph500 validation failed");
+}

@@ -1,0 +1,121 @@
+//! Shared harness for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary under `src/bin/` reproduces one evaluation artifact (see
+//! DESIGN.md's per-experiment index), prints the paper's rows/series to
+//! stdout, and writes a CSV under `results/`. Set `HAVOQ_QUICK=1` to run
+//! reduced parameter sweeps (used by integration tests); set
+//! `HAVOQ_SCALE_BUMP=n` to grow workloads on bigger machines.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// True when reduced sweeps are requested.
+pub fn quick() -> bool {
+    std::env::var("HAVOQ_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Additional scale applied to workloads (log2 steps).
+pub fn scale_bump() -> u32 {
+    std::env::var("HAVOQ_SCALE_BUMP").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// `results/` directory beside the workspace root (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("HAVOQ_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Minimal CSV writer for experiment outputs.
+pub struct Csv {
+    out: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Csv {
+    pub fn create(name: &str, header: &[&str]) -> Self {
+        let path = results_dir().join(name);
+        let mut out = BufWriter::new(File::create(&path).expect("create csv"));
+        writeln!(out, "{}", header.join(",")).expect("write header");
+        Self { out, path }
+    }
+
+    pub fn row(&mut self, fields: &[String]) {
+        writeln!(self.out, "{}", fields.join(",")).expect("write row");
+    }
+
+    pub fn finish(mut self) {
+        self.out.flush().expect("flush csv");
+        eprintln!("[csv] wrote {}", self.path.display());
+    }
+}
+
+/// Convenience macro building a row of stringified fields (an array, so it
+/// coerces to `&[String]` without allocation noise).
+#[macro_export]
+macro_rules! csv_row {
+    ($($v:expr),* $(,)?) => {
+        [$(format!("{}", $v)),*]
+    };
+}
+
+/// Time a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Print a right-aligned table row of width-12 columns.
+pub fn print_row(cols: &[String]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Print a header row followed by a rule.
+pub fn print_header(cols: &[&str]) {
+    print_row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(15 * cols.len()));
+}
+
+/// Format a Duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Geometric-ish TEPS formatter.
+pub fn mteps(edges: u64, d: Duration) -> String {
+    if d.is_zero() {
+        "inf".to_string()
+    } else {
+        format!("{:.2}", edges as f64 / d.as_secs_f64() / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var("HAVOQ_RESULTS", std::env::temp_dir().join("havoq-csv-test"));
+        let mut c = Csv::create("t.csv", &["a", "b"]);
+        c.row(&csv_row![1, "x"]);
+        c.finish();
+        let text = std::fs::read_to_string(results_dir().join("t.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,x\n");
+        std::env::remove_var("HAVOQ_RESULTS");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+        assert_eq!(mteps(2_000_000, Duration::from_secs(1)), "2.00");
+        assert_eq!(mteps(1, Duration::ZERO), "inf");
+    }
+}

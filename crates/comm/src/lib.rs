@@ -1,0 +1,40 @@
+//! Simulated distributed message-passing runtime for the HavoqGT reproduction.
+//!
+//! The paper (Pearce et al., IPDPS 2013) implements its distributed visitor
+//! queue on top of non-blocking point-to-point MPI. This crate provides the
+//! same primitives for a *simulated* cluster in which every MPI rank is an OS
+//! thread:
+//!
+//! - [`CommWorld::run`] launches an SPMD region: `p` rank threads all execute
+//!   the same closure, exactly like `mpirun -np p`.
+//! - [`Transport`] is a typed non-blocking point-to-point channel between all
+//!   ranks, with per-channel-pair traffic statistics.
+//! - [`collectives`] provides barrier / reduce / gather / scan / all-to-all,
+//!   built purely from point-to-point sends (binomial trees), matching what
+//!   MPI gives the paper.
+//! - [`Mailbox`] is the paper's `send(rank, data)` / `receive()` abstraction
+//!   with message aggregation and optional 2D / 3D synthetic routing
+//!   topologies (Section III-B, Figure 4).
+//! - [`Quiescence`] is the asynchronous termination detector used by
+//!   `global_empty()` (Section V, citing Mattern's counting algorithms).
+//!
+//! Because ranks are threads, all communication-volume metrics — messages per
+//! channel pair, aggregation factors, routing hop counts — are structurally
+//! identical to what a real network would carry; only absolute latencies
+//! differ. See DESIGN.md at the workspace root for the substitution argument.
+
+pub mod collectives;
+pub mod mailbox;
+pub mod registry;
+pub mod runtime;
+pub mod stats;
+pub mod termination;
+pub mod topology;
+pub mod transport;
+
+pub use mailbox::{Mailbox, MailboxConfig, MailboxStatsSnapshot};
+pub use runtime::{CommWorld, RankCtx};
+pub use stats::{ChannelStats, ChannelStatsSnapshot};
+pub use termination::Quiescence;
+pub use topology::{Topology, TopologyKind};
+pub use transport::Transport;

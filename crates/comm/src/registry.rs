@@ -1,0 +1,143 @@
+//! Typed channel registry shared by all ranks of one [`CommWorld`] run.
+//!
+//! Ranks create typed point-to-point channel sets lazily and collectively: the
+//! first rank to ask for `(message type, tag)` materializes one MPMC queue per
+//! destination rank; every rank then clones the senders and takes its own
+//! receiver exactly once. This mirrors how MPI programs agree on communicators
+//! and tags out of band.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::stats::ChannelStats;
+
+/// A message on the wire, carrying its source rank.
+pub struct Wire<M> {
+    pub src: u32,
+    pub msg: M,
+}
+
+/// One materialized channel set: `p` queues, one per destination rank.
+pub struct ChannelSet<M> {
+    pub senders: Vec<Sender<Wire<M>>>,
+    pub receivers: Vec<Mutex<Option<Receiver<Wire<M>>>>>,
+    pub stats: Arc<ChannelStats>,
+}
+
+impl<M> ChannelSet<M> {
+    fn new(ranks: usize) -> Self {
+        let mut senders = Vec::with_capacity(ranks);
+        let mut receivers = Vec::with_capacity(ranks);
+        for _ in 0..ranks {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(Mutex::new(Some(r)));
+        }
+        Self { senders, receivers, stats: Arc::new(ChannelStats::new(ranks)) }
+    }
+}
+
+/// Key for a channel set: the message type plus a user tag, so independent
+/// subsystems (mailbox payloads, termination control, collectives) never share
+/// queues even when they exchange the same Rust type.
+type Key = (TypeId, u64);
+
+/// World-wide registry of channel sets, keyed by `(TypeId, tag)`.
+pub struct Registry {
+    ranks: usize,
+    slots: Mutex<HashMap<Key, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl Registry {
+    pub fn new(ranks: usize) -> Self {
+        Self { ranks, slots: Mutex::new(HashMap::new()) }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Get (creating on first call) the channel set for `(M, tag)`.
+    pub fn channel_set<M: Send + 'static>(&self, tag: u64) -> Arc<ChannelSet<M>> {
+        let key = (TypeId::of::<M>(), tag);
+        let mut slots = self.slots.lock();
+        let entry = slots
+            .entry(key)
+            .or_insert_with(|| Arc::new(ChannelSet::<M>::new(self.ranks)) as Arc<dyn Any + Send + Sync>)
+            .clone();
+        drop(slots);
+        entry
+            .downcast::<ChannelSet<M>>()
+            .expect("registry slot type mismatch (TypeId collision is impossible)")
+    }
+
+    /// Take rank `r`'s receiver for `(M, tag)`. Panics if taken twice: each
+    /// rank may open a given channel exactly once, like an MPI communicator.
+    pub fn take_receiver<M: Send + 'static>(&self, tag: u64, rank: usize) -> Receiver<Wire<M>> {
+        let set = self.channel_set::<M>(tag);
+        let rx = set.receivers[rank].lock().take();
+        rx.unwrap_or_else(|| panic!("rank {rank} opened channel tag={tag} twice"))
+    }
+}
+
+/// Tag namespaces. User code must tag channels below [`RESERVED_TAG_BASE`];
+/// the runtime derives internal tags above it.
+pub const RESERVED_TAG_BASE: u64 = 1 << 48;
+
+/// Tag space for collective operations (one fresh channel per invocation).
+pub const COLLECTIVE_TAG_BASE: u64 = RESERVED_TAG_BASE;
+
+/// Tag space for termination-detection control channels.
+pub const TERMINATION_TAG_BASE: u64 = RESERVED_TAG_BASE + (1 << 40);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_set_roundtrip() {
+        let reg = Registry::new(2);
+        let set = reg.channel_set::<u32>(7);
+        let rx1 = reg.take_receiver::<u32>(7, 1);
+        set.senders[1].send(Wire { src: 0, msg: 42u32 }).unwrap();
+        let w = rx1.recv().unwrap();
+        assert_eq!(w.src, 0);
+        assert_eq!(w.msg, 42);
+    }
+
+    #[test]
+    fn distinct_tags_are_distinct_channels() {
+        let reg = Registry::new(1);
+        let a = reg.channel_set::<u32>(0);
+        let b = reg.channel_set::<u32>(1);
+        a.senders[0].send(Wire { src: 0, msg: 1 }).unwrap();
+        // Nothing arrives on tag 1's queue.
+        let rx_b = reg.take_receiver::<u32>(1, 0);
+        assert!(rx_b.try_recv().is_err());
+        let rx_a = reg.take_receiver::<u32>(0, 0);
+        assert_eq!(rx_a.try_recv().unwrap().msg, 1);
+        drop(b);
+    }
+
+    #[test]
+    fn distinct_types_same_tag_are_distinct() {
+        let reg = Registry::new(1);
+        let a = reg.channel_set::<u32>(0);
+        let _b = reg.channel_set::<u64>(0);
+        a.senders[0].send(Wire { src: 0, msg: 9 }).unwrap();
+        let rx64 = reg.take_receiver::<u64>(0, 0);
+        assert!(rx64.try_recv().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_take_panics() {
+        let reg = Registry::new(1);
+        let _ = reg.take_receiver::<u8>(0, 0);
+        let _ = reg.take_receiver::<u8>(0, 0);
+    }
+}

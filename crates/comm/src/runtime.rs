@@ -1,0 +1,222 @@
+//! SPMD launch: one thread per simulated MPI rank.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::registry::Registry;
+use crate::transport::Transport;
+
+/// Handle that launches SPMD regions over `p` simulated ranks.
+///
+/// ```
+/// use havoq_comm::CommWorld;
+/// let sums = CommWorld::run(4, |ctx| {
+///     // every rank executes this closure, like `mpirun -np 4`
+///     ctx.all_reduce_sum(ctx.rank() as u64)
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]); // 0+1+2+3 on every rank
+/// ```
+pub struct CommWorld;
+
+impl CommWorld {
+    /// Run `f` on `ranks` threads; returns each rank's result in rank order.
+    ///
+    /// If any rank panics, the world is poisoned (peers blocked in collectives
+    /// or blocking receives unblock with a panic) and the first panic payload
+    /// is re-raised on the caller thread.
+    pub fn run<R, F>(ranks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Sync,
+    {
+        assert!(ranks > 0, "world must have at least one rank");
+        let registry = Arc::new(Registry::new(ranks));
+        let poisoned = Arc::new(AtomicBool::new(false));
+
+        let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ranks)
+                .map(|rank| {
+                    let registry = Arc::clone(&registry);
+                    let poisoned = Arc::clone(&poisoned);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let ctx = RankCtx::new(rank, ranks, registry, Arc::clone(&poisoned));
+                        let out = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                        if out.is_err() {
+                            poisoned.store(true, Ordering::SeqCst);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread join")).collect()
+        });
+
+        let mut out = Vec::with_capacity(ranks);
+        let mut panic_payload = None;
+        for r in results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+        out
+    }
+}
+
+/// Per-rank execution context handed to the SPMD closure.
+///
+/// Provides the rank's identity, typed point-to-point channels
+/// ([`RankCtx::channel`]), and blocking collectives (see
+/// [`crate::collectives`]). Collectives must be invoked by all ranks in the
+/// same order, exactly as MPI requires.
+pub struct RankCtx {
+    rank: usize,
+    ranks: usize,
+    registry: Arc<Registry>,
+    poisoned: Arc<AtomicBool>,
+    /// Per-kind invocation counters so every collective call gets a fresh,
+    /// world-agreed channel tag (SPMD same-order requirement).
+    pub(crate) collective_seq: Cell<u64>,
+    /// Counter backing [`RankCtx::auto_tag`].
+    auto_seq: Cell<u64>,
+}
+
+/// Base of the tag namespace handed out by [`RankCtx::auto_tag`].
+pub const AUTO_TAG_BASE: u64 = 1 << 40;
+
+impl RankCtx {
+    fn new(rank: usize, ranks: usize, registry: Arc<Registry>, poisoned: Arc<AtomicBool>) -> Self {
+        Self { rank, ranks, registry, poisoned, collective_seq: Cell::new(0), auto_seq: Cell::new(0) }
+    }
+
+    /// Allocate a fresh world-agreed user channel tag. Like collectives,
+    /// every rank must call this in the same order (SPMD), so matching
+    /// calls yield matching tags. Used by subsystems (e.g. the visitor
+    /// queue) that open one channel set per logical traversal.
+    pub fn auto_tag(&self) -> u64 {
+        let seq = self.auto_seq.get();
+        self.auto_seq.set(seq + 1);
+        AUTO_TAG_BASE + seq
+    }
+
+    /// This rank's id in `0..self.size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.ranks
+    }
+
+    /// True once any rank has panicked.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Panic (joining the world-wide shutdown) if a peer rank has panicked.
+    /// Called from blocking loops so a single failure cannot deadlock the run.
+    #[inline]
+    pub fn check_poison(&self) {
+        if self.is_poisoned() {
+            panic!("rank {}: aborting, a peer rank panicked", self.rank);
+        }
+    }
+
+    /// Open the typed point-to-point channel `(M, tag)`.
+    ///
+    /// All ranks may open each `(M, tag)` pair at most once. `tag` must be
+    /// below [`crate::registry::RESERVED_TAG_BASE`].
+    pub fn channel<M: Send + 'static>(&self, tag: u64) -> Transport<M> {
+        assert!(
+            tag < crate::registry::RESERVED_TAG_BASE,
+            "user channel tags must be below RESERVED_TAG_BASE"
+        );
+        self.channel_internal(tag)
+    }
+
+    pub(crate) fn channel_internal<M: Send + 'static>(&self, tag: u64) -> Transport<M> {
+        let set = self.registry.channel_set::<M>(tag);
+        let receiver = self.registry.take_receiver::<M>(tag, self.rank);
+        Transport::new(self.rank, self.ranks, set, receiver, Arc::clone(&self.poisoned))
+    }
+
+    pub(crate) fn next_collective_tag(&self) -> u64 {
+        let seq = self.collective_seq.get();
+        self.collective_seq.set(seq + 1);
+        crate::registry::COLLECTIVE_TAG_BASE + seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_rank_once() {
+        let got = CommWorld::run(8, |ctx| (ctx.rank(), ctx.size()));
+        assert_eq!(got, (0..8).map(|r| (r, 8)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_rank_world() {
+        assert_eq!(CommWorld::run(1, |ctx| ctx.rank()), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = CommWorld::run(0, |_| ());
+    }
+
+    #[test]
+    fn p2p_roundtrip() {
+        let got = CommWorld::run(2, |ctx| {
+            let ch = ctx.channel::<u64>(0);
+            ch.send(1 - ctx.rank(), ctx.rank() as u64 + 100);
+            let (src, v) = ch.recv_blocking(ctx);
+            assert_eq!(src, 1 - ctx.rank());
+            v
+        });
+        assert_eq!(got, vec![101, 100]);
+    }
+
+    #[test]
+    fn closure_can_borrow_environment() {
+        let data: Vec<u64> = (0..100).collect();
+        let sums = CommWorld::run(4, |ctx| {
+            // scoped threads: shared read-only borrow, no Arc needed
+            data.iter().skip(ctx.rank()).step_by(4).sum::<u64>()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), 4950);
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let res = std::panic::catch_unwind(|| {
+            CommWorld::run(4, |ctx| {
+                if ctx.rank() == 2 {
+                    panic!("boom on rank 2");
+                }
+                // peers block on a receive that will never arrive; the poison
+                // flag must unblock them instead of deadlocking
+                let ch = ctx.channel::<u8>(0);
+                let _ = ch.recv_blocking(ctx);
+            })
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-channel-pair traffic counters.
+//!
+//! The paper argues (Section III-B) that dense all-to-all communication is a
+//! primary scaling obstacle and that routed mailboxes cut the number of
+//! communicating pairs from `O(p)` per rank to `O(sqrt(p))` (2D) or
+//! `O(p^(1/3))` per axis (3D). These counters let experiments observe that
+//! reduction directly: every transport-level send is recorded against its
+//! (source, destination) pair.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared traffic matrix for one transport channel set.
+///
+/// Counts are recorded with relaxed ordering; they are read only after the
+/// SPMD region joins, when all writes are already synchronized by the thread
+/// join.
+pub struct ChannelStats {
+    ranks: usize,
+    /// `msgs[src * ranks + dst]`: transport messages sent src -> dst.
+    msgs: Vec<AtomicU64>,
+    /// `items[src * ranks + dst]`: payload items carried by those messages
+    /// (for batched transports a message carries many items).
+    items: Vec<AtomicU64>,
+}
+
+impl ChannelStats {
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            ranks,
+            msgs: (0..ranks * ranks).map(|_| AtomicU64::new(0)).collect(),
+            items: (0..ranks * ranks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, src: usize, dst: usize, items: u64) {
+        let i = src * self.ranks + dst;
+        self.msgs[i].fetch_add(1, Ordering::Relaxed);
+        self.items[i].fetch_add(items, Ordering::Relaxed);
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Immutable snapshot for post-run analysis.
+    pub fn snapshot(&self) -> ChannelStatsSnapshot {
+        ChannelStatsSnapshot {
+            ranks: self.ranks,
+            msgs: self.msgs.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            items: self.items.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`ChannelStats`] matrix.
+#[derive(Clone, Debug)]
+pub struct ChannelStatsSnapshot {
+    pub ranks: usize,
+    pub msgs: Vec<u64>,
+    pub items: Vec<u64>,
+}
+
+impl ChannelStatsSnapshot {
+    #[inline]
+    pub fn msgs_between(&self, src: usize, dst: usize) -> u64 {
+        self.msgs[src * self.ranks + dst]
+    }
+
+    #[inline]
+    pub fn items_between(&self, src: usize, dst: usize) -> u64 {
+        self.items[src * self.ranks + dst]
+    }
+
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    pub fn total_items(&self) -> u64 {
+        self.items.iter().sum()
+    }
+
+    /// Number of distinct destinations rank `src` ever sent to.
+    ///
+    /// For a `Direct` mailbox under an all-to-all workload this approaches
+    /// `p - 1`; for `Routed2D` it is bounded by row + column peers.
+    pub fn channels_used_by(&self, src: usize) -> usize {
+        (0..self.ranks)
+            .filter(|&d| d != src && self.msgs[src * self.ranks + d] > 0)
+            .count()
+    }
+
+    /// Maximum over all ranks of [`Self::channels_used_by`].
+    pub fn max_channels_used(&self) -> usize {
+        (0..self.ranks).map(|r| self.channels_used_by(r)).max().unwrap_or(0)
+    }
+
+    /// Payload items received per rank; the spread of this distribution shows
+    /// communication hotspots (the paper's high in-degree hub problem).
+    pub fn items_received_per_rank(&self) -> Vec<u64> {
+        (0..self.ranks)
+            .map(|d| (0..self.ranks).map(|s| self.items[s * self.ranks + d]).sum())
+            .collect()
+    }
+
+    /// max/mean imbalance of items received per rank (1.0 = perfectly even).
+    pub fn receive_imbalance(&self) -> f64 {
+        let per = self.items_received_per_rank();
+        let total: u64 = per.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.ranks as f64;
+        per.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+
+    /// Mean payload items per transport message (the aggregation factor the
+    /// paper's routed mailbox is designed to increase).
+    pub fn aggregation_factor(&self) -> f64 {
+        let m = self.total_msgs();
+        if m == 0 {
+            0.0
+        } else {
+            self.total_items() as f64 / m as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = ChannelStats::new(4);
+        s.record(0, 1, 10);
+        s.record(0, 1, 5);
+        s.record(2, 3, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs_between(0, 1), 2);
+        assert_eq!(snap.items_between(0, 1), 15);
+        assert_eq!(snap.msgs_between(1, 0), 0);
+        assert_eq!(snap.total_msgs(), 3);
+        assert_eq!(snap.total_items(), 16);
+    }
+
+    #[test]
+    fn channels_used_ignores_self() {
+        let s = ChannelStats::new(3);
+        s.record(0, 0, 1);
+        s.record(0, 1, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.channels_used_by(0), 1);
+        assert_eq!(snap.channels_used_by(1), 0);
+        assert_eq!(snap.max_channels_used(), 1);
+    }
+
+    #[test]
+    fn receive_imbalance_even_and_skewed() {
+        let s = ChannelStats::new(2);
+        s.record(0, 1, 4);
+        s.record(1, 0, 4);
+        assert!((s.snapshot().receive_imbalance() - 1.0).abs() < 1e-12);
+
+        let skew = ChannelStats::new(2);
+        skew.record(0, 1, 8);
+        // rank0 receives nothing: max/mean = 8 / 4 = 2
+        assert!((skew.snapshot().receive_imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_factor() {
+        let s = ChannelStats::new(2);
+        s.record(0, 1, 64);
+        s.record(0, 1, 32);
+        assert!((s.snapshot().aggregation_factor() - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let snap = ChannelStats::new(4).snapshot();
+        assert_eq!(snap.total_msgs(), 0);
+        assert_eq!(snap.aggregation_factor(), 0.0);
+        assert_eq!(snap.receive_imbalance(), 1.0);
+    }
+}

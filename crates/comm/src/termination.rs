@@ -1,0 +1,297 @@
+//! Asynchronous distributed termination detection (paper Section V,
+//! `global_empty()`, citing Mattern's counting algorithms).
+//!
+//! The detector runs repeated O(log p) reduction waves over a binomial tree.
+//! Each rank contributes `(sent, received, stable)` where `sent`/`received`
+//! are its end-to-end payload counters and `stable` means *idle now and no
+//! counter changed since my previous contribution*. Waves are sequenced by a
+//! root broadcast, so every rank's window between two consecutive
+//! contributions contains the instant the root combined the previous wave;
+//! if every rank was stable across that common instant and the global send
+//! and receive totals agree, there were no in-flight messages and no local
+//! work at that instant — the traversal has terminated. This is Mattern's
+//! four-counter ("double counting") method specialized to monotonic
+//! counters.
+//!
+//! The check is fully asynchronous: waves piggyback on the normal polling
+//! loop and only the final, already-quiescent wave pair costs synchronous
+//! latency — exactly the property the paper highlights.
+
+use crate::collectives::{tree_children, tree_parent};
+use crate::runtime::RankCtx;
+use crate::transport::Transport;
+
+enum TermMsg {
+    /// Child -> parent: subtree totals for `wave`.
+    Up { wave: u64, sent: u64, recv: u64, stable: bool },
+    /// Parent -> child: root decision for `wave`.
+    Down { wave: u64, terminate: bool },
+}
+
+/// Per-rank handle on the termination-detection protocol.
+pub struct Quiescence {
+    ch: Transport<TermMsg>,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    wave: u64,
+    /// Accumulated child contributions for the current wave.
+    child_sent: u64,
+    child_recv: u64,
+    child_stable: bool,
+    children_seen: usize,
+    contributed: bool,
+    prev_contrib: Option<(u64, u64)>,
+    terminated: bool,
+    waves_run: u64,
+}
+
+impl Quiescence {
+    /// Open the detector. Collective: every rank must call with the same
+    /// `instance` id (allows several independent traversals per world).
+    pub fn new(ctx: &RankCtx, instance: u64) -> Self {
+        let tag = crate::registry::TERMINATION_TAG_BASE + instance;
+        let ch = ctx.channel_internal::<TermMsg>(tag);
+        Self {
+            parent: tree_parent(ctx.rank()),
+            children: tree_children(ctx.rank(), ctx.size()),
+            ch,
+            wave: 0,
+            child_sent: 0,
+            child_recv: 0,
+            child_stable: true,
+            children_seen: 0,
+            contributed: false,
+            prev_contrib: None,
+            terminated: false,
+            waves_run: 0,
+        }
+    }
+
+    fn reset_wave(&mut self) {
+        self.wave += 1;
+        self.child_sent = 0;
+        self.child_recv = 0;
+        self.child_stable = true;
+        self.children_seen = 0;
+        self.contributed = false;
+        self.waves_run += 1;
+    }
+
+    /// Advance the protocol with this rank's current counters; returns true
+    /// once global quiescence is confirmed (sticky).
+    ///
+    /// `sent`/`recv` must be monotonically non-decreasing end-to-end payload
+    /// counters; `idle` must only be true when this rank has no queued work
+    /// and no un-flushed outgoing buffers.
+    pub fn poll(&mut self, sent: u64, recv: u64, idle: bool) -> bool {
+        if self.terminated {
+            return true;
+        }
+        if self.ch.is_poisoned() {
+            // a peer rank panicked: detection can never complete, so join
+            // the world-wide shutdown instead of spinning forever
+            panic!("termination detector aborting: a peer rank panicked");
+        }
+        // Drain protocol messages.
+        while let Some((_src, msg)) = self.ch.try_recv() {
+            match msg {
+                TermMsg::Up { wave, sent, recv, stable } => {
+                    debug_assert_eq!(wave, self.wave, "child wave skew");
+                    self.child_sent += sent;
+                    self.child_recv += recv;
+                    self.child_stable &= stable;
+                    self.children_seen += 1;
+                }
+                TermMsg::Down { wave, terminate } => {
+                    debug_assert_eq!(wave, self.wave, "parent wave skew");
+                    for &c in &self.children {
+                        self.ch.send(c, TermMsg::Down { wave, terminate });
+                    }
+                    if terminate {
+                        self.terminated = true;
+                        return true;
+                    }
+                    self.reset_wave();
+                }
+            }
+        }
+        // Contribute (and combine upward) once all children have reported.
+        if !self.contributed && self.children_seen == self.children.len() {
+            let stable = idle && self.prev_contrib == Some((sent, recv));
+            self.prev_contrib = Some((sent, recv));
+            self.contributed = true;
+            let tot_sent = self.child_sent + sent;
+            let tot_recv = self.child_recv + recv;
+            let tot_stable = self.child_stable && stable;
+            match self.parent {
+                Some(p) => {
+                    self.ch.send(
+                        p,
+                        TermMsg::Up { wave: self.wave, sent: tot_sent, recv: tot_recv, stable: tot_stable },
+                    );
+                }
+                None => {
+                    let terminate = tot_stable && tot_sent == tot_recv;
+                    let wave = self.wave;
+                    for &c in &self.children {
+                        self.ch.send(c, TermMsg::Down { wave, terminate });
+                    }
+                    if terminate {
+                        self.terminated = true;
+                        return true;
+                    }
+                    self.reset_wave();
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of completed (non-terminating) waves — a measure of how often
+    /// the detector cycled; useful in tests and experiments.
+    pub fn waves_run(&self) -> u64 {
+        self.waves_run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::{Mailbox, MailboxConfig};
+    use crate::runtime::CommWorld;
+    use crate::topology::TopologyKind;
+
+    #[test]
+    fn single_rank_terminates_immediately() {
+        CommWorld::run(1, |ctx| {
+            let mut q = Quiescence::new(ctx, 0);
+            let mut polls = 0;
+            while !q.poll(0, 0, true) {
+                polls += 1;
+                assert!(polls < 100, "should terminate within a few waves");
+            }
+        });
+    }
+
+    #[test]
+    fn idle_world_terminates() {
+        for p in [2usize, 3, 5, 8] {
+            CommWorld::run(p, |ctx| {
+                let mut q = Quiescence::new(ctx, 0);
+                let mut polls = 0u64;
+                while !q.poll(0, 0, true) {
+                    polls += 1;
+                    if polls.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    }
+                    assert!(polls < 1_000_000, "termination too slow");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn does_not_terminate_while_work_remains() {
+        CommWorld::run(2, |ctx| {
+            let mut q = Quiescence::new(ctx, 0);
+            // rank 0 pretends to have one eternally-unreceived message
+            let (sent, recv) = if ctx.rank() == 0 { (1, 0) } else { (0, 0) };
+            for _ in 0..500 {
+                assert!(!q.poll(sent, recv, true), "sent != recv must block termination");
+            }
+        });
+    }
+
+    #[test]
+    fn does_not_terminate_while_any_rank_busy() {
+        CommWorld::run(3, |ctx| {
+            let mut q = Quiescence::new(ctx, 0);
+            let idle = ctx.rank() != 1;
+            for _ in 0..500 {
+                assert!(!q.poll(0, 0, idle), "busy rank must block termination");
+            }
+        });
+    }
+
+    /// The canonical integration scenario: a random "token storm" over a
+    /// mailbox, like a miniature visitor traversal. Each token with ttl > 0
+    /// spawns a token with ttl-1 to a pseudo-random rank. Termination must
+    /// fire only after every token has been processed.
+    fn token_storm(p: usize, topo: TopologyKind, seed_tokens: usize, ttl: u32) {
+        let totals = CommWorld::run(p, |ctx| {
+            let mut mb = Mailbox::<u32>::open(
+                ctx,
+                7,
+                MailboxConfig { topology: topo, batch_size: 4, ..MailboxConfig::default() },
+            );
+            let mut q = Quiescence::new(ctx, 3);
+            let mut rng_state = (ctx.rank() as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut next = move || {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                rng_state
+            };
+            let mut processed = 0u64;
+            let mut queue: Vec<u32> = Vec::new();
+            for _ in 0..seed_tokens {
+                mb.send(next() as usize % p, ttl);
+            }
+            loop {
+                mb.poll(&mut queue);
+                if let Some(t) = queue.pop() {
+                    processed += 1;
+                    if t > 0 {
+                        mb.send(next() as usize % p, t - 1);
+                    }
+                    continue;
+                }
+                mb.flush();
+                let idle = queue.is_empty() && mb.pending_out() == 0;
+                if q.poll(mb.sent_count(), mb.received_count(), idle) {
+                    break;
+                }
+            }
+            assert!(queue.is_empty());
+            assert_eq!(mb.pending_out(), 0);
+            (processed, mb.sent_count(), mb.received_count())
+        });
+        let processed: u64 = totals.iter().map(|t| t.0).sum();
+        let sent: u64 = totals.iter().map(|t| t.1).sum();
+        let recv: u64 = totals.iter().map(|t| t.2).sum();
+        // every token is processed exactly once; chain length = ttl + 1
+        assert_eq!(processed, (p * seed_tokens) as u64 * (ttl as u64 + 1));
+        assert_eq!(sent, recv);
+        assert_eq!(processed, recv);
+    }
+
+    #[test]
+    fn token_storm_direct() {
+        token_storm(4, TopologyKind::Direct, 8, 20);
+    }
+
+    #[test]
+    fn token_storm_routed2d() {
+        token_storm(9, TopologyKind::Routed2D, 5, 15);
+    }
+
+    #[test]
+    fn token_storm_routed3d() {
+        token_storm(8, TopologyKind::Routed3D, 5, 15);
+    }
+
+    #[test]
+    fn token_storm_single_rank() {
+        token_storm(1, TopologyKind::Direct, 10, 50);
+    }
+
+    #[test]
+    fn detector_is_reusable_via_instances() {
+        CommWorld::run(4, |ctx| {
+            for instance in 0..3 {
+                let mut q = Quiescence::new(ctx, instance);
+                while !q.poll(5, 5, true) {}
+            }
+        });
+    }
+}

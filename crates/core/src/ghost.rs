@@ -1,0 +1,119 @@
+//! Per-partition ghost tables (paper Section IV-B).
+//!
+//! Ghost information replicates the state of high in-degree hubs locally so
+//! `push` can filter visitors before they ever reach the network, turning a
+//! hub's `d_in` incoming visitors into at most one per partition. Ghost
+//! state is never globally synchronized — it is only the local partition's
+//! (possibly stale) view of the hub — so it may only *filter*, never
+//! authoritatively decide.
+
+use rustc_hash::FxHashMap;
+
+use havoq_graph::dist::DistGraph;
+use havoq_graph::types::VertexId;
+
+/// Ghost state for up to `k` locally-hot remote hubs.
+pub struct GhostTable<D> {
+    slots: FxHashMap<u64, D>,
+}
+
+impl<D: Default + Clone> GhostTable<D> {
+    /// Select the top-`k` local ghost candidates of `g` (by local in-edge
+    /// frequency), excluding vertices this rank already stores state for —
+    /// local vertices don't need a ghost.
+    pub fn select(g: &DistGraph, k: usize) -> Self {
+        let mut slots = FxHashMap::default();
+        if k > 0 {
+            for &(v, _count) in g.ghost_candidates() {
+                if slots.len() >= k {
+                    break;
+                }
+                if !g.is_local(VertexId(v)) {
+                    slots.insert(v, D::default());
+                }
+            }
+        }
+        Self { slots }
+    }
+
+    /// Empty table (ghosts disabled, or algorithm forbids them).
+    pub fn empty() -> Self {
+        Self { slots: FxHashMap::default() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Mutable ghost state for `v`, if stored here
+    /// (the paper's `has_local_ghost` / `local_ghost` pair).
+    #[inline]
+    pub fn get_mut(&mut self, v: VertexId) -> Option<&mut D> {
+        self.slots.get_mut(&v.0)
+    }
+
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.slots.contains_key(&v.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use havoq_comm::CommWorld;
+    use havoq_graph::csr::GraphConfig;
+    use havoq_graph::dist::PartitionStrategy;
+    use havoq_graph::gen::rmat::RmatGenerator;
+
+    #[test]
+    fn selects_remote_hubs_only() {
+        let g = RmatGenerator::graph500(10);
+        let edges = g.symmetric_edges(13);
+        CommWorld::run(4, |ctx| {
+            let dg = havoq_graph::dist::DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let table = GhostTable::<u64>::select(&dg, 16);
+            assert!(table.len() <= 16);
+            for &(v, _) in dg.ghost_candidates() {
+                if table.contains(VertexId(v)) {
+                    assert!(!dg.is_local(VertexId(v)), "ghosts must be remote");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn zero_k_is_empty() {
+        let g = RmatGenerator::graph500(8);
+        let edges = g.symmetric_edges(1);
+        CommWorld::run(2, |ctx| {
+            let dg = havoq_graph::dist::DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let table = GhostTable::<u64>::select(&dg, 0);
+            assert!(table.is_empty());
+        });
+    }
+
+    #[test]
+    fn get_mut_mutates_slot() {
+        let mut t = GhostTable::<u64> { slots: [(7u64, 0u64)].into_iter().collect() };
+        *t.get_mut(VertexId(7)).unwrap() = 42;
+        assert_eq!(*t.get_mut(VertexId(7)).unwrap(), 42);
+        assert!(t.get_mut(VertexId(8)).is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! The paper's primary contribution: the distributed asynchronous visitor
+//! queue and the traversal algorithms built on it.
+//!
+//! - [`visitor`] — the visitor abstraction of Table I (`pre_visit`, `visit`,
+//!   priority ordering, per-vertex state), extended with an explicit
+//!   [`visitor::Role`] so algorithms can distinguish master, replica and
+//!   ghost evaluations (see DESIGN.md for why k-core needs this on split
+//!   adjacency lists).
+//! - [`queue`] — Algorithm 1: `push` with local ghost filtering,
+//!   `check_mailbox` with master→replica forwarding chains, and
+//!   `do_traversal` driven by mailbox polling and asynchronous quiescence
+//!   detection. Local visitors are ordered by the algorithm's comparator
+//!   with a vertex-id tie-break for page-level locality (Section V-A).
+//! - [`ghost`] — per-partition ghost tables for high in-degree hubs
+//!   (Section IV-B).
+//! - [`algorithms`] — BFS (Algorithms 2–3), k-core decomposition
+//!   (Algorithms 4–5), triangle counting (Algorithms 6–7), plus the
+//!   connected-components and SSSP visitors of the paper's earlier
+//!   shared-memory work [4], which the framework supports unchanged.
+//! - [`rounds`] — the Section VI-D "parallel rounds" analysis model: an
+//!   idealized round-synchronous executor for validating the asymptotic
+//!   visitor bounds empirically.
+
+pub mod algorithms;
+pub mod ghost;
+pub mod queue;
+pub mod rounds;
+pub mod visitor;
+
+pub use queue::{TraversalConfig, TraversalStats, VisitorQueue};
+pub use visitor::{Role, Visitor};

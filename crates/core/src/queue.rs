@@ -1,0 +1,555 @@
+//! The distributed asynchronous visitor queue (paper Algorithm 1).
+//!
+//! Each rank runs one queue instance:
+//!
+//! - `push(visitor)` — filter through locally stored ghost state, then send
+//!   to the target vertex's master partition (`min_owner`).
+//! - `check_mailbox()` — receive visitors, `pre_visit` them against local
+//!   state, queue survivors in the local priority heap, and forward them to
+//!   the next replica if the vertex's adjacency list continues on higher
+//!   ranks (the split-vertex chain of Figure 3).
+//! - `do_traversal()` — the asynchronous driving loop: poll the mailbox,
+//!   execute locally queued visitors in priority order, and terminate when
+//!   the quiescence detector confirms the queue is globally empty.
+//!
+//! Visitors with equal algorithm priority are ordered by vertex id, the
+//! Section V-A locality optimization that makes semi-external adjacency
+//! reads page-sequential.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use havoq_comm::{Mailbox, MailboxConfig, Quiescence, RankCtx};
+use havoq_graph::dist::DistGraph;
+use havoq_graph::types::VertexId;
+
+use crate::ghost::GhostTable;
+use crate::visitor::{Role, Visitor, VisitorPush};
+
+/// Traversal tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TraversalConfig {
+    /// Ghost slots per partition (paper default: 256; Figure 13 sweeps
+    /// this). Ignored for algorithms with `GHOSTS_ALLOWED = false`.
+    pub ghosts: usize,
+    /// Mailbox aggregation / routing configuration.
+    pub mailbox: MailboxConfig,
+    /// Max visitors executed between consecutive mailbox polls.
+    pub poll_batch: usize,
+    /// Order equal-priority visitors by vertex id (the Section V-A
+    /// page-locality optimization). When false, equal-priority visitors
+    /// run in arrival order — the ablation baseline, which scatters
+    /// semi-external adjacency reads across pages.
+    pub locality_order: bool,
+}
+
+impl Default for TraversalConfig {
+    fn default() -> Self {
+        Self {
+            ghosts: 256,
+            mailbox: MailboxConfig::default(),
+            poll_batch: 128,
+            locality_order: true,
+        }
+    }
+}
+
+/// Per-rank traversal counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraversalStats {
+    /// Visitors whose `visit` procedure ran on this rank.
+    pub visitors_executed: u64,
+    /// Visitors pushed on this rank (before ghost filtering).
+    pub visitors_pushed: u64,
+    /// Pushes that were checked against a local ghost slot.
+    pub ghost_checked: u64,
+    /// Pushes suppressed by the ghost filter (communication saved).
+    pub ghost_filtered: u64,
+    /// Visitors forwarded along a split-vertex replica chain.
+    pub replica_forwards: u64,
+    /// End-to-end payloads sent / received by the mailbox.
+    pub payload_sent: u64,
+    pub payload_received: u64,
+    /// Quiescence-detection waves completed.
+    pub termination_waves: u64,
+    /// Wall-clock time inside `do_traversal`.
+    pub elapsed: Duration,
+}
+
+/// Min-heap adapter: smallest algorithm priority first, then the
+/// tie-break key — the vertex id under the Section V-A locality order, or
+/// an arrival sequence number when that optimization is ablated.
+struct HeapEntry<V: Visitor>(V, u64);
+
+impl<V: Visitor> PartialEq for HeapEntry<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<V: Visitor> Eq for HeapEntry<V> {}
+
+impl<V: Visitor> PartialOrd for HeapEntry<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<V: Visitor> Ord for HeapEntry<V> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the minimum out first
+        other.0.priority(&self.0).then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+/// One rank's distributed visitor queue for visitor type `V`.
+pub struct VisitorQueue<'g, V: Visitor> {
+    g: &'g DistGraph,
+    rank: usize,
+    mailbox: Mailbox<V>,
+    quiescence: Quiescence,
+    heap: BinaryHeap<HeapEntry<V>>,
+    state: Vec<V::Data>,
+    ghosts: GhostTable<V::Data>,
+    cfg: TraversalConfig,
+    stats: TraversalStats,
+    /// Arrival counter backing the non-locality tie-break.
+    arrival_seq: u64,
+}
+
+impl<'g, V: Visitor> VisitorQueue<'g, V> {
+    /// Collectively create a queue over `g`. Every rank must call this the
+    /// same number of times in the same order (each call draws a fresh
+    /// world-agreed channel tag).
+    pub fn new(ctx: &RankCtx, g: &'g DistGraph, cfg: TraversalConfig) -> Self {
+        let tag = ctx.auto_tag();
+        let mailbox = Mailbox::open(ctx, tag, cfg.mailbox);
+        let quiescence = Quiescence::new(ctx, tag);
+        let ghosts = if V::GHOSTS_ALLOWED && cfg.ghosts > 0 {
+            GhostTable::select(g, cfg.ghosts)
+        } else {
+            GhostTable::empty()
+        };
+        let state = vec![V::Data::default(); g.num_local_vertices()];
+        Self {
+            g,
+            rank: ctx.rank(),
+            mailbox,
+            quiescence,
+            heap: BinaryHeap::new(),
+            state,
+            ghosts,
+            cfg,
+            stats: TraversalStats::default(),
+            arrival_seq: 0,
+        }
+    }
+
+    /// Initialize local vertex state (e.g. k-core's `degree + 1` counters).
+    /// Replicas are initialized identically on every rank in their chain
+    /// because the closure only sees replicated information.
+    pub fn init_state(&mut self, mut f: impl FnMut(VertexId, &DistGraph) -> V::Data) {
+        for (li, slot) in self.state.iter_mut().enumerate() {
+            *slot = f(self.g.vertex_at(li), self.g);
+        }
+    }
+
+    /// The graph this queue traverses.
+    pub fn graph(&self) -> &'g DistGraph {
+        self.g
+    }
+
+    /// Local vertex state, indexed by local vertex index.
+    pub fn state(&self) -> &[V::Data] {
+        &self.state
+    }
+
+    /// Consume the queue, keeping the final state.
+    pub fn into_state(self) -> Vec<V::Data> {
+        self.state
+    }
+
+    /// Number of ghost slots active for this traversal.
+    pub fn ghost_count(&self) -> usize {
+        self.ghosts.len()
+    }
+
+    /// Local traversal statistics (valid after `do_traversal`).
+    pub fn stats(&self) -> TraversalStats {
+        let mut s = self.stats;
+        s.payload_sent = self.mailbox.sent_count();
+        s.payload_received = self.mailbox.received_count();
+        s.termination_waves = self.quiescence.waves_run();
+        s
+    }
+
+    /// The mailbox's transport traffic matrix (world-shared snapshot).
+    pub fn transport_stats(&self) -> havoq_comm::ChannelStatsSnapshot {
+        self.mailbox.transport_stats()
+    }
+
+    /// Push a visitor into the distributed queue (Algorithm 1, `push`).
+    pub fn push(&mut self, visitor: V) {
+        push_impl(self.g, &mut self.mailbox, &mut self.ghosts, &mut self.stats, visitor);
+    }
+
+    /// Receive and pre-visit incoming visitors; returns payloads delivered
+    /// (Algorithm 1, `check_mailbox`).
+    fn check_mailbox(&mut self, scratch: &mut Vec<V>) -> usize {
+        scratch.clear();
+        self.mailbox.poll(scratch);
+        let delivered = scratch.len();
+        for visitor in scratch.drain(..) {
+            let v = visitor.vertex();
+            debug_assert!(self.g.is_local(v), "visitor for {v} delivered to wrong rank {}", self.rank);
+            let li = self.g.local_index(v);
+            let role = if self.g.min_owner(v) == self.rank { Role::Master } else { Role::Replica };
+            if visitor.pre_visit(&mut self.state[li], role) {
+                // forward along the replica chain before queuing locally so
+                // downstream partitions overlap with our local work
+                if self.rank < self.g.max_owner(v) {
+                    self.stats.replica_forwards += 1;
+                    self.mailbox.send(self.rank + 1, visitor.clone());
+                }
+                let tiebreak = if self.cfg.locality_order {
+                    v.0
+                } else {
+                    self.arrival_seq += 1;
+                    self.arrival_seq
+                };
+                self.heap.push(HeapEntry(visitor, tiebreak));
+            }
+        }
+        delivered
+    }
+
+    /// Run the asynchronous traversal to completion (Algorithm 1,
+    /// `do_traversal`). Initial visitors must already have been pushed.
+    pub fn do_traversal(&mut self) {
+        let start = Instant::now();
+        let mut scratch: Vec<V> = Vec::new();
+        loop {
+            let delivered = self.check_mailbox(&mut scratch);
+            let mut budget = self.cfg.poll_batch;
+            while budget > 0 {
+                let Some(HeapEntry(vis, _)) = self.heap.pop() else { break };
+                budget -= 1;
+                self.stats.visitors_executed += 1;
+                let li = self.g.local_index(vis.vertex());
+                // split borrows: vertex state vs. push path
+                let Self { g, mailbox, ghosts, state, stats, .. } = self;
+                let mut pusher = Pusher { g, mailbox, ghosts, stats };
+                vis.visit(g, &mut state[li], &mut pusher);
+            }
+            if delivered == 0 && self.heap.is_empty() {
+                self.mailbox.flush();
+                let idle = self.mailbox.pending_out() == 0;
+                if self.quiescence.poll(
+                    self.mailbox.sent_count(),
+                    self.mailbox.received_count(),
+                    idle,
+                ) {
+                    break;
+                }
+                // idle but not terminated: give peer ranks the core instead
+                // of spin-polling (matters when ranks are oversubscribed
+                // onto few physical cores, as in the simulation)
+                std::thread::yield_now();
+            }
+        }
+        self.stats.elapsed += start.elapsed();
+    }
+}
+
+impl<'g, V: Visitor> VisitorPush<V> for VisitorQueue<'g, V> {
+    fn push(&mut self, visitor: V) {
+        VisitorQueue::push(self, visitor);
+    }
+}
+
+/// The push path, shared between the queue itself and the in-`visit` pusher.
+fn push_impl<V: Visitor>(
+    g: &DistGraph,
+    mailbox: &mut Mailbox<V>,
+    ghosts: &mut GhostTable<V::Data>,
+    stats: &mut TraversalStats,
+    visitor: V,
+) {
+    stats.visitors_pushed += 1;
+    let v = visitor.vertex();
+    if V::GHOSTS_ALLOWED {
+        if let Some(gdata) = ghosts.get_mut(v) {
+            stats.ghost_checked += 1;
+            if !visitor.pre_visit(gdata, Role::Ghost) {
+                stats.ghost_filtered += 1;
+                return;
+            }
+        }
+    }
+    mailbox.send(g.min_owner(v), visitor);
+}
+
+struct Pusher<'a, V: Visitor> {
+    g: &'a DistGraph,
+    mailbox: &'a mut Mailbox<V>,
+    ghosts: &'a mut GhostTable<V::Data>,
+    stats: &'a mut TraversalStats,
+}
+
+impl<'a, V: Visitor> VisitorPush<V> for Pusher<'a, V> {
+    fn push(&mut self, visitor: V) {
+        push_impl(self.g, self.mailbox, self.ghosts, self.stats, visitor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use havoq_comm::CommWorld;
+    use havoq_graph::csr::GraphConfig;
+    use havoq_graph::dist::PartitionStrategy;
+    use havoq_graph::gen::rmat::RmatGenerator;
+    use havoq_graph::types::Edge;
+
+    /// Minimal "flood" visitor: marks every reachable vertex, no ordering,
+    /// ghost-eligible (marking is idempotent and monotone).
+    #[derive(Clone)]
+    struct Flood {
+        vertex: VertexId,
+    }
+
+    #[derive(Clone, Default)]
+    struct FloodData {
+        marked: bool,
+    }
+
+    impl Visitor for Flood {
+        type Data = FloodData;
+        const GHOSTS_ALLOWED: bool = true;
+
+        fn vertex(&self) -> VertexId {
+            self.vertex
+        }
+
+        fn pre_visit(&self, data: &mut FloodData, _role: Role) -> bool {
+            if data.marked {
+                false
+            } else {
+                data.marked = true;
+                true
+            }
+        }
+
+        fn visit(&self, g: &DistGraph, _data: &mut FloodData, q: &mut dyn VisitorPush<Self>) {
+            g.with_adj(self.vertex, |adj| {
+                for &t in adj {
+                    q.push(Flood { vertex: VertexId(t) });
+                }
+            });
+        }
+
+        fn priority(&self, _other: &Self) -> Ordering {
+            Ordering::Equal
+        }
+    }
+
+    fn ring_edges(n: u64) -> Vec<Edge> {
+        (0..n).flat_map(|v| [Edge::new(v, (v + 1) % n), Edge::new((v + 1) % n, v)]).collect()
+    }
+
+    fn run_flood(p: usize, edges: &[Edge], cfg: TraversalConfig) -> u64 {
+        let marked = CommWorld::run(p, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let mut q = VisitorQueue::<Flood>::new(ctx, &g, cfg);
+            if g.is_master(VertexId(0)) {
+                q.push(Flood { vertex: VertexId(0) });
+            }
+            q.do_traversal();
+            // count marked masters
+            let local: u64 = g
+                .local_vertices()
+                .filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].marked)
+                .count() as u64;
+            ctx.all_reduce_sum(local)
+        });
+        marked[0]
+    }
+
+    #[test]
+    fn flood_reaches_whole_ring() {
+        let edges = ring_edges(64);
+        for p in [1usize, 2, 4, 5] {
+            assert_eq!(run_flood(p, &edges, TraversalConfig::default()), 64, "p={p}");
+        }
+    }
+
+    #[test]
+    fn flood_on_rmat_visits_reachable_set() {
+        let gen = RmatGenerator::graph500(9);
+        let edges = gen.symmetric_edges(77);
+        // serial reachability reference from vertex 0
+        let n = gen.num_vertices();
+        let mut adj = vec![Vec::new(); n as usize];
+        for e in &edges {
+            if !e.is_self_loop() {
+                adj[e.src as usize].push(e.dst);
+            }
+        }
+        let mut seen = vec![false; n as usize];
+        let mut stack = vec![0u64];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &t in &adj[v as usize] {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        let expect = seen.iter().filter(|&&s| s).count() as u64;
+        for p in [1usize, 4] {
+            assert_eq!(run_flood(p, &edges, TraversalConfig::default()), expect, "p={p}");
+        }
+    }
+
+    #[test]
+    fn flood_with_routed_mailbox_matches_direct() {
+        let gen = RmatGenerator::graph500(8);
+        let edges = gen.symmetric_edges(5);
+        let direct = run_flood(4, &edges, TraversalConfig::default());
+        let mut cfg2d = TraversalConfig::default();
+        cfg2d.mailbox.topology = havoq_comm::TopologyKind::Routed2D;
+        let mut cfg3d = TraversalConfig::default();
+        cfg3d.mailbox.topology = havoq_comm::TopologyKind::Routed3D;
+        assert_eq!(run_flood(4, &edges, cfg2d), direct);
+        assert_eq!(run_flood(8, &edges, cfg3d), direct);
+    }
+
+    #[test]
+    fn ghosts_filter_redundant_pushes() {
+        // star graph: every vertex points at hub 0 and back
+        let n = 256u64;
+        let edges: Vec<Edge> =
+            (1..n).flat_map(|v| [Edge::new(v, 0), Edge::new(0, v)]).collect();
+        let filtered = CommWorld::run(4, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let mut q = VisitorQueue::<Flood>::new(ctx, &g, TraversalConfig::default());
+            if g.is_master(VertexId(1)) {
+                q.push(Flood { vertex: VertexId(1) });
+            }
+            q.do_traversal();
+            let marked: u64 = g
+                .local_vertices()
+                .filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].marked)
+                .count() as u64;
+            assert_eq!(ctx.all_reduce_sum(marked), n, "whole star reached");
+            ctx.all_reduce_sum(q.stats().ghost_filtered)
+        });
+        assert!(filtered[0] > 0, "hub ghost should filter repeat visitors");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let edges = ring_edges(32);
+        let ok = CommWorld::run(3, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let mut q = VisitorQueue::<Flood>::new(ctx, &g, TraversalConfig::default());
+            if g.is_master(VertexId(0)) {
+                q.push(Flood { vertex: VertexId(0) });
+            }
+            q.do_traversal();
+            let s = q.stats();
+            let sent = ctx.all_reduce_sum(s.payload_sent);
+            let recv = ctx.all_reduce_sum(s.payload_received);
+            let executed = ctx.all_reduce_sum(s.visitors_executed);
+            sent == recv && executed > 0 && executed <= recv
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn multiple_traversals_in_one_world() {
+        let edges = ring_edges(16);
+        CommWorld::run(2, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            for _ in 0..3 {
+                let mut q = VisitorQueue::<Flood>::new(ctx, &g, TraversalConfig::default());
+                if g.is_master(VertexId(5)) {
+                    q.push(Flood { vertex: VertexId(5) });
+                }
+                q.do_traversal();
+                let marked: u64 = g
+                    .local_vertices()
+                    .filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].marked)
+                    .count() as u64;
+                assert_eq!(ctx.all_reduce_sum(marked), 16);
+            }
+        });
+    }
+
+    #[test]
+    fn locality_order_is_result_neutral() {
+        let gen = RmatGenerator::graph500(8);
+        let edges = gen.symmetric_edges(44);
+        let count = |locality: bool| {
+            let out = CommWorld::run(3, |ctx| {
+                let g = DistGraph::build_replicated(
+                    ctx,
+                    &edges,
+                    PartitionStrategy::EdgeList,
+                    GraphConfig::default(),
+                );
+                let cfg = TraversalConfig { locality_order: locality, ..Default::default() };
+                let mut q = VisitorQueue::<Flood>::new(ctx, &g, cfg);
+                if g.is_master(VertexId(0)) {
+                    q.push(Flood { vertex: VertexId(0) });
+                }
+                q.do_traversal();
+                let marked: u64 = g
+                    .local_vertices()
+                    .filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].marked)
+                    .count() as u64;
+                ctx.all_reduce_sum(marked)
+            });
+            out[0]
+        };
+        assert_eq!(count(true), count(false), "ordering is a performance knob only");
+    }
+
+    #[test]
+    fn empty_traversal_terminates() {
+        let edges = ring_edges(8);
+        CommWorld::run(3, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let mut q = VisitorQueue::<Flood>::new(ctx, &g, TraversalConfig::default());
+            q.do_traversal(); // nothing pushed: must still terminate
+            assert_eq!(q.stats().visitors_executed, 0);
+        });
+    }
+}

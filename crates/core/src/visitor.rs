@@ -1,0 +1,81 @@
+//! The visitor abstraction (paper Table I).
+
+use havoq_graph::dist::DistGraph;
+use havoq_graph::types::VertexId;
+
+/// Where a `pre_visit` evaluation is happening.
+///
+/// The paper applies one `pre_visit` everywhere; that is correct for
+/// idempotent monotone updates (BFS, CC, SSSP) but not for counting
+/// algorithms on *split* adjacency lists: a k-core replica only ever
+/// receives the single visitor its master forwarded after dying, so a bare
+/// decrement would never fire the replica's local out-edge slice. Exposing
+/// the role lets such algorithms treat a forwarded visitor as authoritative
+/// while keeping the paper's code shape for everything else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Evaluation on the vertex's master partition (`min_owner`).
+    Master,
+    /// Evaluation on a replica partition of a split vertex, on a visitor
+    /// forwarded along the replica chain.
+    Replica,
+    /// Evaluation on locally stored ghost state during `push` — an
+    /// imprecise filter, never globally synchronized (Section IV-B).
+    Ghost,
+}
+
+/// A traversal algorithm, expressed as vertex-centric procedures with
+/// forwardable state (paper Table I).
+///
+/// Implementations are plain-data values shipped between ranks through the
+/// mailbox; they must be cheap to clone.
+pub trait Visitor: Clone + Send + 'static {
+    /// Per-vertex algorithm state (e.g. BFS level + parent). One instance
+    /// per vertex per partition holding it; replicated for split vertices;
+    /// also used as ghost state.
+    type Data: Clone + Default + Send + 'static;
+
+    /// Whether this algorithm may use ghost filtering. Algorithms that need
+    /// precise event counts (k-core, triangle counting) must return false
+    /// (Section IV-B: "each algorithm must explicitly declare ghost usage").
+    const GHOSTS_ALLOWED: bool;
+
+    /// The vertex this visitor targets.
+    fn vertex(&self) -> VertexId;
+
+    /// Preliminary evaluation against the vertex's state; returns true if
+    /// the main `visit` should proceed. May run against ghost state
+    /// ([`Role::Ghost`]) as a filter.
+    fn pre_visit(&self, data: &mut Self::Data, role: Role) -> bool;
+
+    /// Main visitor procedure: runs with exclusive access to the vertex's
+    /// state on the current partition; sees only the *local slice* of the
+    /// vertex's adjacency; pushes follow-on visitors through `q`.
+    fn visit(&self, g: &DistGraph, data: &mut Self::Data, q: &mut dyn VisitorPush<Self>);
+
+    /// Less-than comparison prioritizing visitors in the local min-heap.
+    /// Return [`std::cmp::Ordering::Equal`] when the algorithm imposes no
+    /// order; the framework then orders by vertex id for page-level
+    /// locality (Section V-A).
+    fn priority(&self, other: &Self) -> std::cmp::Ordering;
+}
+
+/// Sink for dynamically created visitors (the `visitor_queue.push` half of
+/// the queue interface, usable from inside `visit`).
+pub trait VisitorPush<V: Visitor> {
+    fn push(&mut self, visitor: V);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_is_plain_data() {
+        assert_eq!(Role::Master, Role::Master);
+        assert_ne!(Role::Master, Role::Replica);
+        let r = Role::Ghost;
+        let s = r; // Copy
+        assert_eq!(r, s);
+    }
+}

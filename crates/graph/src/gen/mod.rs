@@ -1,0 +1,108 @@
+//! Synthetic graph generators (paper Section VII-A).
+//!
+//! Three models, as in the paper's evaluation:
+//!
+//! - [`rmat`] — Graph500-style RMAT scale-free graphs (the BFS and k-core
+//!   workloads, Figures 5, 6, 8, 9, 12, 13).
+//! - [`pa`] — Barabási–Albert preferential attachment with an optional
+//!   random-rewire step interpolating toward a random graph (Figure 11).
+//! - [`smallworld`] — Watts–Strogatz small-world graphs with uniform degree
+//!   and a rewire-controlled diameter (Figures 7, 10).
+//!
+//! After generation, all vertex labels are uniformly permuted
+//! ([`permute::RandomPermutation`]) to destroy locality artifacts from the
+//! generators, exactly as the paper prescribes.
+
+pub mod pa;
+pub mod permute;
+pub mod rmat;
+pub mod smallworld;
+
+/// SplitMix64 — the seed/stream mixer used to derive independent per-edge
+/// random streams so generation is deterministic and embarrassingly
+/// parallel across ranks.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Tiny counter-based RNG: a fresh independent stream per (seed, index).
+/// Public because downstream sampling algorithms (e.g. wedge sampling)
+/// need the same deterministic, coordination-free randomness.
+#[derive(Clone)]
+pub struct StreamRng {
+    state: u64,
+}
+
+impl StreamRng {
+    #[inline]
+    pub fn new(seed: u64, stream: u64) -> Self {
+        Self { state: splitmix64(seed ^ splitmix64(stream)) }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply avoids modulo bias well enough for synthetic data.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = StreamRng::new(1, 2);
+        let mut b = StreamRng::new(1, 2);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ_by_index() {
+        let mut a = StreamRng::new(1, 2);
+        let mut b = StreamRng::new(1, 3);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StreamRng::new(7, 0);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers() {
+        let mut r = StreamRng::new(3, 0);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let v = r.next_below(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+}

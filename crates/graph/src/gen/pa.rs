@@ -1,0 +1,168 @@
+//! Barabási–Albert preferential attachment generator with the paper's
+//! optional random-rewire step.
+//!
+//! The rewire probability interpolates between a pure PA graph (rewire 0,
+//! maximal hub growth) and an Erdős–Rényi-like random graph (rewire 1,
+//! bounded degrees) — the knob Figure 11 sweeps to isolate the effect of
+//! maximum vertex degree on triangle counting.
+
+use super::permute::RandomPermutation;
+use super::StreamRng;
+use crate::types::{symmetrize, Edge};
+
+#[derive(Clone, Copy, Debug)]
+pub struct PaGenerator {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Edges attached per new vertex (m).
+    pub edges_per_vertex: u64,
+    /// Probability that each generated edge's target is rewired to a
+    /// uniformly random vertex.
+    pub rewire_probability: f64,
+    pub permute_labels: bool,
+}
+
+impl PaGenerator {
+    pub fn new(vertices: u64, edges_per_vertex: u64) -> Self {
+        assert!(vertices > edges_per_vertex, "need more vertices than edges per vertex");
+        assert!(edges_per_vertex > 0);
+        Self { vertices, edges_per_vertex, rewire_probability: 0.0, permute_labels: true }
+    }
+
+    pub fn with_rewire(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.rewire_probability = p;
+        self
+    }
+
+    /// Number of directed edges generated (before symmetrization).
+    pub fn num_edges(&self) -> u64 {
+        // the first m+1 vertices form a seed clique-ish chain; every later
+        // vertex adds m edges
+        let m = self.edges_per_vertex;
+        m + (self.vertices - m - 1) * m
+    }
+
+    /// Generate the directed edge list. Preferential attachment is
+    /// inherently sequential, so unlike RMAT this materializes centrally;
+    /// the scales used by the experiments (<= 2^20 vertices) make that
+    /// cheap.
+    pub fn edges(&self, seed: u64) -> Vec<Edge> {
+        let m = self.edges_per_vertex as usize;
+        let n = self.vertices;
+        let mut rng = StreamRng::new(seed, 0xBA);
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.num_edges() as usize);
+        // endpoint multiset: picking uniformly from it = degree-proportional
+        let mut endpoints: Vec<u64> = Vec::with_capacity(2 * self.num_edges() as usize);
+
+        // seed: a chain over vertices 0..=m so every vertex has degree >= 1
+        for v in 1..=(m as u64) {
+            edges.push(Edge::new(v, v - 1));
+            endpoints.push(v);
+            endpoints.push(v - 1);
+        }
+        for v in (m as u64 + 1)..n {
+            for _ in 0..m {
+                let target = endpoints[rng.next_below(endpoints.len() as u64) as usize];
+                edges.push(Edge::new(v, target));
+                endpoints.push(v);
+                endpoints.push(target);
+            }
+        }
+
+        // optional rewire: each target replaced by a uniform vertex with
+        // probability `rewire_probability` (self-loops re-drawn)
+        if self.rewire_probability > 0.0 {
+            for e in edges.iter_mut() {
+                if rng.next_f64() < self.rewire_probability {
+                    let mut t = rng.next_below(n);
+                    while t == e.src {
+                        t = rng.next_below(n);
+                    }
+                    e.dst = t;
+                }
+            }
+        }
+
+        if self.permute_labels {
+            let perm = RandomPermutation::new(n, seed ^ 0x9A_5EED);
+            for e in edges.iter_mut() {
+                e.src = perm.apply(e.src);
+                e.dst = perm.apply(e.dst);
+            }
+        }
+        edges
+    }
+
+    /// Symmetrized edge list for undirected algorithms.
+    pub fn symmetric_edges(&self, seed: u64) -> Vec<Edge> {
+        let mut es = self.edges(seed);
+        symmetrize(&mut es);
+        es
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_degree(edges: &[Edge], n: u64) -> u64 {
+        let mut deg = vec![0u64; n as usize];
+        for e in edges {
+            deg[e.src as usize] += 1;
+            deg[e.dst as usize] += 1;
+        }
+        deg.into_iter().max().unwrap()
+    }
+
+    #[test]
+    fn edge_count_matches() {
+        let g = PaGenerator::new(1000, 4);
+        assert_eq!(g.edges(1).len() as u64, g.num_edges());
+    }
+
+    #[test]
+    fn endpoints_in_range_no_self_loops_after_rewire() {
+        let g = PaGenerator::new(500, 3).with_rewire(0.5);
+        for e in g.edges(2) {
+            assert!(e.src < 500 && e.dst < 500);
+        }
+    }
+
+    #[test]
+    fn pure_pa_has_hubs() {
+        let g = PaGenerator::new(4096, 4);
+        let edges = g.edges(7);
+        let mean = 2.0 * edges.len() as f64 / 4096.0;
+        let max = max_degree(&edges, 4096);
+        assert!(max as f64 > 8.0 * mean, "PA should grow hubs: max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn rewire_shrinks_max_degree() {
+        let base = PaGenerator::new(4096, 4);
+        let pure = max_degree(&base.edges(7), 4096);
+        let mixed = max_degree(&base.with_rewire(0.5).edges(7), 4096);
+        let random = max_degree(&base.with_rewire(1.0).edges(7), 4096);
+        assert!(pure > mixed, "rewire must dilute hubs: {pure} vs {mixed}");
+        assert!(mixed > random, "more rewire, smaller hubs: {mixed} vs {random}");
+    }
+
+    #[test]
+    fn every_vertex_touched() {
+        let g = PaGenerator::new(300, 2);
+        let mut deg = vec![0u64; 300];
+        for e in g.edges(3) {
+            deg[e.src as usize] += 1;
+            deg[e.dst as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d > 0), "PA attaches every vertex");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = PaGenerator::new(200, 3).with_rewire(0.2);
+        assert_eq!(g.edges(9), g.edges(9));
+        assert_ne!(g.edges(9), g.edges(10));
+    }
+}

@@ -1,0 +1,151 @@
+//! Uniform pseudorandom vertex relabeling.
+//!
+//! The paper permutes all vertex labels after generation to destroy locality
+//! artifacts from the generators. Rather than materializing a permutation
+//! vector (which would cost O(V) memory per rank), this is a keyed Feistel
+//! network over the smallest power-of-two domain covering `n`, with
+//! cycle-walking to stay inside `[0, n)` — a bijection computable in O(1)
+//! from any rank, which keeps generation embarrassingly parallel.
+
+use super::splitmix64;
+
+/// A keyed bijection on `[0, n)`.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomPermutation {
+    n: u64,
+    half_bits: u32,
+    half_mask: u64,
+    keys: [u64; 4],
+}
+
+impl RandomPermutation {
+    /// Identity permutation (used when callers disable relabeling).
+    pub fn identity(n: u64) -> Self {
+        Self { n, half_bits: 0, half_mask: 0, keys: [0; 4] }
+    }
+
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "empty permutation domain");
+        if n == 1 {
+            return Self::identity(1);
+        }
+        // domain = [0, 2^(2*half_bits)), the smallest even-bit power of two >= n
+        let bits = 64 - (n - 1).leading_zeros();
+        let half_bits = bits.div_ceil(2);
+        let keys = [
+            splitmix64(seed ^ 0xA076_1D64_78BD_642F),
+            splitmix64(seed ^ 0xE703_7ED1_A0B4_28DB),
+            splitmix64(seed ^ 0x8EBC_6AF0_9C88_C6E3),
+            splitmix64(seed ^ 0x5899_65CC_7537_4CC3),
+        ];
+        Self { n, half_bits, half_mask: (1u64 << half_bits) - 1, keys }
+    }
+
+    #[inline]
+    fn round(&self, r: u64, key: u64) -> u64 {
+        splitmix64(r ^ key) & self.half_mask
+    }
+
+    #[inline]
+    fn feistel(&self, x: u64) -> u64 {
+        let mut l = x >> self.half_bits;
+        let mut r = x & self.half_mask;
+        for &k in &self.keys {
+            let nl = r;
+            let nr = l ^ self.round(r, k);
+            l = nl;
+            r = nr;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// Apply the permutation to `x < n`.
+    #[inline]
+    pub fn apply(&self, x: u64) -> u64 {
+        debug_assert!(x < self.n, "permutation input {x} out of domain {}", self.n);
+        if self.half_bits == 0 {
+            return x; // identity
+        }
+        // cycle-walk: the Feistel network permutes the power-of-two superset;
+        // iterate until we land back inside [0, n). Expected < 4 steps since
+        // the superset is < 4x n.
+        let mut y = self.feistel(x);
+        while y >= self.n {
+            y = self.feistel(y);
+        }
+        y
+    }
+
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijection(n: u64, seed: u64) {
+        let p = RandomPermutation::new(n, seed);
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = p.apply(x);
+            assert!(y < n, "n={n} x={x} -> {y}");
+            assert!(!seen[y as usize], "collision at n={n} x={x} -> {y}");
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn bijection_various_sizes() {
+        for n in [1u64, 2, 3, 5, 16, 17, 100, 1000, 4096, 5000] {
+            assert_bijection(n, 42);
+        }
+    }
+
+    #[test]
+    fn bijection_various_seeds() {
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+            assert_bijection(257, seed);
+        }
+    }
+
+    #[test]
+    fn seeds_give_different_permutations() {
+        let a = RandomPermutation::new(1000, 1);
+        let b = RandomPermutation::new(1000, 2);
+        let diff = (0..1000).filter(|&x| a.apply(x) != b.apply(x)).count();
+        assert!(diff > 900, "only {diff} positions differ");
+    }
+
+    #[test]
+    fn permutation_actually_scrambles() {
+        let p = RandomPermutation::new(1 << 16, 9);
+        // adjacent inputs should land far apart on average
+        let mut adjacent_close = 0;
+        for x in 0..1000u64 {
+            let d = p.apply(x).abs_diff(p.apply(x + 1));
+            if d < 16 {
+                adjacent_close += 1;
+            }
+        }
+        assert!(adjacent_close < 10, "{adjacent_close} adjacent pairs stayed close");
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let p = RandomPermutation::identity(50);
+        for x in 0..50 {
+            assert_eq!(p.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = RandomPermutation::new(999, 5);
+        let b = RandomPermutation::new(999, 5);
+        for x in 0..999 {
+            assert_eq!(a.apply(x), b.apply(x));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! RMAT scale-free graph generator (Chakrabarti et al.), with the Graph500
+//! parameterization the paper uses: `A = 0.57, B = 0.19, C = 0.19, D = 0.05`,
+//! edge factor 16, vertex labels uniformly permuted after generation.
+//!
+//! Every edge is generated from an independent counter-based random stream,
+//! so rank `r` of a simulated world can produce exactly its slice of the
+//! edge list without coordination — the distributed analogue of the
+//! Graph500 parallel generator.
+
+use super::permute::RandomPermutation;
+use super::StreamRng;
+use crate::types::Edge;
+
+/// RMAT generator description.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatGenerator {
+    pub scale: u32,
+    /// Directed edges generated = edge_factor * 2^scale.
+    pub edge_factor: u64,
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Uniformly permute vertex labels (paper default: on).
+    pub permute_labels: bool,
+}
+
+impl RmatGenerator {
+    /// The Graph500 V1.2 parameterization used throughout the paper.
+    pub fn graph500(scale: u32) -> Self {
+        Self { scale, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, permute_labels: true }
+    }
+
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of *directed* edges the generator emits (before
+    /// symmetrization).
+    pub fn num_edges(&self) -> u64 {
+        self.edge_factor << self.scale
+    }
+
+    fn permutation(&self, seed: u64) -> RandomPermutation {
+        if self.permute_labels {
+            RandomPermutation::new(self.num_vertices(), seed ^ 0x05EE_D0F1_ABE1)
+        } else {
+            RandomPermutation::identity(self.num_vertices())
+        }
+    }
+
+    /// Generate edge `index` (independent of all others).
+    pub fn edge_at(&self, seed: u64, index: u64) -> Edge {
+        let perm = self.permutation(seed);
+        self.edge_at_with(&perm, seed, index)
+    }
+
+    #[inline]
+    fn edge_at_with(&self, perm: &RandomPermutation, seed: u64, index: u64) -> Edge {
+        let mut rng = StreamRng::new(seed, index);
+        let mut src = 0u64;
+        let mut dst = 0u64;
+        for _ in 0..self.scale {
+            src <<= 1;
+            dst <<= 1;
+            let u = rng.next_f64();
+            if u < self.a {
+                // quadrant A: (0, 0)
+            } else if u < self.a + self.b {
+                dst |= 1;
+            } else if u < self.a + self.b + self.c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        Edge::new(perm.apply(src), perm.apply(dst))
+    }
+
+    /// Stream a contiguous range of the directed edge list.
+    pub fn edges_range(&self, seed: u64, range: std::ops::Range<u64>) -> impl Iterator<Item = Edge> + '_ {
+        let perm = self.permutation(seed);
+        range.map(move |i| self.edge_at_with(&perm, seed, i))
+    }
+
+    /// All directed edges.
+    pub fn edges(&self, seed: u64) -> Vec<Edge> {
+        self.edges_range(seed, 0..self.num_edges()).collect()
+    }
+
+    /// All edges, symmetrized for undirected algorithms (both directions,
+    /// self-loops kept single).
+    pub fn symmetric_edges(&self, seed: u64) -> Vec<Edge> {
+        let mut es = self.edges(seed);
+        crate::types::symmetrize(&mut es);
+        es
+    }
+
+    /// The slice of the directed edge list assigned to `rank` of `ranks`
+    /// (contiguous even split, the input each simulated rank generates
+    /// locally).
+    pub fn edges_for_rank(&self, seed: u64, rank: usize, ranks: usize) -> Vec<Edge> {
+        let m = self.num_edges();
+        let lo = m * rank as u64 / ranks as u64;
+        let hi = m * (rank as u64 + 1) / ranks as u64;
+        self.edges_range(seed, lo..hi).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_spec() {
+        let g = RmatGenerator::graph500(8);
+        assert_eq!(g.num_vertices(), 256);
+        assert_eq!(g.num_edges(), 16 * 256);
+        assert_eq!(g.edges(1).len() as u64, g.num_edges());
+    }
+
+    #[test]
+    fn deterministic_and_independent_indexing() {
+        let g = RmatGenerator::graph500(6);
+        let all = g.edges(99);
+        for i in [0u64, 1, 500, 1023] {
+            assert_eq!(g.edge_at(99, i), all[i as usize]);
+        }
+    }
+
+    #[test]
+    fn rank_slices_tile_the_edge_list() {
+        let g = RmatGenerator::graph500(6);
+        let all = g.edges(5);
+        let mut stitched = Vec::new();
+        for r in 0..7 {
+            stitched.extend(g.edges_for_rank(5, r, 7));
+        }
+        assert_eq!(stitched, all);
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        let g = RmatGenerator::graph500(7);
+        for e in g.edges(3) {
+            assert!(e.src < 128 && e.dst < 128);
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // RMAT must produce hubs: max degree far above the mean.
+        let g = RmatGenerator::graph500(12);
+        let mut deg = vec![0u64; g.num_vertices() as usize];
+        for e in g.edges(7) {
+            deg[e.src as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max as f64 > 8.0 * mean,
+            "expected hub growth: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn permutation_destroys_block_structure() {
+        // Without permutation, RMAT concentrates sources in low ids; with
+        // permutation, the low-id half should hold roughly half the edges.
+        let mut g = RmatGenerator::graph500(10);
+        g.permute_labels = false;
+        let low_raw = g.edges(11).iter().filter(|e| e.src < 512).count();
+        g.permute_labels = true;
+        let low_perm = g.edges(11).iter().filter(|e| e.src < 512).count();
+        let m = g.num_edges() as f64;
+        assert!(low_raw as f64 / m > 0.65, "raw RMAT should skew low: {low_raw}");
+        assert!(
+            (low_perm as f64 / m - 0.5).abs() < 0.1,
+            "permuted labels should be uniform: {low_perm}"
+        );
+    }
+
+    #[test]
+    fn symmetric_edges_contains_both_directions() {
+        let g = RmatGenerator::graph500(5);
+        let sym = g.symmetric_edges(2);
+        use std::collections::HashSet;
+        let set: HashSet<(u64, u64)> = sym.iter().map(|e| e.key()).collect();
+        for e in g.edges(2) {
+            assert!(set.contains(&(e.src, e.dst)));
+            if !e.is_self_loop() {
+                assert!(set.contains(&(e.dst, e.src)));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = RmatGenerator::graph500(6);
+        assert_ne!(g.edges(1), g.edges(2));
+    }
+}

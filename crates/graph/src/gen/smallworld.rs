@@ -1,0 +1,192 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Uniform vertex degree with a rewire probability interpolating between a
+//! ring lattice (rewire 0: huge diameter, no hubs) and a random graph
+//! (rewire 1: logarithmic diameter). The paper uses this model to isolate
+//! topological effects: diameter for BFS (Figure 10) and the absence of hub
+//! growth for triangle-count weak scaling (Figure 7).
+//!
+//! Generation is counter-based per lattice edge, so ranks can generate
+//! their slices independently.
+
+use super::permute::RandomPermutation;
+use super::StreamRng;
+use crate::types::{symmetrize, Edge};
+
+#[derive(Clone, Copy, Debug)]
+pub struct SmallWorldGenerator {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Lattice degree `k` (must be even): each vertex links to its k/2
+    /// clockwise neighbors; symmetrization yields uniform degree k.
+    pub degree: u64,
+    /// Probability each lattice edge is rewired to a uniform random target.
+    pub rewire_probability: f64,
+    pub permute_labels: bool,
+}
+
+impl SmallWorldGenerator {
+    pub fn new(vertices: u64, degree: u64) -> Self {
+        assert!(degree.is_multiple_of(2), "small-world degree must be even");
+        assert!(degree < vertices, "degree must be below vertex count");
+        Self { vertices, degree, rewire_probability: 0.0, permute_labels: true }
+    }
+
+    pub fn with_rewire(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.rewire_probability = p;
+        self
+    }
+
+    /// Number of directed lattice edges (before symmetrization).
+    pub fn num_edges(&self) -> u64 {
+        self.vertices * self.degree / 2
+    }
+
+    /// Generate lattice edge `index` (independent of all others).
+    pub fn edge_at(&self, seed: u64, index: u64) -> Edge {
+        let half = self.degree / 2;
+        let v = index / half;
+        let j = index % half + 1; // neighbor distance 1..=k/2
+        let mut rng = StreamRng::new(seed, index);
+        let dst = if self.rewire_probability > 0.0 && rng.next_f64() < self.rewire_probability {
+            let mut t = rng.next_below(self.vertices);
+            while t == v {
+                t = rng.next_below(self.vertices);
+            }
+            t
+        } else {
+            (v + j) % self.vertices
+        };
+        if self.permute_labels {
+            let perm = RandomPermutation::new(self.vertices, seed ^ 0x5111_5EED);
+            Edge::new(perm.apply(v), perm.apply(dst))
+        } else {
+            Edge::new(v, dst)
+        }
+    }
+
+    /// Stream a contiguous range of the directed edge list.
+    pub fn edges_range(&self, seed: u64, range: std::ops::Range<u64>) -> impl Iterator<Item = Edge> + '_ {
+        // hoist the permutation out of the per-edge path
+        let perm = if self.permute_labels {
+            RandomPermutation::new(self.vertices, seed ^ 0x5111_5EED)
+        } else {
+            RandomPermutation::identity(self.vertices)
+        };
+        let half = self.degree / 2;
+        range.map(move |index| {
+            let v = index / half;
+            let j = index % half + 1;
+            let mut rng = StreamRng::new(seed, index);
+            let dst = if self.rewire_probability > 0.0 && rng.next_f64() < self.rewire_probability {
+                let mut t = rng.next_below(self.vertices);
+                while t == v {
+                    t = rng.next_below(self.vertices);
+                }
+                t
+            } else {
+                (v + j) % self.vertices
+            };
+            Edge::new(perm.apply(v), perm.apply(dst))
+        })
+    }
+
+    pub fn edges(&self, seed: u64) -> Vec<Edge> {
+        self.edges_range(seed, 0..self.num_edges()).collect()
+    }
+
+    pub fn symmetric_edges(&self, seed: u64) -> Vec<Edge> {
+        let mut es = self.edges(seed);
+        symmetrize(&mut es);
+        es
+    }
+
+    /// Rank `rank`'s contiguous slice of the directed edge list.
+    pub fn edges_for_rank(&self, seed: u64, rank: usize, ranks: usize) -> Vec<Edge> {
+        let m = self.num_edges();
+        let lo = m * rank as u64 / ranks as u64;
+        let hi = m * (rank as u64 + 1) / ranks as u64;
+        self.edges_range(seed, lo..hi).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_structure_without_rewire() {
+        let mut g = SmallWorldGenerator::new(10, 4);
+        g.permute_labels = false;
+        let edges = g.edges(1);
+        assert_eq!(edges.len(), 20);
+        // vertex 0 connects to 1 and 2
+        assert!(edges.contains(&Edge::new(0, 1)));
+        assert!(edges.contains(&Edge::new(0, 2)));
+        // ring wraps
+        assert!(edges.contains(&Edge::new(9, 0)));
+        assert!(edges.contains(&Edge::new(9, 1)));
+    }
+
+    #[test]
+    fn uniform_degree_after_symmetrization() {
+        let g = SmallWorldGenerator::new(100, 6);
+        let mut deg = vec![0u64; 100];
+        for e in g.symmetric_edges(2) {
+            deg[e.src as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d == 6), "rewire 0 must give uniform degree");
+    }
+
+    #[test]
+    fn rewire_preserves_edge_count() {
+        let g = SmallWorldGenerator::new(256, 8).with_rewire(0.3);
+        assert_eq!(g.edges(3).len() as u64, g.num_edges());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = SmallWorldGenerator::new(64, 4).with_rewire(1.0);
+        assert!(g.edges(4).iter().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    fn edge_at_matches_range() {
+        let g = SmallWorldGenerator::new(128, 4).with_rewire(0.25);
+        let all = g.edges(9);
+        for i in [0u64, 5, 100, 255] {
+            assert_eq!(g.edge_at(9, i), all[i as usize]);
+        }
+    }
+
+    #[test]
+    fn rank_slices_tile() {
+        let g = SmallWorldGenerator::new(64, 4).with_rewire(0.1);
+        let all = g.edges(6);
+        let mut stitched = Vec::new();
+        for r in 0..5 {
+            stitched.extend(g.edges_for_rank(6, r, 5));
+        }
+        assert_eq!(stitched, all);
+    }
+
+    #[test]
+    fn rewire_fraction_tracks_probability() {
+        let mut g = SmallWorldGenerator::new(10_000, 4).with_rewire(0.2);
+        g.permute_labels = false;
+        let half = 2;
+        let rewired = g
+            .edges(11)
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                let v = *i as u64 / half;
+                let j = *i as u64 % half + 1;
+                e.dst != (v + j) % 10_000
+            })
+            .count();
+        let frac = rewired as f64 / g.num_edges() as f64;
+        assert!((frac - 0.2).abs() < 0.02, "rewire fraction {frac}");
+    }
+}

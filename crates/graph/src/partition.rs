@@ -1,0 +1,165 @@
+//! Partition assignment functions and the imbalance metric of Figure 2.
+//!
+//! Three ways to place a directed edge list onto `p` partitions:
+//!
+//! - **1D**: vertices are split into `p` contiguous blocks; an edge lives
+//!   with its source's block. A hub's entire adjacency list lands on one
+//!   partition, so imbalance grows with hub size (Figure 2's upper curve).
+//! - **2D**: the adjacency matrix is tiled by a `sqrt(p) x sqrt(p)` process
+//!   grid; an edge lives at (source block row, target block column). Hubs
+//!   are spread over `O(sqrt(p))` partitions (Figure 2's lower curve).
+//! - **Edge-list**: the globally source-sorted edge list is split evenly;
+//!   imbalance is 1 by construction (the paper's contribution).
+//!
+//! These assignment functions are used both by the Figure 2 experiment
+//! (imbalance only, no graph built) and by [`crate::dist::DistGraph`].
+
+use crate::types::Edge;
+
+/// 1D block owner of vertex `v` among `p` partitions over `n` vertices.
+/// Exact dual of [`block_start`]: `block_owner(v) == r` iff
+/// `block_start(r) <= v < block_start(r + 1)`.
+#[inline]
+pub fn block_owner(v: u64, n: u64, p: usize) -> usize {
+    debug_assert!(v < n);
+    (((v as u128 + 1) * p as u128 - 1) / n as u128) as usize
+}
+
+/// First vertex of 1D block `r` (`floor(n * r / p)`).
+#[inline]
+pub fn block_start(r: usize, n: u64, p: usize) -> u64 {
+    (n as u128 * r as u128 / p as u128) as u64
+}
+
+/// 1D partition of an edge: the source vertex's block.
+#[inline]
+pub fn one_d_partition(e: Edge, n: u64, p: usize) -> usize {
+    block_owner(e.src, n, p)
+}
+
+/// Process-grid dimensions for 2D partitioning: the squarest factorization.
+pub fn grid_dims(p: usize) -> (usize, usize) {
+    let mut best = 1;
+    let mut r = 1;
+    while r * r <= p {
+        if p.is_multiple_of(r) {
+            best = r;
+        }
+        r += 1;
+    }
+    (best, p / best)
+}
+
+/// 2D partition of an edge: `(source row block, target column block)` on an
+/// `rows x cols` process grid.
+#[inline]
+pub fn two_d_partition(e: Edge, n: u64, rows: usize, cols: usize) -> usize {
+    let r = block_owner(e.src, n, rows);
+    let c = block_owner(e.dst, n, cols);
+    r * cols + c
+}
+
+/// Edge counts per partition under an arbitrary assignment.
+pub fn partition_histogram(
+    edges: impl Iterator<Item = Edge>,
+    p: usize,
+    assign: impl Fn(Edge) -> usize,
+) -> Vec<u64> {
+    let mut h = vec![0u64; p];
+    for e in edges {
+        h[assign(e)] += 1;
+    }
+    h
+}
+
+/// The paper's imbalance metric: max edges per partition / mean edges per
+/// partition. 1.0 is perfect balance.
+pub fn imbalance(histogram: &[u64]) -> f64 {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / histogram.len() as f64;
+    *histogram.iter().max().unwrap() as f64 / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::rmat::RmatGenerator;
+
+    #[test]
+    fn block_owner_tiles_evenly() {
+        let n = 100;
+        let p = 7;
+        let mut counts = vec![0u64; p];
+        for v in 0..n {
+            let r = block_owner(v, n, p);
+            assert!(r < p);
+            counts[r] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1, "blocks must differ by at most one: {counts:?}");
+        // blocks are contiguous & monotone
+        for v in 1..n {
+            assert!(block_owner(v, n, p) >= block_owner(v - 1, n, p));
+        }
+    }
+
+    #[test]
+    fn block_start_inverts_owner() {
+        let n = 1000;
+        let p = 13;
+        for r in 0..p {
+            let s = block_start(r, n, p);
+            assert_eq!(block_owner(s, n, p), r);
+            if s > 0 {
+                assert_eq!(block_owner(s - 1, n, p), r - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_dims_factor() {
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(12), (3, 4));
+        assert_eq!(grid_dims(7), (1, 7));
+    }
+
+    #[test]
+    fn imbalance_of_uniform_is_one() {
+        assert!((imbalance(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&[]) - 1.0).abs() < 1e-12 || imbalance(&[0]) == 1.0);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        assert!((imbalance(&[30, 0, 0]) - 3.0).abs() < 1e-12);
+    }
+
+    /// The paper's Figure 2 claim in miniature: on RMAT graphs, 1D imbalance
+    /// exceeds 2D imbalance, which exceeds edge-list imbalance (~1).
+    #[test]
+    fn figure2_ordering_holds_on_rmat() {
+        let g = RmatGenerator::graph500(12);
+        let n = g.num_vertices();
+        let p = 16;
+        let edges = g.edges(42);
+
+        let h1 = partition_histogram(edges.iter().copied(), p, |e| one_d_partition(e, n, p));
+        let (rows, cols) = grid_dims(p);
+        let h2 =
+            partition_histogram(edges.iter().copied(), p, |e| two_d_partition(e, n, rows, cols));
+        // edge-list partitioning: even by construction
+        let m = edges.len() as u64;
+        let hel: Vec<u64> = (0..p as u64).map(|r| m * (r + 1) / p as u64 - m * r / p as u64).collect();
+
+        let i1 = imbalance(&h1);
+        let i2 = imbalance(&h2);
+        let iel = imbalance(&hel);
+        assert!(i1 > i2, "1D ({i1:.2}) should be worse than 2D ({i2:.2})");
+        assert!(i2 > iel, "2D ({i2:.2}) should be worse than edge-list ({iel:.6})");
+        assert!(iel < 1.001, "edge-list is even by construction");
+    }
+}

@@ -1,0 +1,192 @@
+//! Distributed sample sort of edge lists.
+//!
+//! Edge-list partitioning (Section III-A1) requires the global edge list to
+//! be sorted by source vertex and split into exactly even contiguous
+//! partitions. The paper notes this is "not an onerous requirement" because
+//! distributed sorting is a solved problem; this module supplies that
+//! solution for the simulated world: a classic sample sort (local sort,
+//! splitter selection from gathered samples, all-to-all bucket exchange)
+//! followed by an exact rebalance so rank `r` holds edges
+//! `[r*E/p, (r+1)*E/p)` of the global sorted order.
+
+use havoq_comm::RankCtx;
+
+use crate::types::Edge;
+
+/// Oversampling factor for splitter selection.
+const OVERSAMPLE: usize = 8;
+
+/// Sort the distributed edge list by `(src, dst)` and rebalance so every
+/// rank ends with exactly its `[r*E/p, (r+1)*E/p)` slice of the global
+/// order. Collective: every rank passes its local slice.
+pub fn sort_edges_even(ctx: &RankCtx, mut local: Vec<Edge>) -> Vec<Edge> {
+    let p = ctx.size();
+    local.sort_unstable_by_key(|e| e.key());
+    if p == 1 {
+        return local;
+    }
+
+    // 1. splitter selection from gathered regular samples
+    let want = (p * OVERSAMPLE).min(local.len().max(1));
+    let samples: Vec<Edge> = (0..want)
+        .filter_map(|i| {
+            if local.is_empty() {
+                None
+            } else {
+                Some(local[i * local.len() / want])
+            }
+        })
+        .collect();
+    let mut all_samples: Vec<Edge> =
+        ctx.all_gather(samples).into_iter().flatten().collect();
+    all_samples.sort_unstable_by_key(|e| e.key());
+    let splitters: Vec<Edge> = (1..p)
+        .map(|i| {
+            if all_samples.is_empty() {
+                Edge::new(u64::MAX, u64::MAX)
+            } else {
+                all_samples[i * all_samples.len() / p]
+            }
+        })
+        .collect();
+
+    // 2. bucket by splitter and exchange
+    let mut buckets: Vec<Vec<Edge>> = (0..p).map(|_| Vec::new()).collect();
+    {
+        let mut b = 0usize;
+        for e in local.drain(..) {
+            while b < p - 1 && e.key() >= splitters[b].key() {
+                b += 1;
+            }
+            buckets[b].push(e);
+        }
+    }
+    let incoming = ctx.all_to_allv(buckets);
+
+    // 3. merge: each incoming run is sorted; a full sort keeps it simple
+    let mut merged: Vec<Edge> = incoming.into_iter().flatten().collect();
+    merged.sort_unstable_by_key(|e| e.key());
+
+    rebalance_sorted(ctx, merged)
+}
+
+/// Given globally sorted but unevenly distributed runs (rank order = global
+/// order), move edges so rank `r` holds exactly `[r*E/p, (r+1)*E/p)`.
+fn rebalance_sorted(ctx: &RankCtx, local: Vec<Edge>) -> Vec<Edge> {
+    let p = ctx.size();
+    let counts = ctx.all_gather(local.len() as u64);
+    let total: u64 = counts.iter().sum();
+    let my_start: u64 = counts[..ctx.rank()].iter().sum();
+
+    let target_lo = |r: usize| total * r as u64 / p as u64;
+
+    // slice my run by the target boundaries and ship each piece
+    let mut outgoing: Vec<Vec<Edge>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, e) in local.into_iter().enumerate() {
+        let g = my_start + i as u64;
+        // destination rank: the r with target_lo(r) <= g < target_lo(r+1)
+        let r = ((g as u128 * p as u128) / total.max(1) as u128) as usize;
+        // integer floor division can land one off around boundaries; fix up
+        let r = fixup_target(r, g, total, p, target_lo);
+        outgoing[r].push(e);
+    }
+    let incoming = ctx.all_to_allv(outgoing);
+    // pieces from ascending source ranks are ascending slices of the global
+    // order, so concatenation in rank order is already sorted
+    incoming.into_iter().flatten().collect()
+}
+
+#[inline]
+fn fixup_target(
+    mut r: usize,
+    g: u64,
+    total: u64,
+    p: usize,
+    target_lo: impl Fn(usize) -> u64,
+) -> usize {
+    let _ = total;
+    while r + 1 < p && g >= target_lo(r + 1) {
+        r += 1;
+    }
+    while r > 0 && g < target_lo(r) {
+        r -= 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::rmat::RmatGenerator;
+    use havoq_comm::CommWorld;
+
+    fn check_sorted_even(p: usize, per_rank: impl Fn(usize) -> Vec<Edge> + Sync) {
+        let results = CommWorld::run(p, |ctx| {
+            let local = per_rank(ctx.rank());
+            let sorted = sort_edges_even(ctx, local);
+            (ctx.rank(), sorted)
+        });
+        let total: usize = results.iter().map(|(_, v)| v.len()).sum();
+        // exact even split
+        for (r, v) in &results {
+            let lo = total * r / p;
+            let hi = total * (r + 1) / p;
+            assert_eq!(v.len(), hi - lo, "rank {r} holds wrong share");
+        }
+        // concatenation globally sorted
+        let all: Vec<Edge> = results.into_iter().flat_map(|(_, v)| v).collect();
+        assert!(all.windows(2).all(|w| w[0].key() <= w[1].key()), "not globally sorted");
+    }
+
+    #[test]
+    fn sorts_rmat_slices() {
+        let g = RmatGenerator::graph500(8);
+        check_sorted_even(4, |r| g.edges_for_rank(3, r, 4));
+    }
+
+    #[test]
+    fn preserves_multiset() {
+        let g = RmatGenerator::graph500(7);
+        let p = 3;
+        let results = CommWorld::run(p, |ctx| {
+            sort_edges_even(ctx, g.edges_for_rank(5, ctx.rank(), p))
+        });
+        let mut got: Vec<Edge> = results.into_iter().flatten().collect();
+        let mut want = g.edges(5);
+        got.sort_unstable_by_key(|e| e.key());
+        want.sort_unstable_by_key(|e| e.key());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn handles_skewed_input() {
+        // all edges start on rank 0; many duplicate keys (hub pattern)
+        check_sorted_even(5, |r| {
+            if r == 0 {
+                (0..1000).map(|i| Edge::new(7, i % 13)).chain(
+                    (0..500).map(|i| Edge::new(i % 29, 7)),
+                ).collect()
+            } else {
+                Vec::new()
+            }
+        });
+    }
+
+    #[test]
+    fn handles_empty_world_input() {
+        check_sorted_even(3, |_| Vec::new());
+    }
+
+    #[test]
+    fn handles_fewer_edges_than_ranks() {
+        check_sorted_even(6, |r| if r == 2 { vec![Edge::new(5, 1), Edge::new(1, 2)] } else { Vec::new() });
+    }
+
+    #[test]
+    fn single_rank_is_local_sort() {
+        let out = CommWorld::run(1, |ctx| {
+            sort_edges_even(ctx, vec![Edge::new(3, 1), Edge::new(0, 2), Edge::new(3, 0)])
+        });
+        assert_eq!(out[0], vec![Edge::new(0, 2), Edge::new(3, 0), Edge::new(3, 1)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Core graph value types.
+
+use std::fmt;
+
+/// A global vertex identifier.
+///
+/// Identifiers are dense in `0..num_vertices`. The paper stores partition
+/// owner bits inside the identifier for O(1) `min_owner`; this reproduction
+/// uses the paper's stated alternative — an `O(lg p)` binary search over the
+/// replicated partition boundary table — which keeps identifiers plain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u64);
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+/// A directed edge. Undirected graphs are stored symmetrized (both
+/// directions present), exactly as the Graph500 CSR the paper uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    pub src: u64,
+    pub dst: u64,
+}
+
+impl Edge {
+    #[inline]
+    pub fn new(src: u64, dst: u64) -> Self {
+        Edge { src, dst }
+    }
+
+    /// The edge with endpoints swapped.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Edge { src: self.dst, dst: self.src }
+    }
+
+    #[inline]
+    pub fn is_self_loop(self) -> bool {
+        self.src == self.dst
+    }
+
+    /// Sort key used everywhere: by source, then target.
+    #[inline]
+    pub fn key(self) -> (u64, u64) {
+        (self.src, self.dst)
+    }
+}
+
+/// Append the reverse of every edge (symmetrization for undirected graphs).
+pub fn symmetrize(edges: &mut Vec<Edge>) {
+    let n = edges.len();
+    edges.reserve(n);
+    for i in 0..n {
+        let e = edges[i];
+        if !e.is_self_loop() {
+            edges.push(e.reversed());
+        }
+    }
+}
+
+/// Largest endpoint + 1 (the implied vertex-set size of an edge list).
+pub fn max_vertex(edges: &[Edge]) -> u64 {
+    edges.iter().map(|e| e.src.max(e.dst) + 1).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_helpers() {
+        let e = Edge::new(3, 7);
+        assert_eq!(e.reversed(), Edge::new(7, 3));
+        assert!(!e.is_self_loop());
+        assert!(Edge::new(5, 5).is_self_loop());
+        assert_eq!(e.key(), (3, 7));
+    }
+
+    #[test]
+    fn symmetrize_skips_self_loops() {
+        let mut es = vec![Edge::new(0, 1), Edge::new(2, 2)];
+        symmetrize(&mut es);
+        assert_eq!(es, vec![Edge::new(0, 1), Edge::new(2, 2), Edge::new(1, 0)]);
+    }
+
+    #[test]
+    fn max_vertex_of_empty_is_zero() {
+        assert_eq!(max_vertex(&[]), 0);
+        assert_eq!(max_vertex(&[Edge::new(0, 9)]), 10);
+    }
+}

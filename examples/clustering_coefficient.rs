@@ -1,0 +1,62 @@
+//! Domain scenario: global clustering coefficient via distributed triangle
+//! counting.
+//!
+//! Triangle counting is the primitive the paper cites for clustering
+//! metrics (Watts–Strogatz). This example reproduces the classic
+//! small-world observation: as rewire probability rises, the clustering
+//! coefficient collapses long before the diameter does — computed entirely
+//! with the asynchronous triangle visitor of Algorithm 6 plus a BFS for the
+//! depth column.
+//!
+//! Usage: `cargo run --release --example clustering_coefficient [vertices] [ranks]`
+
+use havoq::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let vertices: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let ranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let degree = 12u64;
+
+    println!("== small-world clustering via triangle counting ==");
+    println!("graph:  Watts-Strogatz, {vertices} vertices, uniform degree {degree}");
+    println!("world:  {ranks} simulated ranks\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10}",
+        "rewire", "triangles", "clustering", "BFS depth", "visitors"
+    );
+
+    for rewire in [0.0, 0.01, 0.05, 0.1, 0.2, 0.4, 0.8] {
+        let gen = SmallWorldGenerator::new(vertices, degree).with_rewire(rewire);
+        let edges = gen.symmetric_edges(5);
+        let out = CommWorld::run(ranks, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let t = triangle_count(ctx, &g, &TriangleConfig::default());
+            let b = bfs(ctx, &g, VertexId(0), &BfsConfig::default());
+            let visitors = ctx.all_reduce_sum(t.stats.visitors_executed);
+            (t.triangles, b.max_level, visitors)
+        });
+        let (triangles, depth, visitors) = out[0];
+        // global clustering coefficient = 3 * triangles / open wedges;
+        // uniform degree k gives V * C(k, 2) wedges
+        let wedges = vertices as f64 * (degree * (degree - 1) / 2) as f64;
+        let clustering = 3.0 * triangles as f64 / wedges;
+        println!(
+            "{:>7.0}% {:>12} {:>12.4} {:>12} {:>10}",
+            rewire * 100.0,
+            triangles,
+            clustering,
+            depth,
+            visitors
+        );
+    }
+
+    println!("\nInterpretation: a few percent of rewiring collapses the BFS depth");
+    println!("(small-world effect) while clustering only degrades gradually —");
+    println!("the same topology lever the paper's Figures 7 and 10 exploit.");
+}

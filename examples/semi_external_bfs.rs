@@ -1,0 +1,73 @@
+//! Domain scenario: traversing a graph larger than DRAM from simulated
+//! node-local NVRAM (the paper's headline capability).
+//!
+//! The edge targets live behind the user-space page cache on a simulated
+//! NAND-Flash device (Fusion-io-like latency profile); CSR offsets and all
+//! algorithm state stay in memory — the semi-external design of Section
+//! VIII-A. The example compares a DRAM-resident run against NVRAM runs with
+//! shrinking cache budgets and reports the page-cache hit rates that make
+//! the modest slowdown possible.
+//!
+//! Usage: `cargo run --release --example semi_external_bfs [scale] [ranks]`
+
+use havoq::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(13);
+    let ranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let gen = RmatGenerator::graph500(scale);
+    let edges = gen.symmetric_edges(11);
+    let bytes_per_rank = edges.len() * 8 / ranks;
+
+    println!("== semi-external BFS: DRAM vs simulated NVRAM ==");
+    println!(
+        "graph:  RMAT scale {scale}, {} directed edges (~{} KiB of targets per rank)",
+        edges.len(),
+        bytes_per_rank / 1024
+    );
+    println!("world:  {ranks} ranks, Fusion-io latency profile on misses\n");
+
+    let run = |cfg: GraphConfig, label: &str| {
+        let out = CommWorld::run(ranks, |ctx| {
+            let g = DistGraph::build_replicated(ctx, &edges, PartitionStrategy::EdgeList, cfg);
+            let r = bfs(ctx, &g, VertexId(0), &BfsConfig::default());
+            let cache = g.csr().cache_stats();
+            (r.traversed_edges, r.elapsed, cache)
+        });
+        let (traversed, elapsed, cache) = &out[0];
+        let teps = *traversed as f64 / elapsed.as_secs_f64();
+        match cache {
+            None => println!("{label:<28} {:>10.2} MTEPS   (no cache: DRAM)", teps / 1e6),
+            Some(c) => println!(
+                "{label:<28} {:>10.2} MTEPS   hit rate {:>6.2}%  ({} misses)",
+                teps / 1e6,
+                100.0 * c.hit_rate(),
+                c.misses
+            ),
+        }
+        teps
+    };
+
+    let dram = run(GraphConfig::default(), "DRAM-resident");
+    // cache budgets as a fraction of the per-rank edge bytes
+    for denom in [2usize, 8, 32] {
+        let pages = (bytes_per_rank / 4096 / denom).max(8);
+        let cfg = GraphConfig::external(
+            DeviceProfile::fusion_io(),
+            PageCacheConfig { page_size: 4096, capacity_pages: pages, shards: 8, readahead_pages: 8, ..PageCacheConfig::default() },
+        );
+        let label = format!("NVRAM, cache = data/{denom}");
+        let teps = run(cfg, &label);
+        println!(
+            "{:<28} {:>9.0}% of DRAM performance",
+            "",
+            100.0 * teps / dram
+        );
+    }
+
+    println!("\nThe paper's Figure 9 shows the same shape at trillion-edge scale:");
+    println!("32x more data than DRAM at only a 39% TEPS penalty, because the");
+    println!("vertex-ordered visitor queue keeps adjacency reads page-local.");
+}

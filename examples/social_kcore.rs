@@ -1,0 +1,53 @@
+//! Domain scenario: k-core decomposition of a synthetic social network.
+//!
+//! The paper motivates k-core with social-science applications (Seidman's
+//! cohesion cores). Social graphs are scale-free, so we model one with
+//! preferential attachment, then peel cores of increasing k — exactly the
+//! workload of the paper's Figure 6 — and report the shrinking core sizes
+//! and the cascade sizes the asynchronous traversal processed.
+//!
+//! Usage: `cargo run --release --example social_kcore [vertices] [ranks]`
+
+use havoq::prelude::*;
+use havoq_core::algorithms::kcore::{kcore, KCoreConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let vertices: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1 << 14);
+    let ranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    println!("== social-network k-core decomposition ==");
+    println!("graph:  preferential attachment, {vertices} members, 8 links each");
+    println!("world:  {ranks} simulated ranks\n");
+
+    let gen = PaGenerator::new(vertices, 8);
+    let edges = gen.symmetric_edges(7);
+
+    println!("{:>6} {:>12} {:>14} {:>12} {:>10}", "k", "core size", "% of network", "visitors", "time");
+    for k in [2u64, 4, 8, 12, 16, 24, 32] {
+        let out = CommWorld::run(ranks, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let r = kcore(ctx, &g, k, &KCoreConfig::default());
+            let visitors = ctx.all_reduce_sum(r.stats.visitors_executed);
+            (r.alive_count, visitors, r.elapsed)
+        });
+        let (alive, visitors, elapsed) = out[0];
+        println!(
+            "{:>6} {:>12} {:>13.1}% {:>12} {:>9.0?}",
+            k,
+            alive,
+            100.0 * alive as f64 / vertices as f64,
+            visitors,
+            elapsed
+        );
+    }
+
+    println!("\nInterpretation: preferential attachment concentrates cohesion in an");
+    println!("old, densely-linked nucleus; raising k peels the sparse periphery in");
+    println!("recursive cascades (the dynamic removals of Algorithm 4).");
+}

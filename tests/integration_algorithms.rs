@@ -1,0 +1,168 @@
+//! Cross-crate integration for the full algorithm suite (k-core, triangle
+//! counting, connected components, SSSP) on all three generator families.
+
+use havoq::prelude::*;
+use havoq_core::algorithms::cc::{connected_components, CcConfig};
+use havoq_core::algorithms::kcore::{kcore, KCoreConfig};
+use havoq_core::algorithms::sssp::{sssp, SsspConfig};
+
+fn build_and<F, R>(p: usize, n: u64, edges: &[Edge], f: F) -> Vec<R>
+where
+    F: Fn(&havoq_comm::RankCtx, &DistGraph) -> R + Sync,
+    R: Send,
+{
+    CommWorld::run(p, |ctx| {
+        let g = DistGraph::build_replicated(
+            ctx,
+            edges,
+            PartitionStrategy::EdgeList,
+            GraphConfig::default().with_num_vertices(n),
+        );
+        f(ctx, &g)
+    })
+}
+
+/// Serial triangle reference.
+fn reference_triangles(n: u64, edges: &[Edge]) -> u64 {
+    use std::collections::HashSet;
+    let mut adj: Vec<HashSet<u64>> = vec![HashSet::new(); n as usize];
+    for e in edges {
+        if !e.is_self_loop() {
+            adj[e.src as usize].insert(e.dst);
+            adj[e.dst as usize].insert(e.src);
+        }
+    }
+    let mut count = 0;
+    for a in 0..n {
+        for &b in &adj[a as usize] {
+            if b <= a {
+                continue;
+            }
+            for &c in &adj[b as usize] {
+                if c > b && adj[a as usize].contains(&c) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[test]
+fn triangle_count_all_generators() {
+    let inputs: Vec<(&str, Vec<Edge>, u64)> = vec![
+        ("rmat", RmatGenerator::graph500(7).symmetric_edges(9), 1 << 7),
+        ("pa", PaGenerator::new(200, 4).with_rewire(0.2).symmetric_edges(8), 200),
+        ("smallworld", SmallWorldGenerator::new(150, 6).with_rewire(0.1).symmetric_edges(7), 150),
+    ];
+    for (name, edges, n) in inputs {
+        let want = reference_triangles(n, &edges);
+        let got = build_and(5, n, &edges, |ctx, g| {
+            triangle_count(ctx, g, &TriangleConfig::default()).triangles
+        });
+        assert!(got.iter().all(|&t| t == want), "{name}: {got:?} != {want}");
+    }
+}
+
+#[test]
+fn kcore_hierarchy_is_nested() {
+    // k-cores are nested: the (k+1)-core is a subgraph of the k-core
+    let gen = RmatGenerator::graph500(8);
+    let edges = gen.symmetric_edges(10);
+    let n = gen.num_vertices();
+    let sizes: Vec<u64> = [1u64, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&k| {
+            build_and(4, n, &edges, move |ctx, g| {
+                kcore(ctx, g, k, &KCoreConfig::default()).alive_count
+            })[0]
+        })
+        .collect();
+    assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "cores must be nested: {sizes:?}");
+}
+
+#[test]
+fn components_and_bfs_agree() {
+    // the component of the BFS source must have exactly the BFS-visited size
+    let gen = PaGenerator::new(500, 3).with_rewire(0.3);
+    let edges = gen.symmetric_edges(77);
+    let results = build_and(4, 500, &edges, |ctx, g| {
+        let b = bfs(ctx, g, VertexId(0), &BfsConfig::default());
+        let c = connected_components(ctx, g, &CcConfig::default());
+        // count vertices whose component label matches vertex 0's
+        let my_label: u64 = g
+            .local_vertices()
+            .filter(|&v| g.is_master(v) && v.0 == 0)
+            .map(|v| c.local_state[g.local_index(v)].component)
+            .next()
+            .unwrap_or(u64::MAX);
+        let label0 = ctx.all_reduce_min(my_label);
+        let local = g
+            .local_vertices()
+            .filter(|&v| g.is_master(v) && c.local_state[g.local_index(v)].component == label0)
+            .count() as u64;
+        (b.visited_count, ctx.all_reduce_sum(local), c.num_components)
+    });
+    for (visited, comp_size, _n_comp) in results {
+        assert_eq!(visited, comp_size);
+    }
+}
+
+#[test]
+fn sssp_distances_bounded_by_bfs_levels() {
+    // with weights in [1, W], dist(v) is between level(v) and W * level(v)
+    let gen = RmatGenerator::graph500(7);
+    let edges = gen.symmetric_edges(3);
+    let n = gen.num_vertices();
+    let cfg = SsspConfig::default();
+    let ok = build_and(3, n, &edges, |ctx, g| {
+        let b = bfs(ctx, g, VertexId(0), &BfsConfig::default());
+        let s = sssp(ctx, g, VertexId(0), &cfg);
+        let mut ok = true;
+        for v in g.local_vertices() {
+            if !g.is_master(v) {
+                continue;
+            }
+            let li = g.local_index(v);
+            let (lvl, dist) =
+                (b.local_state[li].length, s.local_state[li].distance);
+            match (lvl == u64::MAX, dist == u64::MAX) {
+                (true, true) => {}
+                (false, false) => {
+                    ok &= dist >= lvl && dist <= lvl.saturating_mul(cfg.max_weight)
+                }
+                _ => ok = false, // must agree on reachability
+            }
+        }
+        let _ = ctx.all_reduce_sum(0); // keep collective order aligned
+        ok
+    });
+    assert!(ok.iter().all(|&b| b));
+}
+
+#[test]
+fn ghost_filtering_reduces_network_payload() {
+    // hub-heavy graph: ghosts must cut the payload volume without changing
+    // the BFS result
+    let gen = RmatGenerator::graph500(10);
+    let edges = gen.symmetric_edges(123);
+    let n = gen.num_vertices();
+    let (with, without) = {
+        let w = build_and(6, n, &edges, |ctx, g| {
+            let r = bfs(ctx, g, VertexId(0), &BfsConfig::default().with_ghosts(256));
+            (r.visited_count, ctx.all_reduce_sum(r.stats.payload_sent))
+        });
+        let wo = build_and(6, n, &edges, |ctx, g| {
+            let r = bfs(ctx, g, VertexId(0), &BfsConfig::default().with_ghosts(0));
+            (r.visited_count, ctx.all_reduce_sum(r.stats.payload_sent))
+        });
+        (w[0], wo[0])
+    };
+    assert_eq!(with.0, without.0, "ghosts must not change reachability");
+    assert!(
+        with.1 < without.1,
+        "ghosts should reduce payload: {} vs {}",
+        with.1,
+        without.1
+    );
+}

@@ -1,0 +1,141 @@
+//! Integration coverage for the extension APIs through the public facade:
+//! Graph500 validation, core-number decomposition, wedge sampling, and the
+//! file-I/O + traversal pipeline.
+
+use havoq::prelude::*;
+use havoq_core::queue::TraversalConfig;
+use havoq_graph::io;
+
+#[test]
+fn validated_bfs_through_prelude() {
+    let edges = RmatGenerator::graph500(8).symmetric_edges(5);
+    let reports = CommWorld::run(4, |ctx| {
+        let g = DistGraph::build_replicated(
+            ctx,
+            &edges,
+            PartitionStrategy::EdgeList,
+            GraphConfig::default(),
+        );
+        let r = bfs(ctx, &g, VertexId(0), &BfsConfig::default());
+        validate_bfs(ctx, &g, VertexId(0), &r.local_state)
+    });
+    assert!(reports.iter().all(|r| r.is_valid()));
+}
+
+#[test]
+fn decomposition_bounds_individual_cores() {
+    // the k-core of any k <= max_core must equal the set of vertices with
+    // core number >= k
+    let edges = PaGenerator::new(400, 5).symmetric_edges(3);
+    let consistent = CommWorld::run(3, |ctx| {
+        let g = DistGraph::build_replicated(
+            ctx,
+            &edges,
+            PartitionStrategy::EdgeList,
+            GraphConfig::default(),
+        );
+        let d = kcore_decomposition(ctx, &g, &KCoreConfig::default());
+        let mut ok = true;
+        for k in [1u64, 2, d.max_core] {
+            let r = kcore(ctx, &g, k, &KCoreConfig::default());
+            let from_decomp: u64 = g
+                .local_vertices()
+                .filter(|&v| g.is_master(v) && d.core_numbers[g.local_index(v)] >= k)
+                .count() as u64;
+            ok &= ctx.all_reduce_sum(from_decomp) == r.alive_count;
+        }
+        ok
+    });
+    assert!(consistent.iter().all(|&b| b));
+}
+
+#[test]
+fn wedge_estimate_brackets_exact_count() {
+    let edges = SmallWorldGenerator::new(512, 8).with_rewire(0.05).symmetric_edges(4);
+    let out = CommWorld::run(4, |ctx| {
+        let g = DistGraph::build_replicated(
+            ctx,
+            &edges,
+            PartitionStrategy::EdgeList,
+            GraphConfig::default(),
+        );
+        let exact = triangle_count(ctx, &g, &TriangleConfig::default()).triangles;
+        let est = approx_clustering(ctx, &g, 50_000, 11, &TraversalConfig::default());
+        (exact, est.triangles_estimate)
+    });
+    let (exact, est) = out[0];
+    let rel = (est - exact as f64).abs() / exact as f64;
+    assert!(rel < 0.1, "estimate {est:.0} vs exact {exact}: rel {rel:.3}");
+}
+
+#[test]
+fn file_roundtrip_preserves_traversal_results() {
+    let gen = RmatGenerator::graph500(8);
+    let edges = gen.symmetric_edges(77);
+    let dir = std::env::temp_dir().join(format!("havoq-int-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.bin");
+    io::write_binary(&path, &edges).unwrap();
+
+    let direct = CommWorld::run(3, |ctx| {
+        let g = DistGraph::build_replicated(
+            ctx,
+            &edges,
+            PartitionStrategy::EdgeList,
+            GraphConfig::default(),
+        );
+        bfs(ctx, &g, VertexId(0), &BfsConfig::default()).visited_count
+    });
+    let total = io::binary_edge_count(&path).unwrap();
+    let path_ref = &path;
+    let from_file = CommWorld::run(3, |ctx| {
+        let lo = total * ctx.rank() as u64 / ctx.size() as u64;
+        let hi = total * (ctx.rank() as u64 + 1) / ctx.size() as u64;
+        let local = io::read_binary_slice(path_ref, lo, hi - lo).unwrap();
+        let g = DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default());
+        bfs(ctx, &g, VertexId(0), &BfsConfig::default()).visited_count
+    });
+    assert_eq!(direct[0], from_file[0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn readahead_is_result_neutral_and_reduces_device_reads() {
+    let gen = RmatGenerator::graph500(9);
+    let edges = gen.symmetric_edges(13);
+    // a source that certainly has edges (label permutation can isolate 0)
+    let source = edges[0].src;
+    let run = |readahead: usize| {
+        let out = CommWorld::run(2, |ctx| {
+            let cfg = GraphConfig::external(
+                DeviceProfile::dram(),
+                PageCacheConfig {
+                    page_size: 1024,
+                    capacity_pages: 16,
+                    shards: 4,
+                    readahead_pages: readahead,
+                    ..PageCacheConfig::default()
+                },
+            );
+            let g = DistGraph::build_replicated(ctx, &edges, PartitionStrategy::EdgeList, cfg);
+            let r = bfs(ctx, &g, VertexId(source), &BfsConfig::default());
+            let cache = g.csr().cache_stats().unwrap();
+            (
+                r.visited_count,
+                r.traversed_edges,
+                ctx.all_reduce_sum(cache.misses),
+                ctx.all_reduce_sum(cache.prefetches),
+            )
+        });
+        out[0]
+    };
+    let (v0, t0, misses0, pf0) = run(0);
+    let (v8, t8, misses8, pf8) = run(8);
+    assert_eq!((v0, t0), (v8, t8), "readahead must not change results");
+    assert_eq!(pf0, 0);
+    assert!(pf8 > 0, "readahead must actually prefetch");
+    assert!(
+        misses8 < misses0,
+        "prefetched pages should convert demand misses: {misses8} vs {misses0}"
+    );
+}

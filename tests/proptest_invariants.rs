@@ -1,0 +1,307 @@
+//! Property-based tests over the core data-structure invariants: the
+//! distributed sort, owner functions, CSR storage, page cache, and the
+//! visitor algorithms against serial references on arbitrary graphs.
+
+use proptest::prelude::*;
+
+use havoq::prelude::*;
+use havoq_core::algorithms::bfs::UNREACHED;
+use havoq_graph::gen::permute::RandomPermutation;
+use havoq_graph::sort::sort_edges_even;
+use havoq_nvram::device::BlockDevice;
+
+/// Arbitrary small symmetric graph: vertex count + undirected edge pairs.
+fn arb_graph() -> impl Strategy<Value = (u64, Vec<Edge>)> {
+    (2u64..60).prop_flat_map(|n| {
+        let edge = (0..n, 0..n).prop_map(|(a, b)| Edge::new(a, b));
+        proptest::collection::vec(edge, 0..200).prop_map(move |mut es| {
+            let m = es.len();
+            for i in 0..m {
+                let e = es[i];
+                if !e.is_self_loop() {
+                    es.push(e.reversed());
+                }
+            }
+            (n, es)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn permutation_is_a_bijection(n in 1u64..5000, seed in any::<u64>()) {
+        let p = RandomPermutation::new(n, seed);
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = p.apply(x);
+            prop_assert!(y < n);
+            prop_assert!(!seen[y as usize]);
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn distributed_sort_equals_serial_sort(
+        (n, edges) in arb_graph(),
+        p in 1usize..6,
+    ) {
+        let _ = n;
+        let sorted = CommWorld::run(p, |ctx| {
+            let m = edges.len();
+            let lo = m * ctx.rank() / p;
+            let hi = m * (ctx.rank() + 1) / p;
+            sort_edges_even(ctx, edges[lo..hi].to_vec())
+        });
+        let got: Vec<Edge> = sorted.into_iter().flatten().collect();
+        let mut want = edges.clone();
+        want.sort_unstable_by_key(|e| e.key());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn owner_functions_tile_every_vertex(
+        (n, edges) in arb_graph(),
+        p in 1usize..6,
+    ) {
+        let checks = CommWorld::run(p, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            let mut ok = true;
+            for v in 0..n {
+                let v = VertexId(v);
+                let (mn, mx) = (g.min_owner(v), g.max_owner(v));
+                ok &= mn <= mx && mx < p;
+                // this rank holds v iff it is inside the owner chain
+                ok &= g.is_local(v) == (mn..=mx).contains(&ctx.rank());
+            }
+            // masters are unique
+            let masters: u64 = (0..n).filter(|&v| g.is_master(VertexId(v))).count() as u64;
+            (ok, ctx.all_reduce_sum(masters))
+        });
+        for (ok, master_total) in checks {
+            prop_assert!(ok);
+            prop_assert_eq!(master_total, n);
+        }
+    }
+
+    #[test]
+    fn distributed_bfs_equals_serial_bfs(
+        (n, edges) in arb_graph(),
+        p in 1usize..6,
+        source in 0u64..60,
+        ghosts in 0usize..32,
+    ) {
+        let source = source % n;
+        // serial reference
+        let mut adj = vec![Vec::new(); n as usize];
+        for e in &edges {
+            if !e.is_self_loop() {
+                adj[e.src as usize].push(e.dst);
+            }
+        }
+        let mut want = vec![UNREACHED; n as usize];
+        want[source as usize] = 0;
+        let mut frontier = vec![source];
+        let mut l = 0;
+        while !frontier.is_empty() {
+            l += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &t in &adj[v as usize] {
+                    if want[t as usize] == UNREACHED {
+                        want[t as usize] = l;
+                        next.push(t);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        // distributed
+        let pieces = CommWorld::run(p, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            let cfg = BfsConfig::default().with_ghosts(ghosts);
+            let r = bfs(ctx, &g, VertexId(source), &cfg);
+            g.local_vertices()
+                .filter(|&v| g.is_master(v))
+                .map(|v| (v.0, r.local_state[g.local_index(v)].length))
+                .collect::<Vec<_>>()
+        });
+        let mut got = vec![UNREACHED; n as usize];
+        for (v, lvl) in pieces.into_iter().flatten() {
+            got[v as usize] = lvl;
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn replica_state_is_consistent_after_bfs(
+        (n, edges) in arb_graph(),
+        p in 2usize..6,
+    ) {
+        // after termination, every replica of a split vertex must agree
+        // with its master (BFS updates are monotone and fully propagated)
+        let pieces = CommWorld::run(p, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            let r = bfs(ctx, &g, VertexId(0), &BfsConfig::default());
+            g.local_vertices()
+                .map(|v| (v.0, r.local_state[g.local_index(v)].length))
+                .collect::<Vec<_>>()
+        });
+        let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (v, lvl) in pieces.into_iter().flatten() {
+            if let Some(prev) = seen.insert(v, lvl) {
+                prop_assert_eq!(prev, lvl, "replica disagreement at vertex {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_kcore_equals_serial_peeling(
+        (n, edges) in arb_graph(),
+        p in 1usize..5,
+        k in 1u64..6,
+    ) {
+        // serial peeling reference
+        let mut adj = vec![Vec::new(); n as usize];
+        for e in &edges {
+            if !e.is_self_loop() {
+                adj[e.src as usize].push(e.dst);
+            }
+        }
+        for a in adj.iter_mut() {
+            a.sort_unstable();
+            a.dedup();
+        }
+        let mut deg: Vec<u64> = adj.iter().map(|a| a.len() as u64).collect();
+        let mut alive = vec![true; n as usize];
+        let mut stack: Vec<u64> = (0..n).filter(|&v| deg[v as usize] < k).collect();
+        for &v in &stack {
+            alive[v as usize] = false;
+        }
+        while let Some(v) = stack.pop() {
+            for &t in &adj[v as usize] {
+                if alive[t as usize] {
+                    deg[t as usize] -= 1;
+                    if deg[t as usize] < k {
+                        alive[t as usize] = false;
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        let want: u64 = alive.iter().filter(|&&a| a).count() as u64;
+        let got = CommWorld::run(p, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            kcore(ctx, &g, k, &KCoreConfig::default()).alive_count
+        });
+        prop_assert!(got.iter().all(|&c| c == want), "{got:?} != {want}");
+    }
+
+    #[test]
+    fn distributed_triangles_equal_serial_count(
+        (n, edges) in arb_graph(),
+        p in 1usize..5,
+    ) {
+        use std::collections::HashSet;
+        let mut adj: Vec<HashSet<u64>> = vec![HashSet::new(); n as usize];
+        for e in &edges {
+            if !e.is_self_loop() {
+                adj[e.src as usize].insert(e.dst);
+                adj[e.dst as usize].insert(e.src);
+            }
+        }
+        let mut want = 0u64;
+        for a in 0..n {
+            for &b in &adj[a as usize] {
+                if b <= a { continue; }
+                for &c in &adj[b as usize] {
+                    if c > b && adj[a as usize].contains(&c) {
+                        want += 1;
+                    }
+                }
+            }
+        }
+        let got = CommWorld::run(p, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            triangle_count(ctx, &g, &TriangleConfig::default()).triangles
+        });
+        prop_assert!(got.iter().all(|&t| t == want), "{got:?} != {want}");
+    }
+
+    #[test]
+    fn edge_file_roundtrips(
+        (n, edges) in arb_graph(),
+        binary in any::<bool>(),
+    ) {
+        let _ = n;
+        let dir = std::env::temp_dir().join(format!("havoq-prop-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("e-{binary}.dat"));
+        if binary {
+            havoq_graph::io::write_binary(&path, &edges).unwrap();
+            prop_assert_eq!(havoq_graph::io::read_binary(&path).unwrap(), edges);
+        } else {
+            havoq_graph::io::write_text(&path, &edges).unwrap();
+            prop_assert_eq!(havoq_graph::io::read_text(&path).unwrap(), edges);
+        }
+    }
+
+    #[test]
+    fn page_cache_matches_memory_model(
+        ops in proptest::collection::vec(
+            (0u64..2048, proptest::option::of(any::<u8>())), 1..200),
+        pages in 1usize..8,
+    ) {
+        use std::sync::Arc;
+        let dev = Arc::new(havoq_nvram::device::MemDevice::new());
+        let cache = PageCache::new(
+            dev as Arc<dyn BlockDevice>,
+            PageCacheConfig { page_size: 64, capacity_pages: pages.max(2), shards: 2, ..PageCacheConfig::default() },
+        );
+        let mut model = vec![0u8; 2048 + 1];
+        for (addr, write) in ops {
+            match write {
+                Some(v) => {
+                    cache.write_at(addr, &[v]);
+                    model[addr as usize] = v;
+                }
+                None => {
+                    let mut b = [0u8; 1];
+                    cache.read_at(addr, &mut b);
+                    prop_assert_eq!(b[0], model[addr as usize]);
+                }
+            }
+        }
+        // final flush + raw device readback agrees with the model
+        cache.flush();
+        let mut all = vec![0u8; model.len()];
+        cache.read_at(0, &mut all);
+        prop_assert_eq!(all, model);
+    }
+}
