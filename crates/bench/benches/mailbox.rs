@@ -1,8 +1,7 @@
-//! Criterion microbenchmarks for the routed/aggregating mailbox: all-to-all
-//! payload delivery under the three topologies (the Section III-B
-//! trade-off: fewer channels + more aggregation vs extra hops).
+//! Microbenchmarks for the routed/aggregating mailbox: all-to-all payload
+//! delivery under the three topologies (the Section III-B trade-off:
+//! fewer channels + more aggregation vs extra hops).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use havoq_comm::{CommWorld, Mailbox, MailboxConfig, Quiescence, TopologyKind};
 
 fn all_to_all(p: usize, topo: TopologyKind, msgs_each: usize) -> u64 {
@@ -32,22 +31,16 @@ fn all_to_all(p: usize, topo: TopologyKind, msgs_each: usize) -> u64 {
     out.iter().sum()
 }
 
-fn bench_mailbox(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mailbox_all_to_all");
-    group.sample_size(10);
+fn main() {
     let p = 16;
-    let msgs = 2_000;
+    let msgs = havoq_bench::pick(200, 2_000);
+    let mut g = havoq_bench::microbench::group("mailbox_all_to_all");
     for (name, topo) in [
         ("direct", TopologyKind::Direct),
         ("routed2d", TopologyKind::Routed2D),
         ("routed3d", TopologyKind::Routed3D),
     ] {
-        group.bench_with_input(BenchmarkId::new(name, p), &topo, |b, &topo| {
-            b.iter(|| all_to_all(p, topo, msgs));
-        });
+        g.bench(name, || all_to_all(p, topo, msgs));
     }
-    group.finish();
+    g.finish();
 }
-
-criterion_group!(benches, bench_mailbox);
-criterion_main!(benches);

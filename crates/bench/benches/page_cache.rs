@@ -1,11 +1,10 @@
-//! Criterion microbenchmarks for the user-space page cache: hit path, miss
-//! path (with and without simulated NVRAM latency), and sequential vs
-//! random scans — the access patterns the Section V-A locality ordering is
+//! Microbenchmarks for the user-space page cache: hit path, miss path
+//! (with and without simulated NVRAM latency), and sequential vs random
+//! scans — the access patterns the Section V-A locality ordering is
 //! designed to shape.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use havoq_nvram::cache::{PageCache, PageCacheConfig};
 use havoq_nvram::device::{BlockDevice, DeviceProfile, MemDevice, SimNvram};
 
@@ -14,54 +13,59 @@ fn make_cache(pages: usize, profile: Option<DeviceProfile>) -> PageCache {
         None => Arc::new(MemDevice::with_capacity(16 << 20)),
         Some(p) => Arc::new(SimNvram::new(MemDevice::with_capacity(16 << 20), p)),
     };
-    PageCache::new(dev, PageCacheConfig { page_size: 4096, capacity_pages: pages, shards: 8, ..PageCacheConfig::default() })
+    PageCache::new(
+        dev,
+        PageCacheConfig {
+            page_size: 4096,
+            capacity_pages: pages,
+            shards: 8,
+            ..PageCacheConfig::default()
+        },
+    )
 }
 
-fn bench_page_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("page_cache");
+fn main() {
+    let mut g = havoq_bench::microbench::group("page_cache");
 
-    group.bench_function("hit_8B", |b| {
+    {
         let cache = make_cache(256, None);
         cache.write_at(0, &[1u8; 4096]);
         let mut buf = [0u8; 8];
-        b.iter(|| cache.read_at(512, &mut buf));
-    });
+        g.bench("hit_8B", || cache.read_at(512, &mut buf));
+    }
 
-    group.bench_function("sequential_scan_1MiB", |b| {
+    {
         let cache = make_cache(64, None);
         let mut buf = [0u8; 4096];
-        b.iter(|| {
+        g.bench("sequential_scan_1MiB", || {
             for page in 0..256u64 {
                 cache.read_at(page * 4096, &mut buf);
             }
         });
-    });
+    }
 
-    group.bench_function("random_scan_miss_heavy", |b| {
+    {
         let cache = make_cache(16, None);
         let mut buf = [0u8; 64];
         let mut x = 0x12345u64;
-        b.iter(|| {
+        g.bench("random_scan_miss_heavy", || {
             for _ in 0..64 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let page = (x >> 33) % 2048;
                 cache.read_at(page * 4096, &mut buf);
             }
         });
-    });
+    }
 
-    group.bench_function("miss_with_fusionio_latency", |b| {
+    {
         let cache = make_cache(8, Some(DeviceProfile::fusion_io()));
         let mut buf = [0u8; 64];
         let mut page = 0u64;
-        b.iter(|| {
+        g.bench("miss_with_fusionio_latency", || {
             page = (page + 97) % 4096; // defeat the tiny cache
             cache.read_at(page * 4096, &mut buf);
         });
-    });
+    }
 
-    group.finish();
+    g.finish();
 }
-
-criterion_group!(benches, bench_page_cache);
-criterion_main!(benches);

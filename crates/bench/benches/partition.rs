@@ -1,8 +1,7 @@
-//! Criterion benchmarks for graph construction: the distributed sample
-//! sort + edge-list partitioning pipeline vs the 1D bucket exchange, and
-//! the raw generators.
+//! Microbenchmarks for graph construction: the distributed sample sort +
+//! edge-list partitioning pipeline vs the 1D bucket exchange, and the raw
+//! generators.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use havoq_comm::CommWorld;
 use havoq_graph::csr::GraphConfig;
 use havoq_graph::dist::{DistGraph, PartitionStrategy};
@@ -11,53 +10,39 @@ use havoq_graph::gen::smallworld::SmallWorldGenerator;
 use havoq_graph::sort::sort_edges_even;
 
 const RANKS: usize = 4;
-const SCALE: u32 = 11;
 
-fn bench_partition(c: &mut Criterion) {
-    let gen = RmatGenerator::graph500(SCALE);
-    let mut group = c.benchmark_group("construction");
-    group.sample_size(10);
+fn main() {
+    let scale: u32 = havoq_bench::pick(9, 11);
+    let gen = RmatGenerator::graph500(scale);
+    let mut g = havoq_bench::microbench::group(&format!("construction (RMAT s{scale})"));
 
-    group.bench_function("rmat_generate_s11", |b| {
-        b.iter(|| gen.edges(42).len());
-    });
+    g.bench("rmat_generate", || gen.edges(42).len());
 
-    group.bench_function("smallworld_generate_64k_edges", |b| {
-        let sw = SmallWorldGenerator::new(1 << 12, 32).with_rewire(0.1);
-        b.iter(|| sw.edges(42).len());
-    });
+    let sw = SmallWorldGenerator::new(1 << 12, 32).with_rewire(0.1);
+    g.bench("smallworld_generate_64k_edges", || sw.edges(42).len());
 
-    group.bench_function("distributed_sample_sort", |b| {
-        b.iter(|| {
-            CommWorld::run(RANKS, |ctx| {
-                let local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
-                sort_edges_even(ctx, local).len()
-            })
+    g.bench("distributed_sample_sort", || {
+        CommWorld::run(RANKS, |ctx| {
+            let local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
+            sort_edges_even(ctx, local).len()
         })
     });
 
-    group.bench_function("build_edge_list_partition", |b| {
-        b.iter(|| {
-            CommWorld::run(RANKS, |ctx| {
-                let local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
-                DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default())
-                    .num_edges()
-            })
+    g.bench("build_edge_list_partition", || {
+        CommWorld::run(RANKS, |ctx| {
+            let local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
+            DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default())
+                .num_edges()
         })
     });
 
-    group.bench_function("build_one_d_partition", |b| {
-        b.iter(|| {
-            CommWorld::run(RANKS, |ctx| {
-                let local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
-                DistGraph::build(ctx, local, PartitionStrategy::OneD, GraphConfig::default())
-                    .num_edges()
-            })
+    g.bench("build_one_d_partition", || {
+        CommWorld::run(RANKS, |ctx| {
+            let local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
+            DistGraph::build(ctx, local, PartitionStrategy::OneD, GraphConfig::default())
+                .num_edges()
         })
     });
 
-    group.finish();
+    g.finish();
 }
-
-criterion_group!(benches, bench_partition);
-criterion_main!(benches);

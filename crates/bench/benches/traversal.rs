@@ -1,8 +1,7 @@
-//! Criterion benchmarks for the three paper kernels on a fixed RMAT world:
-//! the end-to-end cost of one asynchronous traversal per algorithm, plus a
+//! Microbenchmarks for the three paper kernels on a fixed RMAT world: the
+//! end-to-end cost of one asynchronous traversal per algorithm, plus a
 //! BFS ghost on/off ablation (Figure 13 in microbenchmark form).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_core::algorithms::kcore::{kcore, KCoreConfig};
@@ -13,71 +12,59 @@ use havoq_graph::gen::rmat::RmatGenerator;
 use havoq_graph::types::VertexId;
 
 const RANKS: usize = 4;
-const SCALE: u32 = 10;
 
-fn bench_traversal(c: &mut Criterion) {
-    let edges = RmatGenerator::graph500(SCALE).symmetric_edges(42);
-    let mut group = c.benchmark_group("traversal_rmat_s10_p4");
-    group.sample_size(10);
+fn main() {
+    let scale: u32 = havoq_bench::pick(8, 10);
+    let edges = RmatGenerator::graph500(scale).symmetric_edges(42);
+    let mut g = havoq_bench::microbench::group(&format!("traversal_rmat_s{scale}_p{RANKS}"));
 
-    group.bench_function("bfs_ghosts256", |b| {
-        b.iter(|| {
-            CommWorld::run(RANKS, |ctx| {
-                let g = DistGraph::build_replicated(
-                    ctx,
-                    &edges,
-                    PartitionStrategy::EdgeList,
-                    GraphConfig::default(),
-                );
-                bfs(ctx, &g, VertexId(0), &BfsConfig::default()).visited_count
-            })
+    g.bench("bfs_ghosts256", || {
+        CommWorld::run(RANKS, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            bfs(ctx, &g, VertexId(0), &BfsConfig::default()).visited_count
         })
     });
 
-    group.bench_function("bfs_no_ghosts", |b| {
-        b.iter(|| {
-            CommWorld::run(RANKS, |ctx| {
-                let g = DistGraph::build_replicated(
-                    ctx,
-                    &edges,
-                    PartitionStrategy::EdgeList,
-                    GraphConfig::default(),
-                );
-                bfs(ctx, &g, VertexId(0), &BfsConfig::default().with_ghosts(0)).visited_count
-            })
+    g.bench("bfs_no_ghosts", || {
+        CommWorld::run(RANKS, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            bfs(ctx, &g, VertexId(0), &BfsConfig::default().with_ghosts(0)).visited_count
         })
     });
 
-    group.bench_function("kcore_k4", |b| {
-        b.iter(|| {
-            CommWorld::run(RANKS, |ctx| {
-                let g = DistGraph::build_replicated(
-                    ctx,
-                    &edges,
-                    PartitionStrategy::EdgeList,
-                    GraphConfig::default(),
-                );
-                kcore(ctx, &g, 4, &KCoreConfig::default()).alive_count
-            })
+    g.bench("kcore_k4", || {
+        CommWorld::run(RANKS, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            kcore(ctx, &g, 4, &KCoreConfig::default()).alive_count
         })
     });
 
-    group.bench_function("triangle_count", |b| {
-        b.iter(|| {
-            CommWorld::run(RANKS, |ctx| {
-                let g = DistGraph::build_replicated(
-                    ctx,
-                    &edges,
-                    PartitionStrategy::EdgeList,
-                    GraphConfig::default(),
-                );
-                triangle_count(ctx, &g, &TriangleConfig::default()).triangles
-            })
+    g.bench("triangle_count", || {
+        CommWorld::run(RANKS, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            triangle_count(ctx, &g, &TriangleConfig::default()).triangles
         })
     });
 
-    group.finish();
+    g.finish();
 }
-
-criterion_group!(benches, bench_traversal);
-criterion_main!(benches);

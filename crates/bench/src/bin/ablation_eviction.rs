@@ -5,7 +5,7 @@
 //! the external-memory BFS access pattern, reporting hit rates, device
 //! reads, and wall time.
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_graph::csr::GraphConfig;
@@ -16,17 +16,18 @@ use havoq_nvram::cache::{EvictionPolicy, PageCacheConfig};
 use havoq_nvram::device::DeviceProfile;
 
 fn main() {
-    let quick = havoq_bench::quick();
-    let scale: u32 = if quick { 11 } else { 14 };
-    let ranks: usize = if quick { 2 } else { 4 };
+    let scale: u32 = pick(11, 14);
+    let ranks: usize = pick(2, 4);
     let gen = RmatGenerator::graph500(scale);
     let cache_pages = ((gen.num_edges() as usize * 2 * 8) / ranks / 4096 / 8).max(8);
 
-    println!("Eviction-policy ablation — external-memory BFS (RMAT scale {scale},");
-    println!("{ranks} ranks, cache = data/8)\n");
-    print_header(&["policy", "hit_rate%", "dev_reads", "time_ms"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            &format!("Eviction-policy ablation — external-memory BFS (RMAT scale {scale},"),
+            &format!("{ranks} ranks, cache = data/8)"),
+        ],
         "ablation_eviction.csv",
+        &["policy", "hit_rate%", "dev_reads", "time_ms"],
         &["policy", "hit_rate", "device_reads", "time_ms"],
     );
 
@@ -56,15 +57,13 @@ fn main() {
         });
         let (_, cache, dev) = &out[0];
         let elapsed = out.iter().map(|o| o.0).max().unwrap();
-        print_row(&csv_row![
-            name,
-            format!("{:.2}", 100.0 * cache.hit_rate()),
-            dev.reads,
-            ms(elapsed)
-        ]);
-        csv.row(&csv_row![name, cache.hit_rate(), dev.reads, elapsed.as_secs_f64() * 1e3]);
+        exp.row2(
+            &csv_row![name, format!("{:.2}", 100.0 * cache.hit_rate()), dev.reads, ms(elapsed)],
+            &csv_row![name, cache.hit_rate(), dev.reads, elapsed.as_secs_f64() * 1e3],
+        );
     }
-    csv.finish();
-    println!("\nDesign-choice check: CLOCK should track LRU's hit rate closely at a");
-    println!("fraction of the bookkeeping; FIFO pays for ignoring recency.");
+    exp.finish(&[
+        "Design-choice check: CLOCK should track LRU's hit rate closely at a",
+        "fraction of the bookkeeping; FIFO pays for ignoring recency.",
+    ]);
 }

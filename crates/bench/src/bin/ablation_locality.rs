@@ -4,7 +4,7 @@
 //! the ordering on and off and reports the page-cache hit rates and device
 //! read counts — the quantity the optimization exists to improve.
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_graph::csr::GraphConfig;
@@ -15,25 +15,31 @@ use havoq_nvram::cache::PageCacheConfig;
 use havoq_nvram::device::DeviceProfile;
 
 fn main() {
-    let quick = havoq_bench::quick();
-    let scale: u32 = if quick { 11 } else { 14 };
-    let ranks: usize = if quick { 2 } else { 4 };
+    let scale: u32 = pick(11, 14);
+    let ranks: usize = pick(2, 4);
     // tight cache: 1/16 of the data, so ordering decides the hit rate
     let gen = RmatGenerator::graph500(scale);
     let cache_pages = ((gen.num_edges() as usize * 2 * 8) / ranks / 4096 / 16).max(8);
 
-    println!("Section V-A ablation — vertex-id visitor ordering vs arrival order");
-    println!("(external-memory BFS, RMAT scale {scale}, {ranks} ranks, cache = data/16)\n");
-    print_header(&["ordering", "hit_rate%", "dev_reads", "time_ms", "MTEPS"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            "Section V-A ablation — vertex-id visitor ordering vs arrival order",
+            &format!("(external-memory BFS, RMAT scale {scale}, {ranks} ranks, cache = data/16)"),
+        ],
         "ablation_locality.csv",
+        &["ordering", "hit_rate%", "dev_reads", "time_ms", "MTEPS"],
         &["ordering", "hit_rate", "device_reads", "time_ms", "mteps"],
     );
 
     for (name, locality) in [("vertex-id", true), ("arrival", false)] {
         let cfg = GraphConfig::external(
             DeviceProfile::fusion_io(),
-            PageCacheConfig { page_size: 4096, capacity_pages: cache_pages, shards: 8, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size: 4096,
+                capacity_pages: cache_pages,
+                shards: 8,
+                ..PageCacheConfig::default()
+            },
         );
         let out = CommWorld::run(ranks, |ctx| {
             let mut local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
@@ -48,23 +54,26 @@ fn main() {
         });
         let (r, cache, dev) = &out[0];
         let elapsed = out.iter().map(|o| o.0.elapsed).max().unwrap();
-        print_row(&csv_row![
-            name,
-            format!("{:.2}", 100.0 * cache.hit_rate()),
-            dev.reads,
-            ms(elapsed),
-            havoq_bench::mteps(r.traversed_edges, elapsed)
-        ]);
-        csv.row(&csv_row![
-            name,
-            cache.hit_rate(),
-            dev.reads,
-            elapsed.as_secs_f64() * 1e3,
-            r.traversed_edges as f64 / elapsed.as_secs_f64() / 1e6
-        ]);
+        exp.row2(
+            &csv_row![
+                name,
+                format!("{:.2}", 100.0 * cache.hit_rate()),
+                dev.reads,
+                ms(elapsed),
+                havoq_bench::mteps(r.traversed_edges, elapsed)
+            ],
+            &csv_row![
+                name,
+                cache.hit_rate(),
+                dev.reads,
+                elapsed.as_secs_f64() * 1e3,
+                r.traversed_edges as f64 / elapsed.as_secs_f64() / 1e6
+            ],
+        );
     }
-    csv.finish();
-    println!("\nPaper claim (V-A): ordering equal-priority visitors by vertex id");
-    println!("improves page-level locality of NVRAM-resident graph data; expect a");
-    println!("higher hit rate and fewer device reads on the vertex-id row.");
+    exp.finish(&[
+        "Paper claim (V-A): ordering equal-priority visitors by vertex id",
+        "improves page-level locality of NVRAM-resident graph data; expect a",
+        "higher hit rate and fewer device reads on the vertex-id row.",
+    ]);
 }

@@ -15,29 +15,32 @@
 //!    (vertices) much smaller than external bulk (edges); the
 //!    state-to-edge ratio per partition quantifies the fit.
 
-use havoq_bench::{csv_row, print_header, print_row, Csv};
+use havoq_bench::{csv_row, pick, Experiment};
 use havoq_graph::gen::rmat::RmatGenerator;
 use havoq_graph::partition::{grid_dims, partition_histogram, two_d_partition};
 
 fn main() {
-    let scale: u32 = if havoq_bench::quick() { 14 } else { 18 };
-    let parts: Vec<usize> = if havoq_bench::quick() {
-        vec![16, 64, 256]
-    } else {
-        vec![16, 64, 256, 1024, 4096]
-    };
+    let scale: u32 = pick(14, 18);
+    let parts: Vec<usize> = pick(vec![16, 64, 256], vec![16, 64, 256, 1024, 4096]);
 
     let gen = RmatGenerator::graph500(scale);
     let n = gen.num_vertices();
     let m = gen.num_edges();
 
-    println!("Section VIII-A — hypersparsity and state growth: 2D vs edge-list");
-    println!("(RMAT scale {scale}: {n} vertices, {m} directed edges, avg degree 16)\n");
-    print_header(&[
-        "p", "2D_state/part", "EL_state/part", "2D_hypersparse", "EL_hypersparse", "2D_state/edges",
-    ]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            "Section VIII-A — hypersparsity and state growth: 2D vs edge-list",
+            &format!("(RMAT scale {scale}: {n} vertices, {m} directed edges, avg degree 16)"),
+        ],
         "analysis_hypersparse.csv",
+        &[
+            "p",
+            "2D_state/part",
+            "EL_state/part",
+            "2D_hypersparse",
+            "EL_hypersparse",
+            "2D_state/edges",
+        ],
         &[
             "p",
             "state_2d_per_part",
@@ -55,27 +58,29 @@ fn main() {
         let state_2d = n / rows as u64 + n / cols as u64;
         let state_el = n / p as u64 + 2;
 
-        let h2 = partition_histogram(gen.edges_range(7, 0..m), p, |e| {
-            two_d_partition(e, n, rows, cols)
-        });
+        let h2 =
+            partition_histogram(gen.edges_range(7, 0..m), p, |e| two_d_partition(e, n, rows, cols));
         let hyp_2d = h2.iter().filter(|&&edges| edges < state_2d).count();
         // edge-list: every partition holds exactly m/p edges
         let el_edges_per_part = m / p as u64;
         let hyp_el = if el_edges_per_part < state_el { p } else { 0 };
 
         let ratio = state_2d as f64 / (m as f64 / p as f64);
-        print_row(&csv_row![
-            p,
-            state_2d,
-            state_el,
-            format!("{hyp_2d}/{p}"),
-            format!("{hyp_el}/{p}"),
-            format!("{ratio:.3}")
-        ]);
-        csv.row(&csv_row![p, state_2d, state_el, hyp_2d, hyp_el, ratio]);
+        exp.row2(
+            &csv_row![
+                p,
+                state_2d,
+                state_el,
+                format!("{hyp_2d}/{p}"),
+                format!("{hyp_el}/{p}"),
+                format!("{ratio:.3}")
+            ],
+            &csv_row![p, state_2d, state_el, hyp_2d, hyp_el, ratio],
+        );
     }
-    csv.finish();
-    println!("\nPaper shape: by p = 256 the 2D state-per-partition rivals its edge");
-    println!("count (ratio -> 1): partitions are hypersparse and semi-external");
-    println!("storage stops paying. Edge-list state shrinks as O(V/p) instead.");
+    exp.finish(&[
+        "Paper shape: by p = 256 the 2D state-per-partition rivals its edge",
+        "count (ratio -> 1): partitions are hypersparse and semi-external",
+        "storage stops paying. Edge-list state shrinks as O(V/p) instead.",
+    ]);
 }

@@ -5,22 +5,17 @@
 //! and Θ(D + |E|/p + p) with them. This binary sweeps processor counts and
 //! graph families and prints measured rounds next to the evaluated bounds.
 
-use havoq_bench::{csv_row, print_header, print_row, Csv};
+use havoq_bench::{csv_row, pick, Experiment};
 use havoq_core::rounds::{
-    bfs_bound_ghosts, bfs_bound_no_ghosts, bfs_rounds, kcore_bound, kcore_rounds,
-    triangle_bound, triangle_rounds,
+    bfs_bound_ghosts, bfs_bound_no_ghosts, bfs_rounds, kcore_bound, kcore_rounds, triangle_bound,
+    triangle_rounds,
 };
 use havoq_graph::analysis::DegreeCensus;
 use havoq_graph::gen::rmat::RmatGenerator;
 use havoq_graph::gen::smallworld::SmallWorldGenerator;
 use havoq_graph::types::Edge;
 
-fn run_family(
-    name: &str,
-    n: u64,
-    edges: &[Edge],
-    csv: &mut Csv,
-) {
+fn run_family(name: &str, n: u64, edges: &[Edge], exp: &mut Experiment) {
     let d_in = DegreeCensus::undirected_from_edges(n, edges.iter().copied()).max_degree();
     for p in [1usize, 8, 64, 512] {
         let no_g = bfs_rounds(n, edges, p, 0, false);
@@ -30,16 +25,7 @@ fn run_family(
         let depth_proxy = bfs_rounds(n, edges, 1 << 20, 0, true).rounds;
         let bound_no = bfs_bound_no_ghosts(depth_proxy, edges.len() as u64, p, d_in);
         let bound_g = bfs_bound_ghosts(depth_proxy, edges.len() as u64, p);
-        print_row(&csv_row![
-            name,
-            p,
-            no_g.rounds,
-            bound_no,
-            with_g.rounds,
-            bound_g,
-            with_g.ghost_filtered
-        ]);
-        csv.row(&csv_row![
+        exp.row(&csv_row![
             name,
             p,
             no_g.rounds,
@@ -52,37 +38,45 @@ fn run_family(
 }
 
 fn main() {
-    let scale: u32 = if havoq_bench::quick() { 8 } else { 10 };
+    let scale: u32 = pick(8, 10);
 
-    println!("Section VI-D — parallel-rounds model vs analytic bounds (BFS)\n");
-    print_header(&["family", "p", "rounds", "bound", "rounds_ghost", "bound_ghost", "filtered"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &["Section VI-D — parallel-rounds model vs analytic bounds (BFS)"],
         "analysis_rounds.csv",
-        &["family", "p", "rounds_no_ghosts", "bound_no_ghosts", "rounds_ghosts", "bound_ghosts", "ghost_filtered"],
+        &["family", "p", "rounds", "bound", "rounds_ghost", "bound_ghost", "filtered"],
+        &[
+            "family",
+            "p",
+            "rounds_no_ghosts",
+            "bound_no_ghosts",
+            "rounds_ghosts",
+            "bound_ghosts",
+            "ghost_filtered",
+        ],
     );
 
     let rmat = RmatGenerator::graph500(scale);
-    run_family("rmat", rmat.num_vertices(), &rmat.symmetric_edges(42), &mut csv);
+    run_family("rmat", rmat.num_vertices(), &rmat.symmetric_edges(42), &mut exp);
 
     let sw = SmallWorldGenerator::new(1 << scale, 8).with_rewire(0.01);
-    run_family("smallworld", 1 << scale, &sw.symmetric_edges(42), &mut csv);
+    run_family("smallworld", 1 << scale, &sw.symmetric_edges(42), &mut exp);
 
     // star: the hub pathology the d_in term describes
     let n_star = 1u64 << scale.min(9);
-    let star: Vec<Edge> =
-        (1..n_star).flat_map(|v| [Edge::new(v, 0), Edge::new(0, v)]).collect();
-    run_family("star", n_star, &star, &mut csv);
+    let star: Vec<Edge> = (1..n_star).flat_map(|v| [Edge::new(v, 0), Edge::new(0, v)]).collect();
+    run_family("star", n_star, &star, &mut exp);
 
-    csv.finish();
-    println!("\nPaper shape: measured rounds stay within a small constant of the");
-    println!("bounds; on the star graph ghosts collapse the d_in term to ~p.");
+    exp.finish(&[
+        "Paper shape: measured rounds stay within a small constant of the",
+        "bounds; on the star graph ghosts collapse the d_in term to ~p.",
+    ]);
 
     // k-core and triangle-count models (Sections VI-D2/VI-D3): both keep
     // the d_in term because ghosts are disallowed
-    println!("\nk-core (k = 4) and triangle rounds vs their bounds:");
-    print_header(&["family", "p", "kcore_rounds", "kcore_bound", "tri_rounds", "tri_bound"]);
-    let mut csv2 = Csv::create(
+    let mut exp2 = Experiment::begin(
+        &["k-core (k = 4) and triangle rounds vs their bounds:"],
         "analysis_rounds_kcore_tri.csv",
+        &["family", "p", "kcore_rounds", "kcore_bound", "tri_rounds", "tri_bound"],
         &["family", "p", "kcore_rounds", "kcore_bound", "tri_rounds", "tri_bound"],
     );
     let tri_scale = scale.min(9); // triangle visitor volume is cubic-ish
@@ -102,11 +96,11 @@ fn main() {
             let kb = kcore_bound(depth_proxy, edges.len() as u64, p, d_max);
             let tr = triangle_rounds(n, edges, p);
             let tb = triangle_bound(edges.len() as u64, d_max, p, d_max);
-            print_row(&csv_row![name, p, kc.rounds, kb, tr.rounds, tb]);
-            csv2.row(&csv_row![name, p, kc.rounds, kb, tr.rounds, tb]);
+            exp2.row(&csv_row![name, p, kc.rounds, kb, tr.rounds, tb]);
         }
     }
-    csv2.finish();
-    println!("\nBoth kernels keep the d_in floor (no ghosts allowed); triangle");
-    println!("rounds track |E| * d_out / p, largest on the hub-heavy RMAT family.");
+    exp2.finish(&[
+        "Both kernels keep the d_in floor (no ghosts allowed); triangle",
+        "rounds track |E| * d_out / p, largest on the hub-heavy RMAT family.",
+    ]);
 }

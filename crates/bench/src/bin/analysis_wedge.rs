@@ -2,7 +2,7 @@
 //! names via reference [13]): accuracy and cost of the sampling estimator
 //! as the sample budget grows, against the exact Algorithm 6/7 count.
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::triangle::{triangle_count, TriangleConfig};
 use havoq_core::algorithms::wedge::approx_clustering;
@@ -12,11 +12,9 @@ use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::rmat::RmatGenerator;
 
 fn main() {
-    let quick = havoq_bench::quick();
-    let scale: u32 = if quick { 9 } else { 12 };
-    let ranks: usize = if quick { 2 } else { 4 };
-    let budgets: &[u64] =
-        if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000, 1_000_000] };
+    let scale: u32 = pick(9, 12);
+    let ranks: usize = pick(2, 4);
+    let budgets: &[u64] = pick(&[1_000, 10_000][..], &[1_000, 10_000, 100_000, 1_000_000][..]);
 
     let gen = RmatGenerator::graph500(scale);
     let edges = gen.symmetric_edges(42);
@@ -35,11 +33,11 @@ fn main() {
         (r.triangles, r.elapsed, ctx.all_reduce_sum(r.stats.visitors_executed))
     });
     let (exact_count, exact_time, exact_visitors) = exact[0];
-    println!("exact: {exact_count} triangles, {exact_visitors} visitors, {exact_time:?}\n");
 
-    print_header(&["samples", "estimate", "rel_err%", "visitors", "time_ms", "speedup"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[&format!("exact: {exact_count} triangles, {exact_visitors} visitors, {exact_time:?}")],
         "analysis_wedge.csv",
+        &["samples", "estimate", "rel_err%", "visitors", "time_ms", "speedup"],
         &["samples", "estimate", "relative_error", "visitors", "time_ms", "speedup_vs_exact"],
     );
     for &budget in budgets {
@@ -56,25 +54,28 @@ fn main() {
         let (r, visitors) = &out[0];
         let elapsed = out.iter().map(|o| o.0.elapsed).max().unwrap();
         let rel = (r.triangles_estimate - exact_count as f64).abs() / exact_count as f64;
-        print_row(&csv_row![
-            budget,
-            format!("{:.0}", r.triangles_estimate),
-            format!("{:.2}", rel * 100.0),
-            visitors,
-            ms(elapsed),
-            format!("{:.1}x", exact_time.as_secs_f64() / elapsed.as_secs_f64())
-        ]);
-        csv.row(&csv_row![
-            budget,
-            r.triangles_estimate,
-            rel,
-            visitors,
-            elapsed.as_secs_f64() * 1e3,
-            exact_time.as_secs_f64() / elapsed.as_secs_f64()
-        ]);
+        exp.row2(
+            &csv_row![
+                budget,
+                format!("{:.0}", r.triangles_estimate),
+                format!("{:.2}", rel * 100.0),
+                visitors,
+                ms(elapsed),
+                format!("{:.1}x", exact_time.as_secs_f64() / elapsed.as_secs_f64())
+            ],
+            &csv_row![
+                budget,
+                r.triangles_estimate,
+                rel,
+                visitors,
+                elapsed.as_secs_f64() * 1e3,
+                exact_time.as_secs_f64() / elapsed.as_secs_f64()
+            ],
+        );
     }
-    csv.finish();
-    println!("\nExpected: error shrinks ~1/sqrt(samples); small budgets estimate");
-    println!("hub-dominated triangle counts orders of magnitude faster than the");
-    println!("exact O(|E| * d_max) traversal.");
+    exp.finish(&[
+        "Expected: error shrinks ~1/sqrt(samples); small budgets estimate",
+        "hub-dominated triangle counts orders of magnitude faster than the",
+        "exact O(|E| * d_max) traversal.",
+    ]);
 }

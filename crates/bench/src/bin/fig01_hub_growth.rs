@@ -6,25 +6,35 @@
 //! and expect the same monotone growth with the max-degree hub crossing
 //! 10^4-10^5 edges by the low-20s scales.
 
-use havoq_bench::{csv_row, print_header, print_row, Csv};
+use havoq_bench::{csv_row, pick, Experiment};
 use havoq_graph::analysis::DegreeCensus;
 use havoq_graph::gen::rmat::RmatGenerator;
 
 fn main() {
-    let quick = havoq_bench::quick();
-    let scales: Vec<u32> = if quick {
-        vec![12, 14, 16]
-    } else {
-        (12..=(20 + havoq_bench::scale_bump())).step_by(2).collect()
-    };
-    // paper thresholds scaled with the graphs: keep the absolute 1e3/1e4
-    // thresholds plus a scale-relative one so small graphs show the trend
-    println!("Figure 1 — hub growth for Graph500 RMAT graphs (degree census of the");
-    println!("directed edge list; average degree 16 at every scale)\n");
-    print_header(&["scale", "vertices", "max_degree", "edges_deg>=256", "edges_deg>=1000", "edges_deg>=10000"]);
-    let mut csv = Csv::create(
+    let scales: Vec<u32> =
+        pick(vec![12, 14, 16], (12..=(20 + havoq_bench::scale_bump())).step_by(2).collect());
+    let mut exp = Experiment::begin(
+        &[
+            "Figure 1 — hub growth for Graph500 RMAT graphs (degree census of the",
+            "directed edge list; average degree 16 at every scale)",
+        ],
         "fig01_hub_growth.csv",
-        &["scale", "vertices", "max_degree", "edges_deg_ge_256", "edges_deg_ge_1000", "edges_deg_ge_10000"],
+        &[
+            "scale",
+            "vertices",
+            "max_degree",
+            "edges_deg>=256",
+            "edges_deg>=1000",
+            "edges_deg>=10000",
+        ],
+        &[
+            "scale",
+            "vertices",
+            "max_degree",
+            "edges_deg_ge_256",
+            "edges_deg_ge_1000",
+            "edges_deg_ge_10000",
+        ],
     );
     for &scale in &scales {
         let gen = RmatGenerator::graph500(scale);
@@ -32,15 +42,7 @@ fn main() {
         let census =
             DegreeCensus::from_edges(gen.num_vertices(), gen.edges_range(42, 0..gen.num_edges()));
         let stats = census.hub_stats(&[256, 1_000, 10_000]);
-        print_row(&csv_row![
-            scale,
-            gen.num_vertices(),
-            stats.max_degree,
-            stats.edges_on_hubs[0].1,
-            stats.edges_on_hubs[1].1,
-            stats.edges_on_hubs[2].1
-        ]);
-        csv.row(&csv_row![
+        exp.row(&csv_row![
             scale,
             gen.num_vertices(),
             stats.max_degree,
@@ -49,8 +51,9 @@ fn main() {
             stats.edges_on_hubs[2].1
         ]);
     }
-    csv.finish();
-    println!("\nPaper shape: all series grow monotonically with scale; by 2^30 the");
-    println!("max-degree hub alone exceeds 10M edges. The simulation shows the same");
-    println!("power-law growth at its smaller scales.");
+    exp.finish(&[
+        "Paper shape: all series grow monotonically with scale; by 2^30 the",
+        "max-degree hub alone exceeds 10M edges. The simulation shows the same",
+        "power-law growth at its smaller scales.",
+    ]);
 }

@@ -8,7 +8,7 @@
 //! the growth of 1D imbalance with partition count are the claims to
 //! reproduce.
 
-use havoq_bench::{csv_row, print_header, print_row, Csv};
+use havoq_bench::{csv_row, pick, Experiment};
 use havoq_graph::gen::rmat::RmatGenerator;
 use havoq_graph::partition::{
     grid_dims, imbalance, one_d_partition, partition_histogram, two_d_partition,
@@ -18,15 +18,18 @@ fn main() {
     // The paper uses 2^18 vertices/partition at scales where the max hub
     // rivals the per-partition edge mean. At simulation scales the same
     // hub/mean ratio needs fewer vertices per partition: 2^12.
-    let per_partition_log2: u32 = 12 - if havoq_bench::quick() { 2 } else { 0 };
-    let parts: Vec<usize> =
-        if havoq_bench::quick() { vec![4, 16, 64] } else { vec![2, 4, 8, 16, 32, 64, 128, 256, 512] };
+    let per_partition_log2: u32 = 12 - pick(2, 0);
+    let parts: Vec<usize> = pick(vec![4, 16, 64], vec![2, 4, 8, 16, 32, 64, 128, 256, 512]);
 
-    println!("Figure 2 — weak scaling of partition imbalance (RMAT, 2^{per_partition_log2}");
-    println!("vertices per partition; imbalance = max edges / mean edges)\n");
-    print_header(&["partitions", "scale", "1D", "2D", "edge-list"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            &format!(
+                "Figure 2 — weak scaling of partition imbalance (RMAT, 2^{per_partition_log2}"
+            ),
+            "vertices per partition; imbalance = max edges / mean edges)",
+        ],
         "fig02_imbalance.csv",
+        &["partitions", "scale", "1D", "2D", "edge-list"],
         &["partitions", "scale", "imbalance_1d", "imbalance_2d", "imbalance_edge_list"],
     );
 
@@ -44,11 +47,14 @@ fn main() {
             (0..p as u64).map(|r| m * (r + 1) / p as u64 - m * r / p as u64).collect();
 
         let (i1, i2, iel) = (imbalance(&h1), imbalance(&h2), imbalance(&hel));
-        print_row(&csv_row![p, scale, format!("{i1:.3}"), format!("{i2:.3}"), format!("{iel:.4}")]);
-        csv.row(&csv_row![p, scale, i1, i2, iel]);
+        exp.row2(
+            &csv_row![p, scale, format!("{i1:.3}"), format!("{i2:.3}"), format!("{iel:.4}")],
+            &csv_row![p, scale, i1, i2, iel],
+        );
     }
-    csv.finish();
-    println!("\nPaper shape: 1D imbalance grows with partition count (a hub's whole");
-    println!("adjacency list lands on one partition); 2D stays much flatter; the");
-    println!("edge-list partitioning used by this work is exactly even.");
+    exp.finish(&[
+        "Paper shape: 1D imbalance grows with partition count (a hub's whole",
+        "adjacency list lands on one partition); 2D stays much flatter; the",
+        "edge-list partitioning used by this work is exactly even.",
+    ]);
 }

@@ -6,7 +6,7 @@
 //! machine-independent weak-scaling signal; wall-clock on one core grows
 //! with total work.
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::kcore::{kcore, KCoreConfig};
 use havoq_graph::csr::GraphConfig;
@@ -14,15 +14,17 @@ use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::rmat::RmatGenerator;
 
 fn main() {
-    let per_rank_log2: u32 = if havoq_bench::quick() { 9 } else { 11 };
-    let worlds: Vec<usize> = if havoq_bench::quick() { vec![1, 4] } else { vec![1, 2, 4, 8, 16] };
+    let per_rank_log2: u32 = pick(9, 11);
+    let worlds: Vec<usize> = pick(vec![1, 4], vec![1, 2, 4, 8, 16]);
     let ks = [4u64, 16, 64];
 
-    println!("Figure 6 — weak scaling of k-core on RMAT (2^{per_rank_log2} vertices/rank,");
-    println!("cores k = 4, 16, 64)\n");
-    print_header(&["ranks", "scale", "k", "core size", "time_ms", "visitors/rank"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            &format!("Figure 6 — weak scaling of k-core on RMAT (2^{per_rank_log2} vertices/rank,"),
+            "cores k = 4, 16, 64)",
+        ],
         "fig06_kcore_weak.csv",
+        &["ranks", "scale", "k", "core size", "time_ms", "visitors/rank"],
         &["ranks", "scale", "k", "core_size", "time_ms", "visitors_per_rank"],
     );
 
@@ -35,27 +37,27 @@ fn main() {
                 local.extend(
                     local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()),
                 );
-                let g =
-                    DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default());
+                let g = DistGraph::build(
+                    ctx,
+                    local,
+                    PartitionStrategy::EdgeList,
+                    GraphConfig::default(),
+                );
                 let r = kcore(ctx, &g, k, &KCoreConfig::default());
                 let visitors = ctx.all_reduce_sum(r.stats.visitors_executed);
                 (r.alive_count, r.elapsed, visitors)
             });
             let (alive, _, visitors) = out[0];
             let elapsed = out.iter().map(|o| o.1).max().unwrap();
-            print_row(&csv_row![p, scale, k, alive, ms(elapsed), visitors / p as u64]);
-            csv.row(&csv_row![
-                p,
-                scale,
-                k,
-                alive,
-                elapsed.as_secs_f64() * 1e3,
-                visitors / p as u64
-            ]);
+            exp.row2(
+                &csv_row![p, scale, k, alive, ms(elapsed), visitors / p as u64],
+                &csv_row![p, scale, k, alive, elapsed.as_secs_f64() * 1e3, visitors / p as u64],
+            );
         }
     }
-    csv.finish();
-    println!("\nPaper shape: near-linear weak scaling for all three cores; smaller k");
-    println!("peels less of the graph, so its traversal is cheaper. Our per-rank");
-    println!("visitor counts stay ~flat as ranks and workload grow together.");
+    exp.finish(&[
+        "Paper shape: near-linear weak scaling for all three cores; smaller k",
+        "peels less of the graph, so its traversal is cheaper. Our per-rank",
+        "visitor counts stay ~flat as ranks and workload grow together.",
+    ]);
 }

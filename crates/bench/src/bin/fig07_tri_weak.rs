@@ -7,7 +7,7 @@
 //! uses degree 16 to keep the cubic-ish visitor volume tractable at
 //! simulation scale; rewire sweeps match the paper.
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::triangle::{triangle_count, TriangleConfig};
 use havoq_graph::csr::GraphConfig;
@@ -15,16 +15,18 @@ use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::smallworld::SmallWorldGenerator;
 
 fn main() {
-    let per_rank_log2: u32 = if havoq_bench::quick() { 8 } else { 10 };
-    let worlds: Vec<usize> = if havoq_bench::quick() { vec![1, 4] } else { vec![1, 2, 4, 8, 16] };
+    let per_rank_log2: u32 = pick(8, 10);
+    let worlds: Vec<usize> = pick(vec![1, 4], vec![1, 2, 4, 8, 16]);
     let degree = 16u64;
     let rewires = [0.0, 0.1, 0.2, 0.3];
 
-    println!("Figure 7 — weak scaling of triangle counting on Small World graphs");
-    println!("(2^{per_rank_log2} vertices/rank, uniform degree {degree}, rewire 0-30 %)\n");
-    print_header(&["ranks", "rewire%", "triangles", "time_ms", "visitors/rank"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            "Figure 7 — weak scaling of triangle counting on Small World graphs",
+            &format!("(2^{per_rank_log2} vertices/rank, uniform degree {degree}, rewire 0-30 %)"),
+        ],
         "fig07_tri_weak.csv",
+        &["ranks", "rewire%", "triangles", "time_ms", "visitors/rank"],
         &["ranks", "rewire", "triangles", "time_ms", "visitors_per_rank"],
     );
 
@@ -37,26 +39,27 @@ fn main() {
                 local.extend(
                     local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()),
                 );
-                let g =
-                    DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default());
+                let g = DistGraph::build(
+                    ctx,
+                    local,
+                    PartitionStrategy::EdgeList,
+                    GraphConfig::default(),
+                );
                 let r = triangle_count(ctx, &g, &TriangleConfig::default());
                 let visitors = ctx.all_reduce_sum(r.stats.visitors_executed);
                 (r.triangles, r.elapsed, visitors)
             });
             let (tri, _, visitors) = out[0];
             let elapsed = out.iter().map(|o| o.1).max().unwrap();
-            print_row(&csv_row![
-                p,
-                format!("{:.0}", rw * 100.0),
-                tri,
-                ms(elapsed),
-                visitors / p as u64
-            ]);
-            csv.row(&csv_row![p, rw, tri, elapsed.as_secs_f64() * 1e3, visitors / p as u64]);
+            exp.row2(
+                &csv_row![p, format!("{:.0}", rw * 100.0), tri, ms(elapsed), visitors / p as u64],
+                &csv_row![p, rw, tri, elapsed.as_secs_f64() * 1e3, visitors / p as u64],
+            );
         }
     }
-    csv.finish();
-    println!("\nPaper shape: flat weak scaling for every rewire setting; higher rewire");
-    println!("destroys ring triangles (fewer closures) while visitor volume stays");
-    println!("bounded by the uniform degree.");
+    exp.finish(&[
+        "Paper shape: flat weak scaling for every rewire setting; higher rewire",
+        "destroys ring triangles (fewer closures) while visitor volume stays",
+        "bounded by the uniform degree.",
+    ]);
 }

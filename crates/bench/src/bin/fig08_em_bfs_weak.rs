@@ -7,7 +7,7 @@
 //! the per-rank edge bytes, so weak scaling keeps the DRAM:NVRAM ratio
 //! constant like the paper's fixed 24 GB DRAM / 169 GB flash nodes.
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_graph::csr::GraphConfig;
@@ -18,16 +18,20 @@ use havoq_nvram::cache::PageCacheConfig;
 use havoq_nvram::device::DeviceProfile;
 
 fn main() {
-    let per_rank_log2: u32 = if havoq_bench::quick() { 10 } else { 12 };
-    let worlds: Vec<usize> = if havoq_bench::quick() { vec![1, 4] } else { vec![1, 2, 4, 8, 16] };
+    let per_rank_log2: u32 = pick(10, 12);
+    let worlds: Vec<usize> = pick(vec![1, 4], vec![1, 2, 4, 8, 16]);
     // DRAM:data ratio ~ 1:8, like 24 GB DRAM vs 169 GB flash in the paper
     let cache_fraction = 8usize;
 
-    println!("Figure 8 — weak scaling of distributed external-memory BFS");
-    println!("(2^{per_rank_log2} vertices/rank on simulated Fusion-io, cache = data/{cache_fraction})\n");
-    print_header(&["ranks", "scale", "MTEPS", "hit_rate%", "dev_reads", "time_ms"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            "Figure 8 — weak scaling of distributed external-memory BFS",
+            &format!(
+                "(2^{per_rank_log2} vertices/rank on simulated Fusion-io, cache = data/{cache_fraction})"
+            ),
+        ],
         "fig08_em_bfs_weak.csv",
+        &["ranks", "scale", "MTEPS", "hit_rate%", "dev_reads", "time_ms"],
         &["ranks", "scale", "mteps", "hit_rate", "device_reads", "time_ms"],
     );
 
@@ -38,7 +42,13 @@ fn main() {
         let cache_pages = (per_rank_bytes / 4096 / cache_fraction).max(8);
         let cfg = GraphConfig::external(
             DeviceProfile::fusion_io(),
-            PageCacheConfig { page_size: 4096, capacity_pages: cache_pages, shards: 8, readahead_pages: 8, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size: 4096,
+                capacity_pages: cache_pages,
+                shards: 8,
+                readahead_pages: 8,
+                ..PageCacheConfig::default()
+            },
         );
 
         let out = CommWorld::run(p, |ctx| {
@@ -52,25 +62,28 @@ fn main() {
         });
         let (r, cache, dev) = &out[0];
         let elapsed = out.iter().map(|o| o.0.elapsed).max().unwrap();
-        print_row(&csv_row![
-            p,
-            scale,
-            havoq_bench::mteps(r.traversed_edges, elapsed),
-            format!("{:.2}", 100.0 * cache.hit_rate()),
-            dev.reads,
-            ms(elapsed)
-        ]);
-        csv.row(&csv_row![
-            p,
-            scale,
-            r.traversed_edges as f64 / elapsed.as_secs_f64() / 1e6,
-            cache.hit_rate(),
-            dev.reads,
-            elapsed.as_secs_f64() * 1e3
-        ]);
+        exp.row2(
+            &csv_row![
+                p,
+                scale,
+                havoq_bench::mteps(r.traversed_edges, elapsed),
+                format!("{:.2}", 100.0 * cache.hit_rate()),
+                dev.reads,
+                ms(elapsed)
+            ],
+            &csv_row![
+                p,
+                scale,
+                r.traversed_edges as f64 / elapsed.as_secs_f64() / 1e6,
+                cache.hit_rate(),
+                dev.reads,
+                elapsed.as_secs_f64() * 1e3
+            ],
+        );
     }
-    csv.finish();
-    println!("\nPaper shape: weak scaling continues into external memory; the page");
-    println!("cache (fed by the vertex-ordered visitor queue) absorbs most accesses,");
-    println!("so adding ranks+data keeps per-rank throughput roughly flat.");
+    exp.finish(&[
+        "Paper shape: weak scaling continues into external memory; the page",
+        "cache (fed by the vertex-ordered visitor queue) absorbs most accesses,",
+        "so adding ranks+data keeps per-rank throughput roughly flat.",
+    ]);
 }

@@ -8,7 +8,7 @@
 //! largest run has 32x more data than "DRAM". We report TEPS relative to
 //! the DRAM-resident baseline plus the cache hit rate that explains it.
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_graph::csr::GraphConfig;
@@ -19,20 +19,25 @@ use havoq_nvram::cache::PageCacheConfig;
 use havoq_nvram::device::DeviceProfile;
 
 fn main() {
-    let ranks: usize = if havoq_bench::quick() { 2 } else { 4 };
-    let base_scale: u32 = if havoq_bench::quick() { 10 } else { 12 };
-    let steps: u32 = if havoq_bench::quick() { 2 } else { 5 }; // up to 32x
+    let ranks: usize = pick(2, 4);
+    let base_scale: u32 = pick(10, 12);
+    let steps: u32 = pick(2, 5); // up to 32x
 
     // cache sized to fully hold the base graph's targets per rank
     let base_edges = RmatGenerator::graph500(base_scale).num_edges() * 2;
     let cache_pages = ((base_edges as usize * 8) / ranks / 4096).max(16);
 
-    println!("Figure 9 — growing data on fixed compute: DRAM-resident baseline vs");
-    println!("up to {}x larger graphs on simulated Fusion-io ({} ranks, cache fixed", 1 << steps, ranks);
-    println!("at the base graph's size)\n");
-    print_header(&["data_x", "scale", "MTEPS", "% of DRAM", "hit_rate%", "time_ms"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            "Figure 9 — growing data on fixed compute: DRAM-resident baseline vs",
+            &format!(
+                "up to {}x larger graphs on simulated Fusion-io ({ranks} ranks, cache fixed",
+                1 << steps
+            ),
+            "at the base graph's size)",
+        ],
         "fig09_nvram_scale.csv",
+        &["data_x", "scale", "MTEPS", "% of DRAM", "hit_rate%", "time_ms"],
         &["data_multiple", "scale", "mteps", "fraction_of_dram", "hit_rate", "time_ms"],
     );
 
@@ -45,7 +50,13 @@ fn main() {
         } else {
             GraphConfig::external(
                 DeviceProfile::fusion_io(),
-                PageCacheConfig { page_size: 4096, capacity_pages: cache_pages, shards: 8, readahead_pages: 8, ..PageCacheConfig::default() },
+                PageCacheConfig {
+                    page_size: 4096,
+                    capacity_pages: cache_pages,
+                    shards: 8,
+                    readahead_pages: 8,
+                    ..PageCacheConfig::default()
+                },
             )
         };
         let out = CommWorld::run(ranks, |ctx| {
@@ -62,26 +73,30 @@ fn main() {
             dram_teps = teps;
         }
         let frac = 100.0 * teps / dram_teps;
-        let hit = cache.map(|c| format!("{:.2}", 100.0 * c.hit_rate())).unwrap_or_else(|| "-".into());
-        print_row(&csv_row![
-            1u64 << step,
-            scale,
-            format!("{:.2}", teps / 1e6),
-            format!("{frac:.0}%"),
-            hit,
-            ms(elapsed)
-        ]);
-        csv.row(&csv_row![
-            1u64 << step,
-            scale,
-            teps / 1e6,
-            teps / dram_teps,
-            cache.map(|c| c.hit_rate()).unwrap_or(1.0),
-            elapsed.as_secs_f64() * 1e3
-        ]);
+        let hit =
+            cache.map(|c| format!("{:.2}", 100.0 * c.hit_rate())).unwrap_or_else(|| "-".into());
+        exp.row2(
+            &csv_row![
+                1u64 << step,
+                scale,
+                format!("{:.2}", teps / 1e6),
+                format!("{frac:.0}%"),
+                hit,
+                ms(elapsed)
+            ],
+            &csv_row![
+                1u64 << step,
+                scale,
+                teps / 1e6,
+                teps / dram_teps,
+                cache.map(|c| c.hit_rate()).unwrap_or(1.0),
+                elapsed.as_secs_f64() * 1e3
+            ],
+        );
     }
-    csv.finish();
-    println!("\nPaper shape: TEPS declines moderately as data grows past DRAM —");
-    println!("32x more data cost only 39% of TEPS on Hyperion. Expect the same");
-    println!("gradual curve here, driven by the cache hit rate column.");
+    exp.finish(&[
+        "Paper shape: TEPS declines moderately as data grows past DRAM —",
+        "32x more data cost only 39% of TEPS on Hyperion. Expect the same",
+        "gradual curve here, driven by the cache hit rate column.",
+    ]);
 }

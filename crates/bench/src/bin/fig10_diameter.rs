@@ -3,7 +3,7 @@
 //! (4096 BG/P cores); decreasing the rewire probability raises the
 //! diameter, and BFS time grows with the resulting BFS level depth.
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_graph::csr::GraphConfig;
@@ -12,17 +12,18 @@ use havoq_graph::gen::smallworld::SmallWorldGenerator;
 use havoq_graph::types::VertexId;
 
 fn main() {
-    let ranks: usize = if havoq_bench::quick() { 2 } else { 4 };
-    let n: u64 = if havoq_bench::quick() { 1 << 12 } else { 1 << 15 };
+    let ranks: usize = pick(2, 4);
+    let n: u64 = pick(1 << 12, 1 << 15);
     let degree = 16u64;
-    let rewires: &[f64] =
-        if havoq_bench::quick() { &[0.001, 0.1] } else { &[0.0001, 0.001, 0.01, 0.05, 0.1, 0.2, 0.3] };
+    let rewires: &[f64] = pick(&[0.001, 0.1][..], &[0.0001, 0.001, 0.01, 0.05, 0.1, 0.2, 0.3][..]);
 
-    println!("Figure 10 — diameter effects on BFS (Small World, {n} vertices,");
-    println!("uniform degree {degree}, fixed {ranks} ranks; rewire ↓ ⇒ diameter ↑)\n");
-    print_header(&["rewire%", "BFS depth", "time_ms", "MTEPS", "visitors"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            &format!("Figure 10 — diameter effects on BFS (Small World, {n} vertices,"),
+            &format!("uniform degree {degree}, fixed {ranks} ranks; rewire ↓ ⇒ diameter ↑)"),
+        ],
         "fig10_diameter.csv",
+        &["rewire%", "BFS depth", "time_ms", "MTEPS", "visitors"],
         &["rewire", "bfs_depth", "time_ms", "mteps", "visitors"],
     );
 
@@ -31,30 +32,34 @@ fn main() {
         let out = CommWorld::run(ranks, |ctx| {
             let mut local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
             local.extend(local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()));
-            let g = DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default());
+            let g =
+                DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default());
             let r = bfs(ctx, &g, VertexId(0), &BfsConfig::default());
             let visitors = ctx.all_reduce_sum(r.stats.visitors_executed);
             (r, visitors)
         });
         let (r, visitors) = &out[0];
         let elapsed = out.iter().map(|o| o.0.elapsed).max().unwrap();
-        print_row(&csv_row![
-            format!("{:.2}", rw * 100.0),
-            r.max_level,
-            ms(elapsed),
-            havoq_bench::mteps(r.traversed_edges, elapsed),
-            visitors
-        ]);
-        csv.row(&csv_row![
-            rw,
-            r.max_level,
-            elapsed.as_secs_f64() * 1e3,
-            r.traversed_edges as f64 / elapsed.as_secs_f64() / 1e6,
-            visitors
-        ]);
+        exp.row2(
+            &csv_row![
+                format!("{:.2}", rw * 100.0),
+                r.max_level,
+                ms(elapsed),
+                havoq_bench::mteps(r.traversed_edges, elapsed),
+                visitors
+            ],
+            &csv_row![
+                rw,
+                r.max_level,
+                elapsed.as_secs_f64() * 1e3,
+                r.traversed_edges as f64 / elapsed.as_secs_f64() / 1e6,
+                visitors
+            ],
+        );
     }
-    csv.finish();
-    println!("\nPaper shape: BFS performance decreases as the depth (diameter) grows —");
-    println!("deep traversals expose less parallelism per level, exactly the");
-    println!("Θ(D + |E|/p + d_in) D-term of the Section VI-D analysis.");
+    exp.finish(&[
+        "Paper shape: BFS performance decreases as the depth (diameter) grows —",
+        "deep traversals expose less parallelism per level, exactly the",
+        "Θ(D + |E|/p + d_in) D-term of the Section VI-D analysis.",
+    ]);
 }

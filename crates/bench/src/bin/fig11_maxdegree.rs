@@ -4,7 +4,7 @@
 //! ⇒ bigger hubs ⇒ slower triangle counting (the d_out_max factor of the
 //! Section VI-D bound).
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::triangle::{triangle_count, TriangleConfig};
 use havoq_graph::analysis::DegreeCensus;
@@ -13,17 +13,18 @@ use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::pa::PaGenerator;
 
 fn main() {
-    let ranks: usize = if havoq_bench::quick() { 2 } else { 4 };
-    let n: u64 = if havoq_bench::quick() { 1 << 10 } else { 1 << 13 };
+    let ranks: usize = pick(2, 4);
+    let n: u64 = pick(1 << 10, 1 << 13);
     let m_per_v = 8u64;
-    let rewires: &[f64] =
-        if havoq_bench::quick() { &[0.0, 0.5] } else { &[0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 1.0] };
+    let rewires: &[f64] = pick(&[0.0, 0.5][..], &[0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 1.0][..]);
 
-    println!("Figure 11 — max-degree effects on triangle counting (Preferential");
-    println!("Attachment, {n} vertices, {m_per_v} edges/vertex, fixed {ranks} ranks)\n");
-    print_header(&["rewire%", "max_degree", "triangles", "time_ms", "visitors"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[
+            "Figure 11 — max-degree effects on triangle counting (Preferential",
+            &format!("Attachment, {n} vertices, {m_per_v} edges/vertex, fixed {ranks} ranks)"),
+        ],
         "fig11_maxdegree.csv",
+        &["rewire%", "max_degree", "triangles", "time_ms", "visitors"],
         &["rewire", "max_degree", "triangles", "time_ms", "visitors"],
     );
 
@@ -44,17 +45,14 @@ fn main() {
         });
         let (tri, _, visitors) = out[0];
         let elapsed = out.iter().map(|o| o.1).max().unwrap();
-        print_row(&csv_row![
-            format!("{:.0}", rw * 100.0),
-            max_degree,
-            tri,
-            ms(elapsed),
-            visitors
-        ]);
-        csv.row(&csv_row![rw, max_degree, tri, elapsed.as_secs_f64() * 1e3, visitors]);
+        exp.row2(
+            &csv_row![format!("{:.0}", rw * 100.0), max_degree, tri, ms(elapsed), visitors],
+            &csv_row![rw, max_degree, tri, elapsed.as_secs_f64() * 1e3, visitors],
+        );
     }
-    csv.finish();
-    println!("\nPaper shape: runtime falls as rewiring dilutes the hubs — triangle");
-    println!("counting is bounded by O(|E| * d_out_max / p + d_in_max), so the");
-    println!("max-degree column should track the time column.");
+    exp.finish(&[
+        "Paper shape: runtime falls as rewiring dilutes the hubs — triangle",
+        "counting is bounded by O(|E| * d_out_max / p + d_in_max), so the",
+        "max-degree column should track the time column.",
+    ]);
 }

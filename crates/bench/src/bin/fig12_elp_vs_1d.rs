@@ -7,7 +7,7 @@
 //! quantity Figure 2 plots and Figure 12 suffers from), and the received-
 //! visitor imbalance that turns storage skew into compute skew.
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_graph::csr::GraphConfig;
@@ -16,13 +16,15 @@ use havoq_graph::gen::rmat::RmatGenerator;
 use havoq_graph::types::VertexId;
 
 fn main() {
-    let per_rank_log2: u32 = if havoq_bench::quick() { 9 } else { 11 };
-    let worlds: Vec<usize> = if havoq_bench::quick() { vec![4] } else { vec![2, 4, 8, 16, 32] };
+    let per_rank_log2: u32 = pick(9, 11);
+    let worlds: Vec<usize> = pick(vec![4], vec![2, 4, 8, 16, 32]);
 
-    println!("Figure 12 — edge-list partitioning vs 1D (RMAT, 2^{per_rank_log2} vertices/rank)\n");
-    print_header(&["ranks", "strategy", "time_ms", "storage_imb", "recv_imb", "MTEPS"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[&format!(
+            "Figure 12 — edge-list partitioning vs 1D (RMAT, 2^{per_rank_log2} vertices/rank)"
+        )],
         "fig12_elp_vs_1d.csv",
+        &["ranks", "strategy", "time_ms", "storage_imb", "recv_imb", "MTEPS"],
         &["ranks", "strategy", "time_ms", "storage_imbalance", "receive_imbalance", "mteps"],
     );
 
@@ -49,31 +51,37 @@ fn main() {
                 let recv = r.stats.payload_received;
                 let max_recv = ctx.all_reduce_max(recv);
                 let sum_recv = ctx.all_reduce_sum(recv);
-                (r, max_edges as f64 / (sum_edges as f64 / p as f64),
-                 max_recv as f64 / (sum_recv as f64 / p as f64).max(1.0))
+                (
+                    r,
+                    max_edges as f64 / (sum_edges as f64 / p as f64),
+                    max_recv as f64 / (sum_recv as f64 / p as f64).max(1.0),
+                )
             });
             let (r, storage_imb, recv_imb) = &out[0];
             let elapsed = out.iter().map(|o| o.0.elapsed).max().unwrap();
-            print_row(&csv_row![
-                p,
-                name,
-                ms(elapsed),
-                format!("{storage_imb:.3}"),
-                format!("{recv_imb:.3}"),
-                havoq_bench::mteps(r.traversed_edges, elapsed)
-            ]);
-            csv.row(&csv_row![
-                p,
-                name,
-                elapsed.as_secs_f64() * 1e3,
-                storage_imb,
-                recv_imb,
-                r.traversed_edges as f64 / elapsed.as_secs_f64() / 1e6
-            ]);
+            exp.row2(
+                &csv_row![
+                    p,
+                    name,
+                    ms(elapsed),
+                    format!("{storage_imb:.3}"),
+                    format!("{recv_imb:.3}"),
+                    havoq_bench::mteps(r.traversed_edges, elapsed)
+                ],
+                &csv_row![
+                    p,
+                    name,
+                    elapsed.as_secs_f64() * 1e3,
+                    storage_imb,
+                    recv_imb,
+                    r.traversed_edges as f64 / elapsed.as_secs_f64() / 1e6
+                ],
+            );
         }
     }
-    csv.finish();
-    println!("\nPaper shape: edge-list weak scaling is near linear while 1D slows");
-    println!("down from hub-induced imbalance; the storage-imbalance column should");
-    println!("be ~1.0 for edge-list and grow with ranks for 1D.");
+    exp.finish(&[
+        "Paper shape: edge-list weak scaling is near linear while 1D slows",
+        "down from hub-induced imbalance; the storage-imbalance column should",
+        "be ~1.0 for edge-list and grow with ranks for 1D.",
+    ]);
 }

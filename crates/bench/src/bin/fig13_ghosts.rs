@@ -15,7 +15,7 @@
 //! model (500 ns per delivered payload — conservative versus BG/P MPI's
 //! multi-microsecond receive path).
 
-use havoq_bench::{csv_row, ms, print_header, print_row, Csv};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_graph::csr::GraphConfig;
@@ -24,16 +24,23 @@ use havoq_graph::gen::rmat::RmatGenerator;
 use havoq_graph::types::VertexId;
 
 fn main() {
-    let ranks: usize = if havoq_bench::quick() { 4 } else { 8 };
-    let scale: u32 = if havoq_bench::quick() { 11 } else { 14 };
+    let ranks: usize = pick(4, 8);
+    let scale: u32 = pick(11, 14);
     let ghost_counts: &[usize] =
-        if havoq_bench::quick() { &[0, 16] } else { &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512] };
+        pick(&[0, 16][..], &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512][..]);
 
-    println!("Figure 13 — ghost-vertex sweep (RMAT scale {scale}, {ranks} ranks)\n");
-    print_header(&["ghosts", "time_ms", "improve%", "payload_sent", "filtered", "recv_imb"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[&format!("Figure 13 — ghost-vertex sweep (RMAT scale {scale}, {ranks} ranks)")],
         "fig13_ghosts.csv",
-        &["ghosts", "time_ms", "improvement_pct", "payload_sent", "ghost_filtered", "receive_imbalance"],
+        &["ghosts", "time_ms", "improve%", "payload_sent", "filtered", "recv_imb"],
+        &[
+            "ghosts",
+            "time_ms",
+            "improvement_pct",
+            "payload_sent",
+            "ghost_filtered",
+            "receive_imbalance",
+        ],
     );
 
     let gen = RmatGenerator::graph500(scale);
@@ -74,18 +81,21 @@ fn main() {
             base_ms = t;
         }
         let improve = 100.0 * (base_ms - t) / base_ms;
-        print_row(&csv_row![
-            k,
-            ms(elapsed),
-            format!("{improve:.1}"),
-            sent,
-            filtered,
-            format!("{recv_imb:.3}")
-        ]);
-        csv.row(&csv_row![k, t, improve, sent, filtered, recv_imb]);
+        exp.row2(
+            &csv_row![
+                k,
+                ms(elapsed),
+                format!("{improve:.1}"),
+                sent,
+                filtered,
+                format!("{recv_imb:.3}")
+            ],
+            &csv_row![k, t, improve, sent, filtered, recv_imb],
+        );
     }
-    csv.finish();
-    println!("\nPaper shape: a single ghost per partition already improves BFS by");
-    println!(">12%, rising to ~19.5% at 512 ghosts. The filtered column shows the");
-    println!("hub visitors that never hit the network; recv imbalance drops with k.");
+    exp.finish(&[
+        "Paper shape: a single ghost per partition already improves BFS by",
+        ">12%, rising to ~19.5% at 512 ghosts. The filtered column shows the",
+        "hub visitors that never hit the network; recv imbalance drops with k.",
+    ]);
 }

@@ -4,7 +4,7 @@
 //! search keys with nonzero degree, *validate every BFS tree*, and report
 //! the TEPS statistics (min/harmonic-mean/max) the benchmark defines.
 
-use havoq_bench::{csv_row, print_header, print_row, Csv};
+use havoq_bench::{csv_row, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_core::algorithms::validate::validate_bfs;
@@ -14,12 +14,11 @@ use havoq_graph::gen::rmat::RmatGenerator;
 use havoq_graph::types::VertexId;
 
 fn main() {
-    let quick = havoq_bench::quick();
-    let scale: u32 = if quick { 10 } else { 14 };
-    let ranks: usize = if quick { 2 } else { 8 };
-    let num_keys: usize = if quick { 4 } else { 16 }; // official runs use 64
+    let scale: u32 = pick(10, 14);
+    let ranks: usize = pick(2, 8);
+    let num_keys: usize = pick(4, 16); // official runs use 64
 
-    println!("Graph500-style run: RMAT scale {scale}, {ranks} ranks, {num_keys} search keys\n");
+    println!("Graph500-style run: RMAT scale {scale}, {ranks} ranks, {num_keys} search keys");
     let gen = RmatGenerator::graph500(scale);
 
     let results = CommWorld::run(ranks, |ctx| {
@@ -48,42 +47,51 @@ fn main() {
             }
             let r = bfs(ctx, &g, key, &BfsConfig::default());
             let report = validate_bfs(ctx, &g, key, &r.local_state);
-            runs.push((key.0, r.traversed_edges, r.elapsed, report.is_valid()));
+            let wire_bytes = ctx.all_reduce_sum(r.stats.bytes_sent);
+            runs.push((key.0, r.traversed_edges, r.elapsed, report.is_valid(), wire_bytes));
         }
         (construction, runs)
     });
 
     let (construction, runs) = &results[0];
-    println!("construction time: {construction:?}\n");
-    print_header(&["key", "traversed", "time_ms", "MTEPS", "valid"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[&format!("construction time: {construction:?}")],
         "graph500_run.csv",
-        &["key", "traversed_edges", "time_ms", "mteps", "valid"],
+        &["key", "traversed", "time_ms", "MTEPS", "valid", "wire_KiB"],
+        &["key", "traversed_edges", "time_ms", "mteps", "valid", "wire_bytes"],
     );
     let mut teps: Vec<f64> = Vec::new();
     let mut all_valid = true;
-    for (i, (key, traversed, _elapsed, valid)) in runs.iter().enumerate() {
+    for (i, (key, traversed, _elapsed, valid, wire_bytes)) in runs.iter().enumerate() {
         // use the slowest rank's elapsed for this key
         let elapsed = results.iter().map(|(_, rs)| rs[i].2).max().unwrap();
         let t = *traversed as f64 / elapsed.as_secs_f64();
         teps.push(t);
         all_valid &= *valid;
-        print_row(&csv_row![
-            key,
-            traversed,
-            havoq_bench::ms(elapsed),
-            format!("{:.2}", t / 1e6),
-            valid
-        ]);
-        csv.row(&csv_row![key, traversed, elapsed.as_secs_f64() * 1e3, t / 1e6, valid]);
+        exp.row2(
+            &csv_row![
+                key,
+                traversed,
+                havoq_bench::ms(elapsed),
+                format!("{:.2}", t / 1e6),
+                valid,
+                wire_bytes / 1024
+            ],
+            &csv_row![key, traversed, elapsed.as_secs_f64() * 1e3, t / 1e6, valid, wire_bytes],
+        );
     }
-    csv.finish();
 
     let min = teps.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = teps.iter().cloned().fold(0.0, f64::max);
     let harmonic = teps.len() as f64 / teps.iter().map(|t| 1.0 / t).sum::<f64>();
-    println!("\nTEPS min / harmonic mean / max: {:.2} / {:.2} / {:.2} MTEPS",
-        min / 1e6, harmonic / 1e6, max / 1e6);
-    println!("all trees valid: {all_valid}");
+    exp.finish(&[
+        &format!(
+            "TEPS min / harmonic mean / max: {:.2} / {:.2} / {:.2} MTEPS",
+            min / 1e6,
+            harmonic / 1e6,
+            max / 1e6
+        ),
+        &format!("all trees valid: {all_valid}"),
+    ]);
     assert!(all_valid, "Graph500 validation failed");
 }

@@ -14,7 +14,7 @@
 //! ordering DRAM > Fusion-io > SATA-SSD, with NVRAM within a small factor
 //! of DRAM, is the shape to reproduce.
 
-use havoq_bench::{csv_row, print_header, print_row, Csv};
+use havoq_bench::{csv_row, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_graph::csr::GraphConfig;
@@ -25,14 +25,14 @@ use havoq_nvram::cache::PageCacheConfig;
 use havoq_nvram::device::DeviceProfile;
 
 fn main() {
-    let ranks: usize = if havoq_bench::quick() { 2 } else { 4 };
-    let dram_scale: u32 = if havoq_bench::quick() { 10 } else { 12 };
-    let big_scale: u32 = dram_scale + if havoq_bench::quick() { 1 } else { 3 };
+    let ranks: usize = pick(2, 4);
+    let dram_scale: u32 = pick(10, 12);
+    let big_scale: u32 = dram_scale + pick(1, 3);
 
-    println!("Table II — Graph500-style BFS across storage tiers ({ranks} ranks)\n");
-    print_header(&["tier", "scale", "storage", "MTEPS", "hit_rate%"]);
-    let mut csv = Csv::create(
+    let mut exp = Experiment::begin(
+        &[&format!("Table II — Graph500-style BFS across storage tiers ({ranks} ranks)")],
         "table2_graph500.csv",
+        &["tier", "scale", "storage", "MTEPS", "hit_rate%"],
         &["tier", "scale", "storage", "mteps", "hit_rate"],
     );
 
@@ -53,7 +53,13 @@ fn main() {
             None => GraphConfig::default(),
             Some(p) => GraphConfig::external(
                 p,
-                PageCacheConfig { page_size: 4096, capacity_pages: cache_pages, shards: 8, readahead_pages: 8, ..PageCacheConfig::default() },
+                PageCacheConfig {
+                    page_size: 4096,
+                    capacity_pages: cache_pages,
+                    shards: 8,
+                    readahead_pages: 8,
+                    ..PageCacheConfig::default()
+                },
             ),
         };
         // Graph500 convention: report the best of several search keys
@@ -79,11 +85,14 @@ fn main() {
         }
         let hit = best_hit.map(|c| format!("{:.2}", 100.0 * c.hit_rate())).unwrap_or("-".into());
         let storage = profile.map(|p| p.name).unwrap_or("dram");
-        print_row(&csv_row![tier, scale, storage, format!("{:.2}", best_teps / 1e6), hit]);
-        csv.row(&csv_row![tier, scale, storage, best_teps / 1e6, hit]);
+        exp.row2(
+            &csv_row![tier, scale, storage, format!("{:.2}", best_teps / 1e6), hit],
+            &csv_row![tier, scale, storage, best_teps / 1e6, hit],
+        );
     }
-    csv.finish();
-    println!("\nPaper shape: DRAM fastest; Fusion-io within ~0.6x of DRAM despite a");
-    println!("32x larger graph; commodity SATA SSD slower again but still practical —");
-    println!("the claim that NVRAM-backed BFS is Graph500-competitive.");
+    exp.finish(&[
+        "Paper shape: DRAM fastest; Fusion-io within ~0.6x of DRAM despite a",
+        "32x larger graph; commodity SATA SSD slower again but still practical —",
+        "the claim that NVRAM-backed BFS is Graph500-competitive.",
+    ]);
 }

@@ -17,6 +17,16 @@ pub fn quick() -> bool {
     std::env::var("HAVOQ_QUICK").map(|v| v != "0").unwrap_or(false)
 }
 
+/// Pick the reduced-sweep parameter under `HAVOQ_QUICK`, the full one
+/// otherwise. Every experiment binary sizes its workload this way.
+pub fn pick<T>(quick_val: T, full_val: T) -> T {
+    if quick() {
+        quick_val
+    } else {
+        full_val
+    }
+}
+
 /// Additional scale applied to workloads (log2 steps).
 pub fn scale_bump() -> u32 {
     std::env::var("HAVOQ_SCALE_BUMP").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
@@ -52,6 +62,53 @@ impl Csv {
     pub fn finish(mut self) {
         self.out.flush().expect("flush csv");
         eprintln!("[csv] wrote {}", self.path.display());
+    }
+}
+
+/// One experiment artifact: the console banner + table and the CSV under
+/// `results/`, driven together so every binary emits both the same way.
+///
+/// The banner lines print verbatim, then a blank line, then the table
+/// header; rows go to both sinks; `finish` closes the CSV and prints the
+/// paper-shape commentary that states which trend the run should show.
+pub struct Experiment {
+    csv: Csv,
+}
+
+impl Experiment {
+    pub fn begin(
+        banner: &[&str],
+        csv_name: &str,
+        console_cols: &[&str],
+        csv_cols: &[&str],
+    ) -> Self {
+        for line in banner {
+            println!("{line}");
+        }
+        println!();
+        print_header(console_cols);
+        Experiment { csv: Csv::create(csv_name, csv_cols) }
+    }
+
+    /// Emit one row to both the console table and the CSV.
+    pub fn row(&mut self, fields: &[String]) {
+        print_row(fields);
+        self.csv.row(fields);
+    }
+
+    /// Emit a row whose console formatting differs from the CSV record
+    /// (e.g. human-rounded times next to raw floats).
+    pub fn row2(&mut self, console: &[String], csv: &[String]) {
+        print_row(console);
+        self.csv.row(csv);
+    }
+
+    pub fn finish(self, notes: &[&str]) {
+        self.csv.finish();
+        println!();
+        for line in notes {
+            println!("{line}");
+        }
     }
 }
 
@@ -97,12 +154,126 @@ pub fn mteps(edges: u64, d: Duration) -> String {
     }
 }
 
+/// Dependency-free microbenchmark harness used by the `benches/` targets
+/// (`harness = false`): auto-calibrated batch sizes, a handful of samples,
+/// and a min/median/mean table. Honors `HAVOQ_QUICK` for CI smoke runs.
+pub mod microbench {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    use super::{print_header, print_row, quick};
+
+    /// A named group of benchmarks sharing one console table.
+    pub struct Group {
+        samples: usize,
+        target_batch: Duration,
+    }
+
+    /// Open a group: prints the banner and the result table header.
+    pub fn group(name: &str) -> Group {
+        let (samples, target_batch) =
+            if quick() { (3, Duration::from_millis(2)) } else { (10, Duration::from_millis(20)) };
+        println!("microbench group: {name}  ({samples} samples)\n");
+        print_header(&["benchmark", "iters", "min", "median", "mean"]);
+        Group { samples, target_batch }
+    }
+
+    fn fmt_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} us", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+
+    impl Group {
+        /// Time one closure: calibrate a batch size so a batch is long
+        /// enough to measure, then report per-iteration latency over
+        /// `samples` batches.
+        pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+            // Warm-up + calibration: grow the batch until it fills the
+            // target window (capped so slow world-spawning benches still
+            // finish promptly).
+            let mut iters: u64 = 1;
+            loop {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                let elapsed = t0.elapsed();
+                if elapsed >= self.target_batch || iters >= 1 << 20 {
+                    break;
+                }
+                let scale = (self.target_batch.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                    .ceil() as u64;
+                iters = (iters * scale.clamp(2, 100)).min(1 << 20);
+            }
+            let mut per_iter_ns: Vec<f64> = (0..self.samples)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+                })
+                .collect();
+            per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+            let min = per_iter_ns[0];
+            let median = per_iter_ns[per_iter_ns.len() / 2];
+            let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+            print_row(&[
+                name.to_string(),
+                iters.to_string(),
+                fmt_ns(min),
+                fmt_ns(median),
+                fmt_ns(mean),
+            ]);
+        }
+
+        pub fn finish(self) {
+            println!();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // These tests toggle process-global environment variables; serialize
+    // them so the parallel test runner can't interleave the mutations.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn pick_follows_quick_flag() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var("HAVOQ_QUICK");
+        assert_eq!(pick(1, 2), 2);
+        std::env::set_var("HAVOQ_QUICK", "1");
+        assert_eq!(pick(1, 2), 1);
+        std::env::remove_var("HAVOQ_QUICK");
+    }
+
+    #[test]
+    fn experiment_writes_both_sinks() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("HAVOQ_RESULTS", std::env::temp_dir().join("havoq-exp-test"));
+        let mut exp = Experiment::begin(&["banner"], "exp.csv", &["a", "b"], &["a", "b"]);
+        exp.row(&csv_row![1, 2]);
+        exp.row2(&csv_row!["1.0 ms", "x"], &csv_row![1.5, "x"]);
+        exp.finish(&["note"]);
+        let text = std::fs::read_to_string(results_dir().join("exp.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,2\n1.5,x\n");
+        std::env::remove_var("HAVOQ_RESULTS");
+    }
+
     #[test]
     fn csv_roundtrip() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         std::env::set_var("HAVOQ_RESULTS", std::env::temp_dir().join("havoq-csv-test"));
         let mut c = Csv::create("t.csv", &["a", "b"]);
         c.row(&csv_row![1, "x"]);

@@ -1,0 +1,326 @@
+//! In-tree MPMC channel used by the transport layer.
+//!
+//! Replaces the external channel crate the seed used: a `Mutex<VecDeque>` +
+//! two condvars, supporting optional capacity bounds. Bounded channels are
+//! the backpressure mechanism of the byte-framed wire layer: a full queue
+//! makes `try_send` fail so the mailbox can count the stall and run its
+//! slow path (drain own receiver, retry) instead of buffering without
+//! limit.
+//!
+//! Throughput is not the design goal — the simulated ranks batch payloads
+//! into multi-kilobyte frames precisely so channel operations are rare.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::try_send`], carrying the message back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+/// Error returned by [`Sender::send`], carrying the message back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Create a channel; `capacity: None` is unbounded.
+pub fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    if let Some(c) = capacity {
+        assert!(c > 0, "bounded channel capacity must be positive");
+    }
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Non-blocking send; fails with the message if full or disconnected.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.inner.capacity {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking send: waits for space on a bounded channel. Fails only when
+    /// every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.inner.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self.inner.not_full.wait(st).unwrap();
+                }
+                _ => {
+                    st.queue.push_back(msg);
+                    drop(st);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().senders += 1;
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.senders -= 1;
+            st.senders
+        };
+        if remaining == 0 {
+            // wake receivers blocked on an empty queue so they observe the
+            // disconnect
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.inner.state.lock().unwrap();
+        match st.queue.pop_front() {
+            Some(v) => {
+                drop(st);
+                self.inner.not_full.notify_one();
+                Ok(v)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self.inner.not_empty.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Blocking receive with no deadline.
+    pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            st = self.inner.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Queued message count (racy; for tests and introspection).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().receivers += 1;
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.receivers -= 1;
+            st.receivers
+        };
+        if remaining == 0 {
+            // wake senders blocked on a full queue
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = channel::<u32>(None);
+        for i in 0..100 {
+            tx.try_send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.try_recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_fills_up() {
+        let (tx, rx) = channel::<u32>(Some(2));
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn disconnect_on_receiver_drop() {
+        let (tx, rx) = channel::<u32>(None);
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+        assert!(tx.send(2).is_err());
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = channel::<u32>(None);
+        tx.try_send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv().unwrap(), 9);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = channel::<u32>(None);
+        let t0 = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = channel::<u32>(Some(1));
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the main thread receives
+            drop(tx);
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_sums_match() {
+        let (tx, rx) = channel::<u64>(Some(8));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let got: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        let want: u64 = (0..4u64).map(|p| (0..250u64).map(|i| p * 1000 + i).sum::<u64>()).sum();
+        assert_eq!(got, want);
+    }
+}

@@ -10,7 +10,7 @@
 //! SPMD contract: every rank must invoke every collective in the same order
 //! (each invocation draws a fresh world-agreed channel tag).
 
-use rustc_hash::FxHashMap;
+use havoq_util::FxHashMap;
 
 use crate::runtime::RankCtx;
 
@@ -178,7 +178,8 @@ impl RankCtx {
         let ch = self.channel_internal::<Vec<T>>(tag);
         for (dst, buf) in outgoing.drain(..).enumerate() {
             let n = buf.len() as u64;
-            ch.send_counted(dst, buf, n);
+            // byte volume is an in-memory estimate (typed channel, not framed)
+            ch.send_counted(dst, buf, n, n * std::mem::size_of::<T>() as u64);
         }
         let mut incoming: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
         let mut remaining = p;

@@ -23,6 +23,8 @@
 //! identical to what a real network would carry; only absolute latencies
 //! differ. See DESIGN.md at the workspace root for the substitution argument.
 
+pub mod chan;
+pub mod codec;
 pub mod collectives;
 pub mod mailbox;
 pub mod registry;
@@ -32,7 +34,8 @@ pub mod termination;
 pub mod topology;
 pub mod transport;
 
-pub use mailbox::{Mailbox, MailboxConfig, MailboxStatsSnapshot};
+pub use codec::{Frame, FramePool, WireCodec, FRAME_HEADER_BYTES, RECORD_DST_BYTES};
+pub use mailbox::{Mailbox, MailboxConfig, MailboxStatsSnapshot, DEFAULT_CHANNEL_CAPACITY};
 pub use runtime::{CommWorld, RankCtx};
 pub use stats::{ChannelStats, ChannelStatsSnapshot};
 pub use termination::Quiescence;

@@ -1,35 +1,55 @@
 //! The paper's mailbox abstraction: `send(rank, data)` / `receive()` with
-//! message aggregation and routing (Sections III-B and V).
+//! message aggregation and routing (Sections III-B and V) — byte-framed.
 //!
-//! Payload messages are buffered per next-hop and shipped in batches. With a
-//! routed topology an intermediate rank re-buffers transit batches toward
-//! their final destinations, which is exactly where the paper's extra
-//! aggregation factor of `O(sqrt(p))` comes from: a routed rank merges
-//! payloads from many sources heading to the same column.
+//! Payloads are encoded through [`WireCodec`] and packed per next-hop into
+//! [`Frame`] buffers (header + fixed-size records, see `codec.rs`). A frame
+//! ships when it holds `batch_size` records or `frame_bytes` of payload,
+//! whichever limit binds first. With a routed topology an intermediate rank
+//! re-packs transit records toward their final destinations *by copying raw
+//! record bytes* — exactly where the paper's extra aggregation factor of
+//! `O(sqrt(p))` comes from: a routed rank merges records from many sources
+//! heading to the same column.
+//!
+//! Frame buffers are recycled through a per-mailbox [`FramePool`]: in steady
+//! state a rank receives about as many frames as it sends, so traversal
+//! ships frames with zero allocation.
+//!
+//! Channels are bounded (capacity [`MailboxConfig::channel_capacity`]); a
+//! full channel makes `ship` run the blocking slow path: count the stall,
+//! drain this rank's own receiver into an inbox (so mutually-blocked ranks
+//! always make progress), check for world poison, retry.
 //!
 //! End-to-end payload counters (`sent`, `received`) feed the quiescence
 //! detector: a payload counts as sent when the origin rank accepts it and as
 //! received when the final destination dequeues it, so in-flight transit
-//! batches keep the traversal alive.
+//! frames keep the traversal alive.
 
+use crate::chan::TrySendError;
+use crate::codec::{
+    frame_init, frame_record_count, frame_record_size, frame_set_count, Frame, FramePool,
+    WireCodec, FRAME_HEADER_BYTES, RECORD_DST_BYTES,
+};
 use crate::runtime::RankCtx;
 use crate::topology::{Topology, TopologyKind};
 use crate::transport::Transport;
 use std::collections::VecDeque;
-
-/// A payload plus its final destination, as carried inside transport batches.
-struct Pkt<M> {
-    dst: u32,
-    msg: M,
-}
 
 /// Configuration for a [`Mailbox`].
 #[derive(Clone, Copy, Debug)]
 pub struct MailboxConfig {
     /// Routing topology for dense communication.
     pub topology: TopologyKind,
-    /// Flush a per-next-hop buffer once it holds this many payloads.
+    /// Flush a per-next-hop frame once it holds this many payload records.
     pub batch_size: usize,
+    /// Flush a per-next-hop frame once it reaches this many bytes (header
+    /// included). The record-count cap is
+    /// `min(batch_size, (frame_bytes - header) / record_size)`, so whichever
+    /// limit binds first triggers the flush. Default 4 KiB.
+    pub frame_bytes: usize,
+    /// Per-queue bound on in-flight frames between a rank pair. `None` is
+    /// unbounded (no backpressure, the seed behavior); `Some(n)` makes a
+    /// full queue stall the sender into the drain-and-retry slow path.
+    pub channel_capacity: Option<usize>,
     /// Simulated network cost charged at the receiver per delivered
     /// payload, in nanoseconds. Zero (the default) disables the model.
     ///
@@ -42,9 +62,20 @@ pub struct MailboxConfig {
     pub recv_cost_ns: u64,
 }
 
+/// Default per-queue frame capacity: deep enough that healthy traversals
+/// never stall, shallow enough that a stuck receiver backpressures its
+/// senders instead of buffering without limit.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
+
 impl Default for MailboxConfig {
     fn default() -> Self {
-        Self { topology: TopologyKind::Direct, batch_size: 64, recv_cost_ns: 0 }
+        Self {
+            topology: TopologyKind::Direct,
+            batch_size: 64,
+            frame_bytes: 4096,
+            channel_capacity: Some(DEFAULT_CHANNEL_CAPACITY),
+            recv_cost_ns: 0,
+        }
     }
 }
 
@@ -57,23 +88,51 @@ impl MailboxConfig {
         self.recv_cost_ns = ns;
         self
     }
+
+    pub fn with_frame_bytes(mut self, bytes: usize) -> Self {
+        self.frame_bytes = bytes;
+        self
+    }
+
+    pub fn with_channel_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.channel_capacity = capacity;
+        self
+    }
 }
 
-/// Aggregating, optionally routed mailbox for payload type `M`.
-pub struct Mailbox<M: Send + 'static> {
-    transport: Transport<Vec<Pkt<M>>>,
+/// Aggregating, optionally routed, byte-framed mailbox for payload type `M`.
+pub struct Mailbox<M: Send + WireCodec + 'static> {
+    transport: Transport<Frame>,
     topo: Box<dyn Topology>,
-    batch_size: usize,
-    /// Out-buffers, indexed by next-hop rank; lazily grown.
-    out: Vec<Vec<Pkt<M>>>,
+    /// Records per frame before a flush (both limits folded in).
+    cap_records: usize,
+    /// Bytes per record on the wire: 4-byte destination prefix + payload.
+    record_size: usize,
+    decode_ctx: M::DecodeCtx,
+    /// Frame under construction per next-hop rank (empty = none started).
+    out: Vec<Vec<u8>>,
+    /// Record count of each frame under construction.
+    out_counts: Vec<u32>,
     /// Total payloads currently waiting in `out`.
     pending_out: usize,
     /// Loopback queue for self-sends.
     local: VecDeque<M>,
+    /// Frames drained off our receiver while waiting for channel space.
+    inbox: VecDeque<Vec<u8>>,
+    pool: FramePool,
     recv_cost_ns: u64,
+    // end-to-end payload counters
     sent: u64,
     received: u64,
     transit_forwarded: u64,
+    // byte-level counters
+    frames_sent: u64,
+    frames_received: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+    records_sent: u64,
+    backpressure_stalls: u64,
+    fill_hist: [u64; 8],
 }
 
 /// Busy-wait for `ns` nanoseconds (sleep granularity is far coarser).
@@ -89,23 +148,57 @@ fn spin_ns(ns: u64) {
     }
 }
 
-impl<M: Send + 'static> Mailbox<M> {
+impl<M: Send + WireCodec + 'static> Mailbox<M> {
     /// Open the mailbox on channel `tag` with the given config. Collective:
-    /// all ranks must open the same `(M, tag)` mailbox.
-    pub fn open(ctx: &RankCtx, tag: u64, cfg: MailboxConfig) -> Self {
-        let transport = ctx.channel::<Vec<Pkt<M>>>(tag);
+    /// all ranks must open the same `(M, tag)` mailbox. For payload types
+    /// whose [`WireCodec::DecodeCtx`] is not `Default`, use
+    /// [`Mailbox::open_with`].
+    pub fn open(ctx: &RankCtx, tag: u64, cfg: MailboxConfig) -> Self
+    where
+        M::DecodeCtx: Default,
+    {
+        Self::open_with(ctx, tag, cfg, M::DecodeCtx::default())
+    }
+
+    /// Open the mailbox supplying the decode context used to reconstruct
+    /// payloads from their wire bytes (e.g. a rank-replicated subset table).
+    pub fn open_with(
+        ctx: &RankCtx,
+        tag: u64,
+        cfg: MailboxConfig,
+        decode_ctx: M::DecodeCtx,
+    ) -> Self {
+        let transport = ctx.channel_with_capacity::<Frame>(tag, cfg.channel_capacity);
         let p = ctx.size();
+        let record_size = RECORD_DST_BYTES + M::WIRE_SIZE;
+        let by_bytes = cfg.frame_bytes.saturating_sub(FRAME_HEADER_BYTES) / record_size;
+        let cap_records = cfg.batch_size.max(1).min(by_bytes.max(1));
+        let frame_cap = FRAME_HEADER_BYTES + cap_records * record_size;
         Self {
             transport,
             topo: cfg.topology.build(p),
-            batch_size: cfg.batch_size.max(1),
+            cap_records,
+            record_size,
+            decode_ctx,
             out: (0..p).map(|_| Vec::new()).collect(),
+            out_counts: vec![0; p],
             pending_out: 0,
             local: VecDeque::new(),
+            inbox: VecDeque::new(),
+            // a rank builds at most one frame per hop and keeps a few spares
+            // for receive churn
+            pool: FramePool::new(frame_cap, 2 * p + 8),
             recv_cost_ns: cfg.recv_cost_ns,
             sent: 0,
             received: 0,
             transit_forwarded: 0,
+            frames_sent: 0,
+            frames_received: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
+            records_sent: 0,
+            backpressure_stalls: 0,
+            fill_hist: [0; 8],
         }
     }
 
@@ -119,6 +212,13 @@ impl<M: Send + 'static> Mailbox<M> {
         self.transport.ranks()
     }
 
+    /// Records per frame before a flush triggers (the fill-ratio
+    /// denominator).
+    #[inline]
+    pub fn frame_capacity_records(&self) -> usize {
+        self.cap_records
+    }
+
     /// Queue `msg` for delivery to `dst` (paper: `mb.send(rank, data)`).
     pub fn send(&mut self, dst: usize, msg: M) {
         self.sent += 1;
@@ -128,37 +228,109 @@ impl<M: Send + 'static> Mailbox<M> {
             self.local.push_back(msg);
             return;
         }
-        self.buffer_toward(dst, msg);
+        let hop = self.route_toward(dst);
+        self.begin_record(hop, dst);
+        let buf = &mut self.out[hop];
+        let start = buf.len();
+        buf.resize(start + M::WIRE_SIZE, 0);
+        msg.encode(&mut buf[start..]);
+        self.end_record(hop);
     }
 
-    fn buffer_toward(&mut self, dst: usize, msg: M) {
+    /// Re-buffer a transit record toward `dst` by raw byte copy — transit
+    /// hops never decode payloads.
+    fn buffer_raw(&mut self, dst: usize, payload: &[u8]) {
+        let hop = self.route_toward(dst);
+        self.begin_record(hop, dst);
+        self.out[hop].extend_from_slice(payload);
+        self.end_record(hop);
+    }
+
+    #[inline]
+    fn route_toward(&self, dst: usize) -> usize {
         let hop = self.topo.route(self.rank(), dst);
         debug_assert_ne!(hop, self.rank(), "topology routed a remote message to self");
-        self.out[hop].push(Pkt { dst: dst as u32, msg });
+        hop
+    }
+
+    /// Start a record in hop's frame: lazily init the frame, write the
+    /// destination prefix.
+    fn begin_record(&mut self, hop: usize, dst: usize) {
+        if self.out[hop].is_empty() {
+            let mut buf = self.pool.get();
+            frame_init(&mut buf, self.record_size as u32);
+            self.out[hop] = buf;
+        }
+        self.out[hop].extend_from_slice(&(dst as u32).to_le_bytes());
+    }
+
+    /// Close a record: bump counts and flush the frame if it is full.
+    fn end_record(&mut self, hop: usize) {
+        self.out_counts[hop] += 1;
         self.pending_out += 1;
-        if self.out[hop].len() >= self.batch_size {
+        if self.out_counts[hop] as usize >= self.cap_records {
             self.flush_hop(hop);
         }
     }
 
     fn flush_hop(&mut self, hop: usize) {
-        if self.out[hop].is_empty() {
+        let records = self.out_counts[hop];
+        if records == 0 {
             return;
         }
-        let batch = std::mem::take(&mut self.out[hop]);
-        self.pending_out -= batch.len();
-        let n = batch.len() as u64;
-        self.transport.send_counted(hop, batch, n);
+        let mut buf = std::mem::take(&mut self.out[hop]);
+        self.out_counts[hop] = 0;
+        frame_set_count(&mut buf, records);
+        self.pending_out -= records as usize;
+        let bytes = buf.len() as u64;
+        self.frames_sent += 1;
+        self.bytes_sent += bytes;
+        self.records_sent += records as u64;
+        // fill bucket b covers (b/8, (b+1)/8] of capacity
+        let bucket = ((records as usize * 8).saturating_sub(1) / self.cap_records).min(7);
+        self.fill_hist[bucket] += 1;
+        self.ship(hop, Frame { buf }, records as u64, bytes);
     }
 
-    /// Flush every partially-filled aggregation buffer.
+    /// Hand one finalized frame to the transport, running the backpressure
+    /// slow path if the bounded channel is full: count the stall, drain our
+    /// own receiver into the inbox (a blocked sender must keep consuming so
+    /// the world always makes progress), check for poison, retry.
+    fn ship(&mut self, hop: usize, frame: Frame, records: u64, bytes: u64) {
+        let mut frame = frame;
+        loop {
+            match self.transport.try_send_counted(hop, frame, records, bytes) {
+                Ok(()) => return,
+                Err(TrySendError::Full(f)) => {
+                    self.backpressure_stalls += 1;
+                    let mut drained = false;
+                    while let Some((_src, fr)) = self.transport.try_recv() {
+                        self.inbox.push_back(fr.buf);
+                        drained = true;
+                    }
+                    if !drained {
+                        self.transport.check_poison();
+                        std::thread::yield_now();
+                    }
+                    frame = f;
+                }
+                Err(TrySendError::Disconnected(f)) => {
+                    // world shutting down: delivery no longer matters
+                    self.pool.put(f.buf);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Flush every partially-filled aggregation frame.
     pub fn flush(&mut self) {
         for hop in 0..self.out.len() {
             self.flush_hop(hop);
         }
     }
 
-    /// Drain arrived payloads into `out`, forwarding transit batches toward
+    /// Drain arrived payloads into `out`, forwarding transit records toward
     /// their destinations. Returns the number of payloads delivered locally.
     ///
     /// Must be called regularly even by "idle" ranks — under a routed
@@ -170,22 +342,43 @@ impl<M: Send + 'static> Mailbox<M> {
             out.push(m);
             delivered += 1;
         }
-        while let Some((_src, batch)) = self.transport.try_recv() {
-            for pkt in batch {
-                if pkt.dst as usize == self.rank() {
-                    self.received += 1;
-                    out.push(pkt.msg);
-                    delivered += 1;
-                } else {
-                    self.transit_forwarded += 1;
-                    self.buffer_toward(pkt.dst as usize, pkt.msg);
-                }
-            }
+        // frames drained during a backpressure stall are processed first
+        while let Some(buf) = self.inbox.pop_front() {
+            delivered += self.process_frame(buf, out);
+        }
+        while let Some((_src, frame)) = self.transport.try_recv() {
+            delivered += self.process_frame(frame.buf, out);
         }
         // network cost model: per-payload receive overhead (see
         // `MailboxConfig::recv_cost_ns`); self-sends are charged too — the
         // paper's queue pushes even local visitors through the mailbox
         spin_ns(self.recv_cost_ns.saturating_mul(delivered as u64));
+        delivered
+    }
+
+    /// Unpack one received frame: deliver records addressed here, re-buffer
+    /// transit records, recycle the buffer.
+    fn process_frame(&mut self, buf: Vec<u8>, out: &mut Vec<M>) -> usize {
+        self.frames_received += 1;
+        self.bytes_received += buf.len() as u64;
+        debug_assert_eq!(frame_record_size(&buf) as usize, self.record_size);
+        let count = frame_record_count(&buf) as usize;
+        let me = self.rank() as u32;
+        let mut delivered = 0;
+        for r in 0..count {
+            let off = FRAME_HEADER_BYTES + r * self.record_size;
+            let dst = u32::from_le_bytes(buf[off..off + RECORD_DST_BYTES].try_into().unwrap());
+            let payload = &buf[off + RECORD_DST_BYTES..off + self.record_size];
+            if dst == me {
+                self.received += 1;
+                out.push(M::decode(payload, &self.decode_ctx));
+                delivered += 1;
+            } else {
+                self.transit_forwarded += 1;
+                self.buffer_raw(dst as usize, payload);
+            }
+        }
+        self.pool.put(buf);
         delivered
     }
 
@@ -201,7 +394,7 @@ impl<M: Send + 'static> Mailbox<M> {
         self.received
     }
 
-    /// Payloads waiting in this rank's aggregation buffers (origin or
+    /// Payloads waiting in this rank's aggregation frames (origin or
     /// transit). Zero is a precondition for reporting idle to the
     /// quiescence detector.
     #[inline]
@@ -215,10 +408,20 @@ impl<M: Send + 'static> Mailbox<M> {
             sent: self.sent,
             received: self.received,
             transit_forwarded: self.transit_forwarded,
+            frames_sent: self.frames_sent,
+            frames_received: self.frames_received,
+            bytes_sent: self.bytes_sent,
+            bytes_received: self.bytes_received,
+            records_sent: self.records_sent,
+            backpressure_stalls: self.backpressure_stalls,
+            frame_capacity_records: self.cap_records as u64,
+            frame_fill_hist: self.fill_hist,
+            pool_allocated: self.pool.allocated(),
+            pool_reused: self.pool.reused(),
         }
     }
 
-    /// World-wide transport traffic matrix (batches and payload items).
+    /// World-wide transport traffic matrix (frames, payload items, bytes).
     pub fn transport_stats(&self) -> crate::stats::ChannelStatsSnapshot {
         self.transport.stats_snapshot()
     }
@@ -231,6 +434,56 @@ pub struct MailboxStatsSnapshot {
     pub received: u64,
     /// Payloads this rank forwarded as an intermediate router.
     pub transit_forwarded: u64,
+    /// Frames shipped / unpacked by this rank.
+    pub frames_sent: u64,
+    pub frames_received: u64,
+    /// Wire bytes shipped / unpacked (headers included).
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    /// Records packed into shipped frames (origin + transit).
+    pub records_sent: u64,
+    /// Times a send found its bounded channel full and ran the slow path.
+    pub backpressure_stalls: u64,
+    /// The fill-ratio denominator: records per frame before a flush.
+    pub frame_capacity_records: u64,
+    /// Histogram of shipped-frame fill ratios; bucket `b` covers
+    /// `(b/8, (b+1)/8]` of `frame_capacity_records`.
+    pub frame_fill_hist: [u64; 8],
+    /// Frame buffers allocated from the system / served from the free list.
+    pub pool_allocated: u64,
+    pub pool_reused: u64,
+}
+
+impl MailboxStatsSnapshot {
+    /// Mean fill ratio of shipped frames in `(0, 1]` (0.0 if none shipped).
+    pub fn mean_frame_fill(&self) -> f64 {
+        if self.frames_sent == 0 || self.frame_capacity_records == 0 {
+            0.0
+        } else {
+            self.records_sent as f64 / (self.frames_sent * self.frame_capacity_records) as f64
+        }
+    }
+
+    /// Merge another rank's counters into this one (histogram included).
+    /// `frame_capacity_records` must match, as it does for mailboxes opened
+    /// with the same config.
+    pub fn merge(&mut self, other: &MailboxStatsSnapshot) {
+        self.sent += other.sent;
+        self.received += other.received;
+        self.transit_forwarded += other.transit_forwarded;
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.records_sent += other.records_sent;
+        self.backpressure_stalls += other.backpressure_stalls;
+        self.frame_capacity_records = self.frame_capacity_records.max(other.frame_capacity_records);
+        for (a, b) in self.frame_fill_hist.iter_mut().zip(other.frame_fill_hist.iter()) {
+            *a += b;
+        }
+        self.pool_allocated += other.pool_allocated;
+        self.pool_reused += other.pool_reused;
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +495,7 @@ mod tests {
     /// itself); polls until the quiescence detector confirms global
     /// delivery. Blocking collectives must NOT be used here: under a routed
     /// topology every rank is also a router, and a rank parked inside a
-    /// blocking collective stops forwarding other ranks' transit batches.
+    /// blocking collective stops forwarding other ranks' transit frames.
     /// Returns per-rank stats plus the transport matrix.
     fn all_to_all_exercise(
         p: usize,
@@ -261,7 +514,7 @@ mod tests {
             let mut got = Vec::new();
             loop {
                 if mb.poll(&mut got) == 0 {
-                    // flush partially-filled origin/transit batches, exactly
+                    // flush partially-filled origin/transit frames, exactly
                     // like the traversal loop does when idle
                     mb.flush();
                     let idle = mb.pending_out() == 0;
@@ -301,7 +554,11 @@ mod tests {
     #[test]
     fn routed2d_delivers_everything_and_forwards() {
         let p = 16;
-        let cfg = MailboxConfig { topology: TopologyKind::Routed2D, batch_size: 4, ..MailboxConfig::default() };
+        let cfg = MailboxConfig {
+            topology: TopologyKind::Routed2D,
+            batch_size: 4,
+            ..MailboxConfig::default()
+        };
         let res = all_to_all_exercise(p, cfg, 6);
         let mut total_forwarded = 0;
         for (me, (st, _, sum)) in res.iter().enumerate() {
@@ -315,7 +572,11 @@ mod tests {
     #[test]
     fn routed3d_delivers_everything() {
         let p = 8;
-        let cfg = MailboxConfig { topology: TopologyKind::Routed3D, batch_size: 3, ..MailboxConfig::default() };
+        let cfg = MailboxConfig {
+            topology: TopologyKind::Routed3D,
+            batch_size: 3,
+            ..MailboxConfig::default()
+        };
         let res = all_to_all_exercise(p, cfg, 5);
         for (me, (st, _, sum)) in res.iter().enumerate() {
             assert_eq!(st.received, (p * 5) as u64);
@@ -329,7 +590,11 @@ mod tests {
         let direct = all_to_all_exercise(p, MailboxConfig::default(), 4);
         let routed = all_to_all_exercise(
             p,
-            MailboxConfig { topology: TopologyKind::Routed2D, batch_size: 2, ..MailboxConfig::default() },
+            MailboxConfig {
+                topology: TopologyKind::Routed2D,
+                batch_size: 2,
+                ..MailboxConfig::default()
+            },
             4,
         );
         let d = direct[0].1.max_channels_used();
@@ -342,7 +607,11 @@ mod tests {
     #[test]
     fn batching_aggregates_payloads() {
         let p = 4;
-        let cfg = MailboxConfig { topology: TopologyKind::Direct, batch_size: 16, ..MailboxConfig::default() };
+        let cfg = MailboxConfig {
+            topology: TopologyKind::Direct,
+            batch_size: 16,
+            ..MailboxConfig::default()
+        };
         let res = all_to_all_exercise(p, cfg, 32);
         let snap = &res[0].1;
         assert!(
@@ -350,6 +619,88 @@ mod tests {
             "expected strong aggregation, got {}",
             snap.aggregation_factor()
         );
+    }
+
+    #[test]
+    fn byte_stats_match_frame_math() {
+        // deterministic: all sends before any poll, Direct topology, so
+        // every pair ships ceil(msgs/batch) frames of known size
+        let p = 3;
+        let msgs = 10usize;
+        let batch = 4usize;
+        let cfg = MailboxConfig {
+            topology: TopologyKind::Direct,
+            batch_size: batch,
+            ..MailboxConfig::default()
+        };
+        let record = 4 + 8; // dst prefix + u64 payload
+        let res = all_to_all_exercise(p, cfg, msgs);
+        for (me, (st, tr, _)) in res.iter().enumerate() {
+            // per remote destination: 2 full frames of 4 + 1 frame of 2
+            let frames_per_dst = msgs.div_ceil(batch) as u64;
+            assert_eq!(st.frames_sent, frames_per_dst * (p as u64 - 1), "rank {me}");
+            assert_eq!(st.records_sent, (msgs * (p - 1)) as u64);
+            let expect_bytes = (p as u64 - 1)
+                * (frames_per_dst * FRAME_HEADER_BYTES as u64 + (msgs * record) as u64);
+            assert_eq!(st.bytes_sent, expect_bytes, "rank {me}");
+            assert_eq!(st.bytes_received, expect_bytes, "symmetric all-to-all");
+            for dst in 0..p {
+                if dst != me {
+                    assert_eq!(tr.msgs_between(me, dst), frames_per_dst);
+                    assert_eq!(
+                        tr.bytes_between(me, dst),
+                        frames_per_dst * FRAME_HEADER_BYTES as u64 + (msgs * record) as u64
+                    );
+                }
+            }
+            // fill: 2 frames at 4/4 (bucket 7), 1 frame at 2/4 (bucket 3)
+            assert_eq!(st.frame_fill_hist[7], 2 * (p as u64 - 1));
+            assert_eq!(st.frame_fill_hist[3], p as u64 - 1);
+            let fill = st.mean_frame_fill();
+            assert!((fill - 10.0 / 12.0).abs() < 1e-12, "mean fill {fill}");
+        }
+    }
+
+    #[test]
+    fn frame_bytes_limit_binds_before_batch_size() {
+        // frame_bytes 64: header 8 + records of 12 -> 4 records per frame
+        // even though batch_size allows 64
+        CommWorld::run(1, |ctx| {
+            let cfg = MailboxConfig::default().with_frame_bytes(64);
+            let mb = Mailbox::<u64>::open(ctx, 1, cfg);
+            assert_eq!(mb.frame_capacity_records(), 4);
+        });
+    }
+
+    #[test]
+    fn pool_recycles_after_warmup() {
+        // interleave send and poll the way a traversal loop does, so each
+        // rank's received frames feed its future sends
+        let rounds = 100u64;
+        let res = CommWorld::run(2, |ctx| {
+            let cfg = MailboxConfig { batch_size: 8, ..MailboxConfig::default() };
+            let mut mb = Mailbox::<u64>::open(ctx, 1, cfg);
+            let peer = 1 - ctx.rank();
+            let mut out = Vec::new();
+            for round in 0..rounds {
+                for i in 0..8 {
+                    mb.send(peer, round * 8 + i);
+                }
+                mb.flush();
+                while mb.received_count() < (round + 1) * 8 {
+                    mb.poll(&mut out);
+                }
+            }
+            mb.stats()
+        });
+        for st in &res {
+            assert!(
+                st.pool_reused > st.pool_allocated,
+                "steady state must recycle: allocated {} reused {}",
+                st.pool_allocated,
+                st.pool_reused
+            );
+        }
     }
 
     #[test]
@@ -362,6 +713,7 @@ mod tests {
             assert_eq!(mb.poll(&mut out), 1);
             assert_eq!(out, vec![5]);
             assert_eq!(mb.transport_stats().total_msgs(), 0);
+            assert_eq!(mb.stats().bytes_sent, 0, "self-sends never hit the wire");
         });
     }
 
@@ -389,7 +741,11 @@ mod tests {
             let mut mb = Mailbox::<u32>::open(
                 ctx,
                 1,
-                MailboxConfig { topology: TopologyKind::Direct, batch_size: 100, ..MailboxConfig::default() },
+                MailboxConfig {
+                    topology: TopologyKind::Direct,
+                    batch_size: 100,
+                    ..MailboxConfig::default()
+                },
             );
             if ctx.rank() == 0 {
                 for i in 0..5 {
@@ -408,5 +764,65 @@ mod tests {
                 assert_eq!(out, vec![0, 1, 2, 3, 4]);
             }
         });
+    }
+
+    #[test]
+    fn capacity_one_ping_pong_terminates_with_stalls() {
+        // the satellite scenario: two ranks, every frame channel holds ONE
+        // frame, unaggregated sends. The exchange must terminate (the slow
+        // path keeps draining) and must record stalls on at least one rank.
+        let p = 2;
+        let cfg = MailboxConfig {
+            topology: TopologyKind::Direct,
+            batch_size: 1,
+            channel_capacity: Some(1),
+            ..MailboxConfig::default()
+        };
+        let res = all_to_all_exercise(p, cfg, 300);
+        let total_stalls: u64 = res.iter().map(|(st, _, _)| st.backpressure_stalls).sum();
+        assert!(total_stalls > 0, "capacity 1 under 300 eager sends must stall");
+        for (st, tr, _) in &res {
+            assert_eq!(st.received, 600);
+            assert_eq!(tr.total_stalls(), total_stalls, "shared matrix agrees");
+        }
+    }
+
+    #[test]
+    fn routed_ping_pong_with_tiny_capacity_terminates() {
+        // same property through a routing topology: transit forwarding must
+        // not deadlock against backpressure
+        let p = 8;
+        let cfg = MailboxConfig {
+            topology: TopologyKind::Routed3D,
+            batch_size: 2,
+            channel_capacity: Some(1),
+            ..MailboxConfig::default()
+        };
+        let res = all_to_all_exercise(p, cfg, 50);
+        for (me, (st, _, sum)) in res.iter().enumerate() {
+            assert_eq!(st.received, (p * 50) as u64);
+            assert_eq!(*sum, expected_checksum(p, me, 50));
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let mut a = MailboxStatsSnapshot {
+            frames_sent: 2,
+            records_sent: 6,
+            frame_capacity_records: 4,
+            ..Default::default()
+        };
+        let b = MailboxStatsSnapshot {
+            frames_sent: 1,
+            records_sent: 4,
+            frame_capacity_records: 4,
+            backpressure_stalls: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.frames_sent, 3);
+        assert_eq!(a.backpressure_stalls, 3);
+        assert!((a.mean_frame_fill() - 10.0 / 12.0).abs() < 1e-12);
     }
 }

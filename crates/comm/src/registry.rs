@@ -5,39 +5,45 @@
 //! destination rank; every rank then clones the senders and takes its own
 //! receiver exactly once. This mirrors how MPI programs agree on communicators
 //! and tags out of band.
+//!
+//! [`CommWorld`]: crate::runtime::CommWorld
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-
+use crate::chan::{channel, Receiver, Sender};
 use crate::stats::ChannelStats;
 
 /// A message on the wire, carrying its source rank.
+#[derive(Debug)]
 pub struct Wire<M> {
     pub src: u32,
     pub msg: M,
 }
 
 /// One materialized channel set: `p` queues, one per destination rank.
+///
+/// `capacity` is fixed at creation: `None` for unbounded control channels
+/// (collectives, termination), `Some(n)` for the bounded data-plane
+/// channels the byte-framed mailbox uses for backpressure.
 pub struct ChannelSet<M> {
     pub senders: Vec<Sender<Wire<M>>>,
     pub receivers: Vec<Mutex<Option<Receiver<Wire<M>>>>>,
     pub stats: Arc<ChannelStats>,
+    pub capacity: Option<usize>,
 }
 
 impl<M> ChannelSet<M> {
-    fn new(ranks: usize) -> Self {
+    fn new(ranks: usize, capacity: Option<usize>) -> Self {
         let mut senders = Vec::with_capacity(ranks);
         let mut receivers = Vec::with_capacity(ranks);
         for _ in 0..ranks {
-            let (s, r) = unbounded();
+            let (s, r) = channel(capacity);
             senders.push(s);
             receivers.push(Mutex::new(Some(r)));
         }
-        Self { senders, receivers, stats: Arc::new(ChannelStats::new(ranks)) }
+        Self { senders, receivers, stats: Arc::new(ChannelStats::new(ranks)), capacity }
     }
 }
 
@@ -61,25 +67,54 @@ impl Registry {
         self.ranks
     }
 
-    /// Get (creating on first call) the channel set for `(M, tag)`.
+    /// Get (creating on first call) the unbounded channel set for `(M, tag)`.
     pub fn channel_set<M: Send + 'static>(&self, tag: u64) -> Arc<ChannelSet<M>> {
+        self.channel_set_with_capacity(tag, None)
+    }
+
+    /// Get (creating on first call) the channel set for `(M, tag)` with the
+    /// given per-queue capacity. The first creator's capacity wins; under
+    /// the SPMD contract every rank opens a tag with the same configuration,
+    /// which is asserted here.
+    pub fn channel_set_with_capacity<M: Send + 'static>(
+        &self,
+        tag: u64,
+        capacity: Option<usize>,
+    ) -> Arc<ChannelSet<M>> {
         let key = (TypeId::of::<M>(), tag);
-        let mut slots = self.slots.lock();
+        let mut slots = self.slots.lock().unwrap();
         let entry = slots
             .entry(key)
-            .or_insert_with(|| Arc::new(ChannelSet::<M>::new(self.ranks)) as Arc<dyn Any + Send + Sync>)
+            .or_insert_with(|| {
+                Arc::new(ChannelSet::<M>::new(self.ranks, capacity)) as Arc<dyn Any + Send + Sync>
+            })
             .clone();
         drop(slots);
-        entry
+        let set = entry
             .downcast::<ChannelSet<M>>()
-            .expect("registry slot type mismatch (TypeId collision is impossible)")
+            .expect("registry slot type mismatch (TypeId collision is impossible)");
+        assert_eq!(
+            set.capacity, capacity,
+            "ranks opened channel tag={tag} with different capacities (SPMD violation)"
+        );
+        set
     }
 
     /// Take rank `r`'s receiver for `(M, tag)`. Panics if taken twice: each
     /// rank may open a given channel exactly once, like an MPI communicator.
     pub fn take_receiver<M: Send + 'static>(&self, tag: u64, rank: usize) -> Receiver<Wire<M>> {
-        let set = self.channel_set::<M>(tag);
-        let rx = set.receivers[rank].lock().take();
+        let key = (TypeId::of::<M>(), tag);
+        let entry = self
+            .slots
+            .lock()
+            .unwrap()
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| panic!("channel tag={tag} not created before take_receiver"));
+        let set = entry
+            .downcast::<ChannelSet<M>>()
+            .expect("registry slot type mismatch (TypeId collision is impossible)");
+        let rx = set.receivers[rank].lock().unwrap().take();
         rx.unwrap_or_else(|| panic!("rank {rank} opened channel tag={tag} twice"))
     }
 }
@@ -104,7 +139,7 @@ mod tests {
         let set = reg.channel_set::<u32>(7);
         let rx1 = reg.take_receiver::<u32>(7, 1);
         set.senders[1].send(Wire { src: 0, msg: 42u32 }).unwrap();
-        let w = rx1.recv().unwrap();
+        let w = rx1.try_recv().unwrap();
         assert_eq!(w.src, 0);
         assert_eq!(w.msg, 42);
     }
@@ -134,9 +169,27 @@ mod tests {
     }
 
     #[test]
+    fn bounded_sets_enforce_capacity() {
+        let reg = Registry::new(1);
+        let set = reg.channel_set_with_capacity::<u8>(3, Some(2));
+        assert!(set.senders[0].try_send(Wire { src: 0, msg: 1 }).is_ok());
+        assert!(set.senders[0].try_send(Wire { src: 0, msg: 2 }).is_ok());
+        assert!(set.senders[0].try_send(Wire { src: 0, msg: 3 }).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacities")]
+    fn mismatched_capacity_is_an_spmd_violation() {
+        let reg = Registry::new(1);
+        let _a = reg.channel_set_with_capacity::<u8>(0, Some(4));
+        let _b = reg.channel_set_with_capacity::<u8>(0, None);
+    }
+
+    #[test]
     #[should_panic(expected = "twice")]
     fn double_take_panics() {
         let reg = Registry::new(1);
+        let _ = reg.channel_set::<u8>(0);
         let _ = reg.take_receiver::<u8>(0, 0);
         let _ = reg.take_receiver::<u8>(0, 0);
     }

@@ -96,7 +96,14 @@ pub const AUTO_TAG_BASE: u64 = 1 << 40;
 
 impl RankCtx {
     fn new(rank: usize, ranks: usize, registry: Arc<Registry>, poisoned: Arc<AtomicBool>) -> Self {
-        Self { rank, ranks, registry, poisoned, collective_seq: Cell::new(0), auto_seq: Cell::new(0) }
+        Self {
+            rank,
+            ranks,
+            registry,
+            poisoned,
+            collective_seq: Cell::new(0),
+            auto_seq: Cell::new(0),
+        }
     }
 
     /// Allocate a fresh world-agreed user channel tag. Like collectives,
@@ -141,15 +148,36 @@ impl RankCtx {
     /// All ranks may open each `(M, tag)` pair at most once. `tag` must be
     /// below [`crate::registry::RESERVED_TAG_BASE`].
     pub fn channel<M: Send + 'static>(&self, tag: u64) -> Transport<M> {
+        self.channel_with_capacity(tag, None)
+    }
+
+    /// Open the typed point-to-point channel `(M, tag)` with a per-queue
+    /// capacity bound. `None` is unbounded; `Some(n)` makes sends into a
+    /// full queue fail (backpressure), which the mailbox turns into its
+    /// blocking-with-poison-check slow path. All ranks must pass the same
+    /// capacity for a given tag (SPMD contract, asserted by the registry).
+    pub fn channel_with_capacity<M: Send + 'static>(
+        &self,
+        tag: u64,
+        capacity: Option<usize>,
+    ) -> Transport<M> {
         assert!(
             tag < crate::registry::RESERVED_TAG_BASE,
             "user channel tags must be below RESERVED_TAG_BASE"
         );
-        self.channel_internal(tag)
+        self.channel_internal_with(tag, capacity)
     }
 
     pub(crate) fn channel_internal<M: Send + 'static>(&self, tag: u64) -> Transport<M> {
-        let set = self.registry.channel_set::<M>(tag);
+        self.channel_internal_with(tag, None)
+    }
+
+    pub(crate) fn channel_internal_with<M: Send + 'static>(
+        &self,
+        tag: u64,
+        capacity: Option<usize>,
+    ) -> Transport<M> {
+        let set = self.registry.channel_set_with_capacity::<M>(tag, capacity);
         let receiver = self.registry.take_receiver::<M>(tag, self.rank);
         Transport::new(self.rank, self.ranks, set, receiver, Arc::clone(&self.poisoned))
     }

@@ -5,7 +5,10 @@
 //! communicating pairs from `O(p)` per rank to `O(sqrt(p))` (2D) or
 //! `O(p^(1/3))` per axis (3D). These counters let experiments observe that
 //! reduction directly: every transport-level send is recorded against its
-//! (source, destination) pair.
+//! (source, destination) pair, in messages, payload items, *and bytes* —
+//! the paper's evaluation is ultimately about bytes on the wire
+//! (64-byte visitor messages, Section VI), so byte volume is first-class.
+//! Bounded channels additionally record backpressure stalls per pair.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -21,22 +24,32 @@ pub struct ChannelStats {
     /// `items[src * ranks + dst]`: payload items carried by those messages
     /// (for batched transports a message carries many items).
     items: Vec<AtomicU64>,
+    /// `bytes[src * ranks + dst]`: wire bytes carried by those messages.
+    /// Exact frame sizes on the byte-framed mailbox path; an in-memory
+    /// payload estimate on typed control channels (collectives).
+    bytes: Vec<AtomicU64>,
+    /// `stalls[src * ranks + dst]`: failed sends into a full bounded
+    /// channel (each retry loop iteration counts once).
+    stalls: Vec<AtomicU64>,
 }
 
 impl ChannelStats {
     pub fn new(ranks: usize) -> Self {
-        Self {
-            ranks,
-            msgs: (0..ranks * ranks).map(|_| AtomicU64::new(0)).collect(),
-            items: (0..ranks * ranks).map(|_| AtomicU64::new(0)).collect(),
-        }
+        let zeros = || (0..ranks * ranks).map(|_| AtomicU64::new(0)).collect();
+        Self { ranks, msgs: zeros(), items: zeros(), bytes: zeros(), stalls: zeros() }
     }
 
     #[inline]
-    pub fn record(&self, src: usize, dst: usize, items: u64) {
+    pub fn record(&self, src: usize, dst: usize, items: u64, bytes: u64) {
         let i = src * self.ranks + dst;
         self.msgs[i].fetch_add(1, Ordering::Relaxed);
         self.items[i].fetch_add(items, Ordering::Relaxed);
+        self.bytes[i].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_stall(&self, src: usize, dst: usize) {
+        self.stalls[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn ranks(&self) -> usize {
@@ -45,10 +58,13 @@ impl ChannelStats {
 
     /// Immutable snapshot for post-run analysis.
     pub fn snapshot(&self) -> ChannelStatsSnapshot {
+        let load = |v: &Vec<AtomicU64>| v.iter().map(|a| a.load(Ordering::Relaxed)).collect();
         ChannelStatsSnapshot {
             ranks: self.ranks,
-            msgs: self.msgs.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
-            items: self.items.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            msgs: load(&self.msgs),
+            items: load(&self.items),
+            bytes: load(&self.bytes),
+            stalls: load(&self.stalls),
         }
     }
 }
@@ -59,6 +75,8 @@ pub struct ChannelStatsSnapshot {
     pub ranks: usize,
     pub msgs: Vec<u64>,
     pub items: Vec<u64>,
+    pub bytes: Vec<u64>,
+    pub stalls: Vec<u64>,
 }
 
 impl ChannelStatsSnapshot {
@@ -72,6 +90,16 @@ impl ChannelStatsSnapshot {
         self.items[src * self.ranks + dst]
     }
 
+    #[inline]
+    pub fn bytes_between(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.ranks + dst]
+    }
+
+    #[inline]
+    pub fn stalls_between(&self, src: usize, dst: usize) -> u64 {
+        self.stalls[src * self.ranks + dst]
+    }
+
     pub fn total_msgs(&self) -> u64 {
         self.msgs.iter().sum()
     }
@@ -80,14 +108,20 @@ impl ChannelStatsSnapshot {
         self.items.iter().sum()
     }
 
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
     /// Number of distinct destinations rank `src` ever sent to.
     ///
     /// For a `Direct` mailbox under an all-to-all workload this approaches
     /// `p - 1`; for `Routed2D` it is bounded by row + column peers.
     pub fn channels_used_by(&self, src: usize) -> usize {
-        (0..self.ranks)
-            .filter(|&d| d != src && self.msgs[src * self.ranks + d] > 0)
-            .count()
+        (0..self.ranks).filter(|&d| d != src && self.msgs[src * self.ranks + d] > 0).count()
     }
 
     /// Maximum over all ranks of [`Self::channels_used_by`].
@@ -100,6 +134,13 @@ impl ChannelStatsSnapshot {
     pub fn items_received_per_rank(&self) -> Vec<u64> {
         (0..self.ranks)
             .map(|d| (0..self.ranks).map(|s| self.items[s * self.ranks + d]).sum())
+            .collect()
+    }
+
+    /// Wire bytes received per rank.
+    pub fn bytes_received_per_rank(&self) -> Vec<u64> {
+        (0..self.ranks)
+            .map(|d| (0..self.ranks).map(|s| self.bytes[s * self.ranks + d]).sum())
             .collect()
     }
 
@@ -124,6 +165,16 @@ impl ChannelStatsSnapshot {
             self.total_items() as f64 / m as f64
         }
     }
+
+    /// Mean wire bytes per transport message.
+    pub fn mean_msg_bytes(&self) -> f64 {
+        let m = self.total_msgs();
+        if m == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / m as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,22 +184,37 @@ mod tests {
     #[test]
     fn record_and_snapshot() {
         let s = ChannelStats::new(4);
-        s.record(0, 1, 10);
-        s.record(0, 1, 5);
-        s.record(2, 3, 1);
+        s.record(0, 1, 10, 100);
+        s.record(0, 1, 5, 50);
+        s.record(2, 3, 1, 9);
         let snap = s.snapshot();
         assert_eq!(snap.msgs_between(0, 1), 2);
         assert_eq!(snap.items_between(0, 1), 15);
+        assert_eq!(snap.bytes_between(0, 1), 150);
         assert_eq!(snap.msgs_between(1, 0), 0);
         assert_eq!(snap.total_msgs(), 3);
         assert_eq!(snap.total_items(), 16);
+        assert_eq!(snap.total_bytes(), 159);
+    }
+
+    #[test]
+    fn stalls_are_tracked_per_pair() {
+        let s = ChannelStats::new(3);
+        s.record_stall(0, 2);
+        s.record_stall(0, 2);
+        s.record_stall(1, 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.stalls_between(0, 2), 2);
+        assert_eq!(snap.stalls_between(1, 0), 1);
+        assert_eq!(snap.total_stalls(), 3);
+        assert_eq!(snap.total_msgs(), 0, "stalls are not messages");
     }
 
     #[test]
     fn channels_used_ignores_self() {
         let s = ChannelStats::new(3);
-        s.record(0, 0, 1);
-        s.record(0, 1, 1);
+        s.record(0, 0, 1, 8);
+        s.record(0, 1, 1, 8);
         let snap = s.snapshot();
         assert_eq!(snap.channels_used_by(0), 1);
         assert_eq!(snap.channels_used_by(1), 0);
@@ -158,29 +224,34 @@ mod tests {
     #[test]
     fn receive_imbalance_even_and_skewed() {
         let s = ChannelStats::new(2);
-        s.record(0, 1, 4);
-        s.record(1, 0, 4);
+        s.record(0, 1, 4, 32);
+        s.record(1, 0, 4, 32);
         assert!((s.snapshot().receive_imbalance() - 1.0).abs() < 1e-12);
 
         let skew = ChannelStats::new(2);
-        skew.record(0, 1, 8);
+        skew.record(0, 1, 8, 64);
         // rank0 receives nothing: max/mean = 8 / 4 = 2
         assert!((skew.snapshot().receive_imbalance() - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    fn aggregation_factor() {
+    fn aggregation_factor_and_mean_bytes() {
         let s = ChannelStats::new(2);
-        s.record(0, 1, 64);
-        s.record(0, 1, 32);
-        assert!((s.snapshot().aggregation_factor() - 48.0).abs() < 1e-12);
+        s.record(0, 1, 64, 640);
+        s.record(0, 1, 32, 320);
+        let snap = s.snapshot();
+        assert!((snap.aggregation_factor() - 48.0).abs() < 1e-12);
+        assert!((snap.mean_msg_bytes() - 480.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_stats() {
         let snap = ChannelStats::new(4).snapshot();
         assert_eq!(snap.total_msgs(), 0);
+        assert_eq!(snap.total_bytes(), 0);
+        assert_eq!(snap.total_stalls(), 0);
         assert_eq!(snap.aggregation_factor(), 0.0);
+        assert_eq!(snap.mean_msg_bytes(), 0.0);
         assert_eq!(snap.receive_imbalance(), 1.0);
     }
 }

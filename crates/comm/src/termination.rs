@@ -127,7 +127,12 @@ impl Quiescence {
                 Some(p) => {
                     self.ch.send(
                         p,
-                        TermMsg::Up { wave: self.wave, sent: tot_sent, recv: tot_recv, stable: tot_stable },
+                        TermMsg::Up {
+                            wave: self.wave,
+                            sent: tot_sent,
+                            recv: tot_recv,
+                            stable: tot_stable,
+                        },
                     );
                 }
                 None => {

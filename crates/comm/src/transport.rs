@@ -4,15 +4,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam_channel::{Receiver, RecvTimeoutError};
-
+use crate::chan::{Receiver, RecvTimeoutError, TrySendError};
 use crate::registry::{ChannelSet, Wire};
 use crate::runtime::RankCtx;
 use crate::stats::{ChannelStats, ChannelStatsSnapshot};
 
-/// A rank's endpoint of one typed channel set: it can send to any rank
-/// (non-blocking, unbounded buffering — the MPI eager protocol analogue) and
-/// receive messages addressed to itself.
+/// A rank's endpoint of one typed channel set: it can send to any rank and
+/// receive messages addressed to itself. Unbounded sets never block on send
+/// (the MPI eager protocol analogue); bounded sets surface backpressure
+/// through [`Transport::try_send_counted`].
 pub struct Transport<M: Send + 'static> {
     rank: usize,
     ranks: usize,
@@ -42,22 +42,57 @@ impl<M: Send + 'static> Transport<M> {
         self.ranks
     }
 
+    /// Capacity the underlying channel set was created with.
+    #[inline]
+    pub fn capacity(&self) -> Option<usize> {
+        self.set.capacity
+    }
+
     /// Non-blocking send of one message to `dst`. Self-sends are allowed and
     /// loop back through this rank's own queue.
     #[inline]
     pub fn send(&self, dst: usize, msg: M) {
-        self.send_counted(dst, msg, 1)
+        self.send_counted(dst, msg, 1, std::mem::size_of::<M>() as u64)
     }
 
-    /// Send recording `items` payload elements against the (src, dst) pair —
-    /// used by batching layers so statistics reflect aggregated payloads.
+    /// Send recording `items` payload elements and `bytes` wire volume
+    /// against the (src, dst) pair — used by batching layers so statistics
+    /// reflect aggregated payloads.
+    ///
+    /// On a bounded channel this blocks until space frees up (receivers
+    /// drain concurrently); layers that must not block use
+    /// [`Self::try_send_counted`].
     #[inline]
-    pub fn send_counted(&self, dst: usize, msg: M, items: u64) {
+    pub fn send_counted(&self, dst: usize, msg: M, items: u64, bytes: u64) {
         debug_assert!(dst < self.ranks, "destination rank out of range");
-        self.set.stats.record(self.rank, dst, items);
+        self.set.stats.record(self.rank, dst, items, bytes);
         // Receivers only disappear when the world is shutting down; at that
         // point delivery no longer matters.
         let _ = self.set.senders[dst].send(Wire { src: self.rank as u32, msg });
+    }
+
+    /// Non-blocking send attempt. Statistics are recorded only on success;
+    /// a full channel records a backpressure stall and hands the message
+    /// back so the caller can retry after making progress elsewhere.
+    pub fn try_send_counted(
+        &self,
+        dst: usize,
+        msg: M,
+        items: u64,
+        bytes: u64,
+    ) -> Result<(), TrySendError<M>> {
+        debug_assert!(dst < self.ranks, "destination rank out of range");
+        match self.set.senders[dst].try_send(Wire { src: self.rank as u32, msg }) {
+            Ok(()) => {
+                self.set.stats.record(self.rank, dst, items, bytes);
+                Ok(())
+            }
+            Err(TrySendError::Full(w)) => {
+                self.set.stats.record_stall(self.rank, dst);
+                Err(TrySendError::Full(w.msg))
+            }
+            Err(TrySendError::Disconnected(w)) => Err(TrySendError::Disconnected(w.msg)),
+        }
     }
 
     /// Non-blocking receive: `Some((source_rank, message))` if one is queued.
@@ -84,6 +119,14 @@ impl<M: Send + 'static> Transport<M> {
     #[inline]
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Panic (joining the world-wide shutdown) if a peer rank has panicked.
+    #[inline]
+    pub fn check_poison(&self) {
+        if self.is_poisoned() {
+            panic!("rank {}: aborting, a peer rank panicked", self.rank);
+        }
     }
 
     /// Shared traffic counters for this channel set.
@@ -169,7 +212,27 @@ mod tests {
         let s = &snaps[0];
         assert_eq!(s.msgs_between(0, 1), 2);
         assert_eq!(s.msgs_between(0, 2), 1);
+        assert_eq!(s.bytes_between(0, 1), 2, "u8 payloads estimate 1 byte each");
         assert_eq!(s.channels_used_by(0), 2);
         assert_eq!(s.channels_used_by(1), 0);
+    }
+
+    #[test]
+    fn bounded_channel_surfaces_backpressure() {
+        CommWorld::run(1, |ctx| {
+            let ch = ctx.channel_with_capacity::<u32>(5, Some(2));
+            assert!(ch.try_send_counted(0, 1, 1, 4).is_ok());
+            assert!(ch.try_send_counted(0, 2, 1, 4).is_ok());
+            match ch.try_send_counted(0, 3, 1, 4) {
+                Err(crate::chan::TrySendError::Full(v)) => assert_eq!(v, 3),
+                other => panic!("expected Full, got {other:?}"),
+            }
+            let snap = ch.stats_snapshot();
+            assert_eq!(snap.msgs_between(0, 0), 2, "failed send records no message");
+            assert_eq!(snap.stalls_between(0, 0), 1);
+            // draining frees a slot
+            assert_eq!(ch.try_recv(), Some((0, 1)));
+            assert!(ch.try_send_counted(0, 3, 1, 4).is_ok());
+        });
     }
 }

@@ -1,75 +1,70 @@
 //! Property-based tests for the communication substrate: collectives
 //! against serial folds, routing termination for arbitrary world sizes,
-//! and exactly-once mailbox delivery under random topologies and batch
-//! sizes.
+//! exactly-once mailbox delivery under random topologies / batch sizes /
+//! frame sizes / channel capacities, and wire-codec + frame pack/unpack
+//! roundtrips.
 
-use proptest::prelude::*;
-
+use havoq_comm::codec::{
+    frame_init, frame_record_count, frame_record_size, frame_set_count, WireCodec,
+    FRAME_HEADER_BYTES, RECORD_DST_BYTES,
+};
 use havoq_comm::{CommWorld, Mailbox, MailboxConfig, Quiescence, TopologyKind};
+use havoq_util::testing::{run_cases, TestRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn all_reduce_matches_serial_fold(
-        values in proptest::collection::vec(any::<u32>(), 1..12),
-    ) {
-        let p = values.len();
-        let values = std::sync::Arc::new(values);
-        let v2 = std::sync::Arc::clone(&values);
-        let out = CommWorld::run(p, move |ctx| {
-            let mine = v2[ctx.rank()] as u64;
-            (
-                ctx.all_reduce_sum(mine),
-                ctx.all_reduce_min(mine),
-                ctx.all_reduce_max(mine),
-            )
+#[test]
+fn all_reduce_matches_serial_fold() {
+    run_cases(16, |rng: &mut TestRng| {
+        let p = rng.range_usize(1, 12);
+        let values: Vec<u32> = (0..p).map(|_| rng.next_u64() as u32).collect();
+        let out = CommWorld::run(p, |ctx| {
+            let mine = values[ctx.rank()] as u64;
+            (ctx.all_reduce_sum(mine), ctx.all_reduce_min(mine), ctx.all_reduce_max(mine))
         });
         let sum: u64 = values.iter().map(|&v| v as u64).sum();
         let min = values.iter().copied().min().unwrap() as u64;
         let max = values.iter().copied().max().unwrap() as u64;
         for got in out {
-            prop_assert_eq!(got, (sum, min, max));
+            assert_eq!(got, (sum, min, max));
         }
-    }
+    });
+}
 
-    #[test]
-    fn all_gather_and_exscan_are_consistent(
-        values in proptest::collection::vec(0u64..1000, 1..10),
-    ) {
-        let p = values.len();
-        let values = std::sync::Arc::new(values);
-        let v2 = std::sync::Arc::clone(&values);
-        let out = CommWorld::run(p, move |ctx| {
-            let mine = v2[ctx.rank()];
+#[test]
+fn all_gather_and_exscan_are_consistent() {
+    run_cases(16, |rng: &mut TestRng| {
+        let p = rng.range_usize(1, 10);
+        let values: Vec<u64> = (0..p).map(|_| rng.below(1000)).collect();
+        let out = CommWorld::run(p, |ctx| {
+            let mine = values[ctx.rank()];
             (ctx.all_gather(mine), ctx.exscan_sum(mine))
         });
         for (rank, (gathered, prefix)) in out.into_iter().enumerate() {
-            prop_assert_eq!(&gathered, &*values);
+            assert_eq!(&gathered, &values);
             let want: u64 = values[..rank].iter().sum();
-            prop_assert_eq!(prefix, want);
+            assert_eq!(prefix, want);
         }
-    }
+    });
+}
 
-    #[test]
-    fn broadcast_from_arbitrary_root(
-        p in 1usize..10,
-        root_sel in any::<u64>(),
-        payload in any::<u64>(),
-    ) {
-        let root = (root_sel % p as u64) as usize;
+#[test]
+fn broadcast_from_arbitrary_root() {
+    run_cases(16, |rng: &mut TestRng| {
+        let p = rng.range_usize(1, 10);
+        let root = rng.below(p as u64) as usize;
+        let payload = rng.next_u64();
         let out = CommWorld::run(p, |ctx| {
             let v = (ctx.rank() == root).then_some(payload);
             ctx.broadcast(root, v)
         });
-        prop_assert!(out.iter().all(|&v| v == payload));
-    }
+        assert!(out.iter().all(|&v| v == payload));
+    });
+}
 
-    #[test]
-    fn all_to_allv_is_a_transpose(
-        p in 1usize..7,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn all_to_allv_is_a_transpose() {
+    run_cases(16, |rng: &mut TestRng| {
+        let p = rng.range_usize(1, 7);
+        let seed = rng.next_u64();
         let out = CommWorld::run(p, |ctx| {
             // deterministic per-pair payload sizes derived from the seed
             let outgoing: Vec<Vec<u64>> = (0..p)
@@ -83,23 +78,33 @@ proptest! {
         for (me, incoming) in out.into_iter().enumerate() {
             for (src, buf) in incoming.into_iter().enumerate() {
                 let want_len = ((seed ^ (src as u64 * 31 + me as u64)) % 5) as usize;
-                prop_assert_eq!(buf.len(), want_len);
-                prop_assert!(buf.iter().all(|&v| v == (src * 100 + me) as u64));
+                assert_eq!(buf.len(), want_len);
+                assert!(buf.iter().all(|&v| v == (src * 100 + me) as u64));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn mailbox_delivers_exactly_once_under_any_topology(
-        p in 1usize..10,
-        batch in 1usize..9,
-        msgs in 1usize..30,
-        topo_sel in 0u8..3,
-    ) {
+#[test]
+fn mailbox_delivers_exactly_once_under_any_config() {
+    run_cases(16, |rng: &mut TestRng| {
+        let p = rng.range_usize(1, 10);
+        let batch = rng.range_usize(1, 9);
+        let msgs = rng.range_usize(1, 30);
         let topo = [TopologyKind::Direct, TopologyKind::Routed2D, TopologyKind::Routed3D]
-            [topo_sel as usize];
+            [rng.below(3) as usize];
+        // exercise the byte limit and backpressure paths too: tiny frames
+        // force the frame_bytes cap to bind, tiny capacities force stalls
+        let frame_bytes = [64, 256, 4096][rng.below(3) as usize];
+        let channel_capacity = [Some(1), Some(4), Some(1024), None][rng.below(4) as usize];
+        let cfg = MailboxConfig {
+            topology: topo,
+            batch_size: batch,
+            frame_bytes,
+            channel_capacity,
+            ..Default::default()
+        };
         let out = CommWorld::run(p, |ctx| {
-            let cfg = MailboxConfig { topology: topo, batch_size: batch, ..Default::default() };
             let mut mb = Mailbox::<u64>::open(ctx, 1, cfg);
             let mut q = Quiescence::new(ctx, 1);
             for dst in 0..p {
@@ -117,13 +122,82 @@ proptest! {
                 }
             }
             got.sort_unstable();
-            got
+            (got, mb.stats())
         });
-        for (me, got) in out.into_iter().enumerate() {
-            let mut want: Vec<u64> =
-                (0..p).flat_map(|src| (0..msgs).map(move |i| (src * 1000 + me * 37 + i) as u64)).collect();
+        let mut bytes_sent = 0u64;
+        let mut bytes_received = 0u64;
+        for (me, (got, st)) in out.into_iter().enumerate() {
+            let mut want: Vec<u64> = (0..p)
+                .flat_map(|src| (0..msgs).map(move |i| (src * 1000 + me * 37 + i) as u64))
+                .collect();
             want.sort_unstable();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
+            bytes_sent += st.bytes_sent;
+            bytes_received += st.bytes_received;
         }
-    }
+        // conservation: every wire byte shipped is eventually unpacked
+        assert_eq!(bytes_sent, bytes_received);
+    });
+}
+
+#[test]
+fn int_and_tuple_codecs_roundtrip() {
+    run_cases(64, |rng: &mut TestRng| {
+        let v = rng.next_u64();
+        let mut buf = [0u8; 8];
+        v.encode(&mut buf);
+        assert_eq!(u64::decode(&buf, &()), v);
+
+        let v32 = rng.next_u64() as u32;
+        let mut buf = [0u8; 4];
+        v32.encode(&mut buf);
+        assert_eq!(u32::decode(&buf, &()), v32);
+
+        let vi = rng.next_u64() as i64;
+        let mut buf = [0u8; 8];
+        vi.encode(&mut buf);
+        assert_eq!(i64::decode(&buf, &()), vi);
+
+        let pair = (rng.next_u64() as u32, rng.next_u64());
+        let mut buf = [0u8; 12];
+        pair.encode(&mut buf);
+        assert_eq!(<(u32, u64)>::decode(&buf, &()), pair);
+
+        let triple = (rng.u8(), rng.next_u64(), rng.next_u64() as u16);
+        let mut buf = [0u8; 11];
+        triple.encode(&mut buf);
+        assert_eq!(<(u8, u64, u16)>::decode(&buf, &()), triple);
+    });
+}
+
+/// Frame pack/unpack property: pack random (dst, payload) records into a
+/// frame exactly the way the mailbox does, then unpack and compare.
+#[test]
+fn frame_pack_unpack_roundtrip() {
+    run_cases(64, |rng: &mut TestRng| {
+        let record_size = RECORD_DST_BYTES + <u64 as WireCodec>::WIRE_SIZE;
+        let n = rng.range_usize(1, 64);
+        let records: Vec<(u32, u64)> =
+            (0..n).map(|_| (rng.next_u64() as u32 % 1024, rng.next_u64())).collect();
+
+        let mut buf = Vec::new();
+        frame_init(&mut buf, record_size as u32);
+        for &(dst, payload) in &records {
+            buf.extend_from_slice(&dst.to_le_bytes());
+            let start = buf.len();
+            buf.resize(start + 8, 0);
+            payload.encode(&mut buf[start..]);
+        }
+        frame_set_count(&mut buf, n as u32);
+
+        assert_eq!(buf.len(), FRAME_HEADER_BYTES + n * record_size);
+        assert_eq!(frame_record_size(&buf) as usize, record_size);
+        assert_eq!(frame_record_count(&buf) as usize, n);
+        for (r, &(dst, payload)) in records.iter().enumerate() {
+            let off = FRAME_HEADER_BYTES + r * record_size;
+            let got_dst = u32::from_le_bytes(buf[off..off + RECORD_DST_BYTES].try_into().unwrap());
+            let got_payload = u64::decode(&buf[off + RECORD_DST_BYTES..off + record_size], &());
+            assert_eq!((got_dst, got_payload), (dst, payload), "record {r}");
+        }
+    });
 }

@@ -10,7 +10,7 @@
 use std::cmp::Ordering;
 use std::time::Duration;
 
-use havoq_comm::RankCtx;
+use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
@@ -41,6 +41,25 @@ pub struct BfsVisitor {
     pub vertex: VertexId,
     pub length: u64,
     pub parent: u64,
+}
+
+impl WireCodec for BfsVisitor {
+    const WIRE_SIZE: usize = 24;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.vertex.encode(&mut buf[..8]);
+        self.length.encode(&mut buf[8..16]);
+        self.parent.encode(&mut buf[16..24]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        BfsVisitor {
+            vertex: VertexId::decode(&buf[..8], ctx),
+            length: u64::decode(&buf[8..16], ctx),
+            parent: u64::decode(&buf[16..24], ctx),
+        }
+    }
 }
 
 impl Visitor for BfsVisitor {
@@ -272,7 +291,14 @@ mod tests {
         let n = gen.num_vertices();
         let want = reference_levels(n, &edges, 0);
         for p in [1usize, 3, 4] {
-            let got = distributed_levels(p, n, &edges, 0, &BfsConfig::default(), PartitionStrategy::EdgeList);
+            let got = distributed_levels(
+                p,
+                n,
+                &edges,
+                0,
+                &BfsConfig::default(),
+                PartitionStrategy::EdgeList,
+            );
             assert_eq!(got, want, "p={p}");
         }
     }
@@ -283,7 +309,8 @@ mod tests {
         let edges = gen.symmetric_edges(2);
         let n = gen.num_vertices();
         let want = reference_levels(n, &edges, 3);
-        let got = distributed_levels(4, n, &edges, 3, &BfsConfig::default(), PartitionStrategy::OneD);
+        let got =
+            distributed_levels(4, n, &edges, 3, &BfsConfig::default(), PartitionStrategy::OneD);
         assert_eq!(got, want);
     }
 
@@ -351,9 +378,12 @@ mod tests {
     fn disconnected_source_reaches_only_itself() {
         // two components: 0-1-2 ring and isolated pair 5-6
         let edges = vec![
-            Edge::new(0, 1), Edge::new(1, 0),
-            Edge::new(1, 2), Edge::new(2, 1),
-            Edge::new(5, 6), Edge::new(6, 5),
+            Edge::new(0, 1),
+            Edge::new(1, 0),
+            Edge::new(1, 2),
+            Edge::new(2, 1),
+            Edge::new(5, 6),
+            Edge::new(6, 5),
         ];
         let out = CommWorld::run(2, |ctx| {
             let g = DistGraph::build_replicated(

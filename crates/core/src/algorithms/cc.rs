@@ -9,7 +9,7 @@
 use std::cmp::Ordering;
 use std::time::Duration;
 
-use havoq_comm::RankCtx;
+use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
@@ -34,6 +34,20 @@ impl Default for CcData {
 pub struct CcVisitor {
     pub vertex: VertexId,
     pub label: u64,
+}
+
+impl WireCodec for CcVisitor {
+    const WIRE_SIZE: usize = 16;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.vertex.encode(&mut buf[..8]);
+        self.label.encode(&mut buf[8..16]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        CcVisitor { vertex: VertexId::decode(&buf[..8], ctx), label: u64::decode(&buf[8..16], ctx) }
+    }
 }
 
 impl Visitor for CcVisitor {

@@ -15,7 +15,7 @@
 use std::cmp::Ordering;
 use std::time::Duration;
 
-use havoq_comm::RankCtx;
+use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
@@ -38,6 +38,20 @@ pub struct KCoreData {
 pub struct KCoreVisitor {
     pub vertex: VertexId,
     pub k: u64,
+}
+
+impl WireCodec for KCoreVisitor {
+    const WIRE_SIZE: usize = 16;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.vertex.encode(&mut buf[..8]);
+        self.k.encode(&mut buf[8..16]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        KCoreVisitor { vertex: VertexId::decode(&buf[..8], ctx), k: u64::decode(&buf[8..16], ctx) }
+    }
 }
 
 impl Visitor for KCoreVisitor {
@@ -148,10 +162,9 @@ pub fn kcore(ctx: &RankCtx, g: &DistGraph, k: u64, cfg: &KCoreConfig) -> KCoreRe
     }
     q.do_traversal();
 
-    let local_alive = g
-        .local_vertices()
-        .filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].alive)
-        .count() as u64;
+    let local_alive =
+        g.local_vertices().filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].alive).count()
+            as u64;
     let alive_count = ctx.all_reduce_sum(local_alive);
     let stats = q.stats();
     KCoreResult { k, alive_count, elapsed: stats.elapsed, stats, local_state: q.into_state() }
@@ -177,11 +190,7 @@ pub struct KCoreDecomposition {
 }
 
 /// Compute every vertex's core number. Collective.
-pub fn kcore_decomposition(
-    ctx: &RankCtx,
-    g: &DistGraph,
-    cfg: &KCoreConfig,
-) -> KCoreDecomposition {
+pub fn kcore_decomposition(ctx: &RankCtx, g: &DistGraph, cfg: &KCoreConfig) -> KCoreDecomposition {
     let mut cfgq = cfg.traversal;
     cfgq.ghosts = 0;
     let nv = g.num_local_vertices();
@@ -252,8 +261,7 @@ mod tests {
         }
         let mut deg: Vec<u64> = adj.iter().map(|a| a.len() as u64).collect();
         let mut alive = vec![true; n as usize];
-        let mut stack: Vec<u64> =
-            (0..n).filter(|&v| deg[v as usize] < k).collect();
+        let mut stack: Vec<u64> = (0..n).filter(|&v| deg[v as usize] < k).collect();
         for &v in &stack {
             alive[v as usize] = false;
         }

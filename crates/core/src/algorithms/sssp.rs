@@ -11,7 +11,7 @@
 use std::cmp::Ordering;
 use std::time::Duration;
 
-use havoq_comm::RankCtx;
+use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
@@ -53,6 +53,27 @@ pub struct SsspVisitor {
     pub parent: u64,
     /// Weight range rides along so the visitor is self-contained.
     pub max_weight: u64,
+}
+
+impl WireCodec for SsspVisitor {
+    const WIRE_SIZE: usize = 32;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.vertex.encode(&mut buf[..8]);
+        self.distance.encode(&mut buf[8..16]);
+        self.parent.encode(&mut buf[16..24]);
+        self.max_weight.encode(&mut buf[24..32]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        SsspVisitor {
+            vertex: VertexId::decode(&buf[..8], ctx),
+            distance: u64::decode(&buf[8..16], ctx),
+            parent: u64::decode(&buf[16..24], ctx),
+            max_weight: u64::decode(&buf[24..32], ctx),
+        }
+    }
 }
 
 impl Visitor for SsspVisitor {
@@ -127,7 +148,12 @@ pub struct SsspResult {
 pub fn sssp(ctx: &RankCtx, g: &DistGraph, source: VertexId, cfg: &SsspConfig) -> SsspResult {
     let mut q = VisitorQueue::<SsspVisitor>::new(ctx, g, cfg.traversal);
     if g.is_master(source) {
-        q.push(SsspVisitor { vertex: source, distance: 0, parent: source.0, max_weight: cfg.max_weight });
+        q.push(SsspVisitor {
+            vertex: source,
+            distance: 0,
+            parent: source.0,
+            max_weight: cfg.max_weight,
+        });
     }
     q.do_traversal();
 
@@ -146,7 +172,13 @@ pub fn sssp(ctx: &RankCtx, g: &DistGraph, source: VertexId, cfg: &SsspConfig) ->
     let visited_count = ctx.all_reduce_sum(visited);
     let max_distance = ctx.all_reduce_max(far);
     let stats = q.stats();
-    SsspResult { visited_count, max_distance, elapsed: stats.elapsed, stats, local_state: q.into_state() }
+    SsspResult {
+        visited_count,
+        max_distance,
+        elapsed: stats.elapsed,
+        stats,
+        local_state: q.into_state(),
+    }
 }
 
 #[cfg(test)]

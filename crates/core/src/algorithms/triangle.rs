@@ -15,7 +15,7 @@
 use std::cmp::Ordering;
 use std::time::Duration;
 
-use havoq_comm::RankCtx;
+use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
@@ -40,6 +40,25 @@ pub struct TriangleVisitor {
     pub second: u64,
     /// `NONE` until the third duty: then the path origin to close back to.
     pub third: u64,
+}
+
+impl WireCodec for TriangleVisitor {
+    const WIRE_SIZE: usize = 24;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.vertex.encode(&mut buf[..8]);
+        self.second.encode(&mut buf[8..16]);
+        self.third.encode(&mut buf[16..24]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        TriangleVisitor {
+            vertex: VertexId::decode(&buf[..8], ctx),
+            second: u64::decode(&buf[8..16], ctx),
+            third: u64::decode(&buf[16..24], ctx),
+        }
+    }
 }
 
 impl Visitor for TriangleVisitor {
@@ -166,6 +185,25 @@ pub struct SubsetTriangleVisitor {
     subset: std::sync::Arc<Vec<u64>>,
 }
 
+/// The subset table never crosses the wire: it is rank-replicated and
+/// reattached on decode through the queue's decode context, so the wire
+/// record stays the 24 bytes of the inner visitor.
+impl WireCodec for SubsetTriangleVisitor {
+    const WIRE_SIZE: usize = TriangleVisitor::WIRE_SIZE;
+    type DecodeCtx = std::sync::Arc<Vec<u64>>;
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.inner.encode(buf);
+    }
+
+    fn decode(buf: &[u8], ctx: &Self::DecodeCtx) -> Self {
+        SubsetTriangleVisitor {
+            inner: TriangleVisitor::decode(buf, &()),
+            subset: std::sync::Arc::clone(ctx),
+        }
+    }
+}
+
 impl Visitor for SubsetTriangleVisitor {
     type Data = TriangleData;
     const GHOSTS_ALLOWED: bool = false;
@@ -229,7 +267,12 @@ pub fn triangle_count_subset(
     let subset = std::sync::Arc::new(subset.to_vec());
     let mut cfgq = cfg.traversal;
     cfgq.ghosts = 0;
-    let mut q = VisitorQueue::<SubsetTriangleVisitor>::new(ctx, g, cfgq);
+    let mut q = VisitorQueue::<SubsetTriangleVisitor>::new_with_ctx(
+        ctx,
+        g,
+        cfgq,
+        std::sync::Arc::clone(&subset),
+    );
     for &v in subset.iter() {
         let v = VertexId(v);
         if v.0 < g.num_vertices() && g.is_master(v) {
@@ -374,9 +417,9 @@ mod tests {
             let full = triangle_count(ctx, &g, &TriangleConfig::default()).triangles;
             let sub =
                 triangle_count_subset(ctx, &g, &[0, 1, 2, 3], &TriangleConfig::default()).triangles;
-            let empty =
-                triangle_count_subset(ctx, &g, &[], &TriangleConfig::default()).triangles;
-            let pair = triangle_count_subset(ctx, &g, &[0, 1], &TriangleConfig::default()).triangles;
+            let empty = triangle_count_subset(ctx, &g, &[], &TriangleConfig::default()).triangles;
+            let pair =
+                triangle_count_subset(ctx, &g, &[0, 1], &TriangleConfig::default()).triangles;
             (full, sub, empty, pair)
         });
         for (full, sub, empty, pair) in out {

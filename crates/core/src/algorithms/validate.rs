@@ -18,7 +18,7 @@
 
 use std::cmp::Ordering;
 
-use havoq_comm::RankCtx;
+use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
@@ -70,6 +70,25 @@ struct ParentCheckVisitor {
     child_level: u64,
 }
 
+impl WireCodec for ParentCheckVisitor {
+    const WIRE_SIZE: usize = 24;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.parent.encode(&mut buf[..8]);
+        self.child.encode(&mut buf[8..16]);
+        self.child_level.encode(&mut buf[16..24]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        ParentCheckVisitor {
+            parent: VertexId::decode(&buf[..8], ctx),
+            child: u64::decode(&buf[8..16], ctx),
+            child_level: u64::decode(&buf[16..24], ctx),
+        }
+    }
+}
+
 impl Visitor for ParentCheckVisitor {
     type Data = ValidateData;
     const GHOSTS_ALLOWED: bool = false;
@@ -106,6 +125,23 @@ struct EdgeSpanVisitor {
     neighbor_level: u64,
 }
 
+impl WireCodec for EdgeSpanVisitor {
+    const WIRE_SIZE: usize = 16;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.vertex.encode(&mut buf[..8]);
+        self.neighbor_level.encode(&mut buf[8..16]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        EdgeSpanVisitor {
+            vertex: VertexId::decode(&buf[..8], ctx),
+            neighbor_level: u64::decode(&buf[8..16], ctx),
+        }
+    }
+}
+
 impl Visitor for EdgeSpanVisitor {
     type Data = ValidateData;
     const GHOSTS_ALLOWED: bool = false;
@@ -119,8 +155,7 @@ impl Visitor for EdgeSpanVisitor {
         if role != Role::Master {
             return false;
         }
-        let bad = data.level == UNREACHED
-            || data.level.abs_diff(self.neighbor_level) > 1;
+        let bad = data.level == UNREACHED || data.level.abs_diff(self.neighbor_level) > 1;
         if bad {
             data.violations += 1;
         }
@@ -154,7 +189,7 @@ pub fn validate_bfs(
     }
     let all_boundaries = ctx.all_gather(boundary);
     {
-        use rustc_hash::FxHashMap;
+        use havoq_util::FxHashMap;
         let mut seen: FxHashMap<u64, u64> = FxHashMap::default();
         for (v, l) in all_boundaries.into_iter().flatten() {
             match seen.entry(v) {
@@ -223,9 +258,7 @@ pub fn validate_bfs(
         let local: u64 = g
             .local_vertices()
             .filter(|&v| {
-                g.is_master(v)
-                    && v != source
-                    && local_state[g.local_index(v)].length != UNREACHED
+                g.is_master(v) && v != source && local_state[g.local_index(v)].length != UNREACHED
             })
             .count() as u64;
         ctx.all_reduce_sum(local)
@@ -259,8 +292,7 @@ pub fn validate_bfs(
         q2.push(s);
     }
     q2.do_traversal();
-    let edge_violations =
-        ctx.all_reduce_sum(q2.state().iter().map(|d| d.violations).sum::<u64>());
+    let edge_violations = ctx.all_reduce_sum(q2.state().iter().map(|d| d.violations).sum::<u64>());
 
     ValidationReport {
         local_violations: ctx.all_reduce_sum(local_violations),
@@ -351,7 +383,8 @@ mod tests {
                 if let Some(li) = g
                     .local_vertices()
                     .filter(|&v| {
-                        g.is_master(v) && state[g.local_index(v)].length > 2
+                        g.is_master(v)
+                            && state[g.local_index(v)].length > 2
                             && state[g.local_index(v)].length != UNREACHED
                     })
                     .map(|v| g.local_index(v))

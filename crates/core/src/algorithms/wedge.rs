@@ -21,7 +21,7 @@
 use std::cmp::Ordering;
 use std::time::Duration;
 
-use havoq_comm::RankCtx;
+use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::gen::StreamRng;
 use havoq_graph::types::VertexId;
@@ -50,6 +50,38 @@ enum Duty {
 pub struct WedgeVisitor {
     vertex: VertexId,
     duty: Duty,
+}
+
+/// Wire layout: vertex (8) + duty tag (1) + two u64 operands (16) = 25
+/// bytes. `Close` carries one operand; its second slot is zero on the wire.
+impl WireCodec for WedgeVisitor {
+    const WIRE_SIZE: usize = 25;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.vertex.encode(&mut buf[..8]);
+        let (tag, a, b) = match self.duty {
+            Duty::First { i, j } => (0u8, i, j),
+            Duty::Second { j, a } => (1u8, j, a),
+            Duty::Close { other } => (2u8, other, 0),
+        };
+        buf[8] = tag;
+        a.encode(&mut buf[9..17]);
+        b.encode(&mut buf[17..25]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        let vertex = VertexId::decode(&buf[..8], ctx);
+        let a = u64::decode(&buf[9..17], ctx);
+        let b = u64::decode(&buf[17..25], ctx);
+        let duty = match buf[8] {
+            0 => Duty::First { i: a, j: b },
+            1 => Duty::Second { j: a, a: b },
+            2 => Duty::Close { other: a },
+            t => panic!("corrupt wedge visitor duty tag {t}"),
+        };
+        WedgeVisitor { vertex, duty }
+    }
 }
 
 impl Visitor for WedgeVisitor {

@@ -7,7 +7,7 @@
 //! (possibly stale) view of the hub — so it may only *filter*, never
 //! authoritatively decide.
 
-use rustc_hash::FxHashMap;
+use havoq_util::FxHashMap;
 
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;

@@ -20,7 +20,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
-use havoq_comm::{Mailbox, MailboxConfig, Quiescence, RankCtx};
+use havoq_comm::{Mailbox, MailboxConfig, Quiescence, RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
@@ -73,6 +73,16 @@ pub struct TraversalStats {
     pub payload_received: u64,
     /// Quiescence-detection waves completed.
     pub termination_waves: u64,
+    /// Wire bytes shipped / unpacked by this rank's mailbox (frame headers
+    /// included; self-sends never hit the wire and are not counted).
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    /// Frames this rank shipped.
+    pub frames_sent: u64,
+    /// Sends that found a full bounded channel and ran the slow path.
+    pub backpressure_stalls: u64,
+    /// Mean fill ratio of shipped frames in `(0, 1]` (0.0 if none shipped).
+    pub mean_frame_fill: f64,
     /// Wall-clock time inside `do_traversal`.
     pub elapsed: Duration,
 }
@@ -104,7 +114,10 @@ impl<V: Visitor> Ord for HeapEntry<V> {
 }
 
 /// One rank's distributed visitor queue for visitor type `V`.
-pub struct VisitorQueue<'g, V: Visitor> {
+///
+/// `V` must implement [`WireCodec`]: visitors cross ranks as fixed-size
+/// records packed into byte frames (see `havoq_comm::codec`).
+pub struct VisitorQueue<'g, V: Visitor + WireCodec> {
     g: &'g DistGraph,
     rank: usize,
     mailbox: Mailbox<V>,
@@ -118,13 +131,28 @@ pub struct VisitorQueue<'g, V: Visitor> {
     arrival_seq: u64,
 }
 
-impl<'g, V: Visitor> VisitorQueue<'g, V> {
+impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
     /// Collectively create a queue over `g`. Every rank must call this the
     /// same number of times in the same order (each call draws a fresh
     /// world-agreed channel tag).
-    pub fn new(ctx: &RankCtx, g: &'g DistGraph, cfg: TraversalConfig) -> Self {
+    pub fn new(ctx: &RankCtx, g: &'g DistGraph, cfg: TraversalConfig) -> Self
+    where
+        V::DecodeCtx: Default,
+    {
+        Self::new_with_ctx(ctx, g, cfg, V::DecodeCtx::default())
+    }
+
+    /// Like [`VisitorQueue::new`] but supplying the wire decode context for
+    /// visitor types carrying rank-replicated shared state (e.g. the
+    /// subset table of subset triangle counting).
+    pub fn new_with_ctx(
+        ctx: &RankCtx,
+        g: &'g DistGraph,
+        cfg: TraversalConfig,
+        decode_ctx: V::DecodeCtx,
+    ) -> Self {
         let tag = ctx.auto_tag();
-        let mailbox = Mailbox::open(ctx, tag, cfg.mailbox);
+        let mailbox = Mailbox::open_with(ctx, tag, cfg.mailbox, decode_ctx);
         let quiescence = Quiescence::new(ctx, tag);
         let ghosts = if V::GHOSTS_ALLOWED && cfg.ghosts > 0 {
             GhostTable::select(g, cfg.ghosts)
@@ -181,7 +209,18 @@ impl<'g, V: Visitor> VisitorQueue<'g, V> {
         s.payload_sent = self.mailbox.sent_count();
         s.payload_received = self.mailbox.received_count();
         s.termination_waves = self.quiescence.waves_run();
+        let mb = self.mailbox.stats();
+        s.bytes_sent = mb.bytes_sent;
+        s.bytes_received = mb.bytes_received;
+        s.frames_sent = mb.frames_sent;
+        s.backpressure_stalls = mb.backpressure_stalls;
+        s.mean_frame_fill = mb.mean_frame_fill();
         s
+    }
+
+    /// Byte-level mailbox counters (frames, fill histogram, pool activity).
+    pub fn mailbox_stats(&self) -> havoq_comm::MailboxStatsSnapshot {
+        self.mailbox.stats()
     }
 
     /// The mailbox's transport traffic matrix (world-shared snapshot).
@@ -202,7 +241,11 @@ impl<'g, V: Visitor> VisitorQueue<'g, V> {
         let delivered = scratch.len();
         for visitor in scratch.drain(..) {
             let v = visitor.vertex();
-            debug_assert!(self.g.is_local(v), "visitor for {v} delivered to wrong rank {}", self.rank);
+            debug_assert!(
+                self.g.is_local(v),
+                "visitor for {v} delivered to wrong rank {}",
+                self.rank
+            );
             let li = self.g.local_index(v);
             let role = if self.g.min_owner(v) == self.rank { Role::Master } else { Role::Replica };
             if visitor.pre_visit(&mut self.state[li], role) {
@@ -262,14 +305,14 @@ impl<'g, V: Visitor> VisitorQueue<'g, V> {
     }
 }
 
-impl<'g, V: Visitor> VisitorPush<V> for VisitorQueue<'g, V> {
+impl<'g, V: Visitor + WireCodec> VisitorPush<V> for VisitorQueue<'g, V> {
     fn push(&mut self, visitor: V) {
         VisitorQueue::push(self, visitor);
     }
 }
 
 /// The push path, shared between the queue itself and the in-`visit` pusher.
-fn push_impl<V: Visitor>(
+fn push_impl<V: Visitor + WireCodec>(
     g: &DistGraph,
     mailbox: &mut Mailbox<V>,
     ghosts: &mut GhostTable<V::Data>,
@@ -290,14 +333,14 @@ fn push_impl<V: Visitor>(
     mailbox.send(g.min_owner(v), visitor);
 }
 
-struct Pusher<'a, V: Visitor> {
+struct Pusher<'a, V: Visitor + WireCodec> {
     g: &'a DistGraph,
     mailbox: &'a mut Mailbox<V>,
     ghosts: &'a mut GhostTable<V::Data>,
     stats: &'a mut TraversalStats,
 }
 
-impl<'a, V: Visitor> VisitorPush<V> for Pusher<'a, V> {
+impl<'a, V: Visitor + WireCodec> VisitorPush<V> for Pusher<'a, V> {
     fn push(&mut self, visitor: V) {
         push_impl(self.g, self.mailbox, self.ghosts, self.stats, visitor);
     }
@@ -322,6 +365,19 @@ mod tests {
     #[derive(Clone, Default)]
     struct FloodData {
         marked: bool,
+    }
+
+    impl WireCodec for Flood {
+        const WIRE_SIZE: usize = 8;
+        type DecodeCtx = ();
+
+        fn encode(&self, buf: &mut [u8]) {
+            self.vertex.encode(buf);
+        }
+
+        fn decode(buf: &[u8], ctx: &()) -> Self {
+            Flood { vertex: VertexId::decode(buf, ctx) }
+        }
     }
 
     impl Visitor for Flood {
@@ -435,8 +491,7 @@ mod tests {
     fn ghosts_filter_redundant_pushes() {
         // star graph: every vertex points at hub 0 and back
         let n = 256u64;
-        let edges: Vec<Edge> =
-            (1..n).flat_map(|v| [Edge::new(v, 0), Edge::new(0, v)]).collect();
+        let edges: Vec<Edge> = (1..n).flat_map(|v| [Edge::new(v, 0), Edge::new(0, v)]).collect();
         let filtered = CommWorld::run(4, |ctx| {
             let g = DistGraph::build_replicated(
                 ctx,

@@ -12,7 +12,7 @@
 //! tool, not the distributed implementation.
 
 use havoq_graph::types::Edge;
-use rustc_hash::FxHashMap;
+use havoq_util::FxHashMap;
 
 /// Result of one round-model execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -120,7 +120,12 @@ pub fn bfs_bound_ghosts(diameter: u64, edges: u64, processors: usize) -> u64 {
 /// BFS — one visitor per processor and per vertex per round — over the
 /// decrement-cascade semantics of Algorithm 4. K-core cannot use ghosts,
 /// so its bound keeps the `d_in_max` term: `Θ(D + |E|/p + d_in_max)`.
-pub fn kcore_rounds(num_vertices: u64, edges: &[Edge], processors: usize, k: u64) -> RoundModelResult {
+pub fn kcore_rounds(
+    num_vertices: u64,
+    edges: &[Edge],
+    processors: usize,
+    k: u64,
+) -> RoundModelResult {
     assert!(processors > 0);
     let n = num_vertices as usize;
     let mut adj = vec![Vec::new(); n];
@@ -188,8 +193,7 @@ pub fn triangle_rounds(num_vertices: u64, edges: &[Edge], processors: usize) -> 
     }
     const NONE: u64 = u64::MAX;
     // visitor = (vertex, second, third), Alg. 6
-    let mut queue: Vec<(u64, u64, u64)> =
-        (0..num_vertices).map(|v| (v, NONE, NONE)).collect();
+    let mut queue: Vec<(u64, u64, u64)> = (0..num_vertices).map(|v| (v, NONE, NONE)).collect();
     let mut rounds = 0u64;
     let mut visitors = 0u64;
     let mut triangles = 0u64;
@@ -319,11 +323,7 @@ mod tests {
             let r = bfs_rounds(n, &edges, p, 0, false);
             // measured diameter via the model itself (levels <= rounds)
             let bound = bfs_bound_no_ghosts(64, edges.len() as u64, p, n);
-            assert!(
-                r.rounds <= 4 * bound,
-                "p={p}: rounds {} far above bound {bound}",
-                r.rounds
-            );
+            assert!(r.rounds <= 4 * bound, "p={p}: rounds {} far above bound {bound}", r.rounds);
         }
     }
 

@@ -42,7 +42,12 @@ pub struct GraphConfig {
 
 impl Default for GraphConfig {
     fn default() -> Self {
-        Self { storage: CsrStorage::InMemory, dedup: true, remove_self_loops: true, num_vertices: None }
+        Self {
+            storage: CsrStorage::InMemory,
+            dedup: true,
+            remove_self_loops: true,
+            num_vertices: None,
+        }
     }
 }
 
@@ -84,7 +89,12 @@ impl LocalCsr {
     /// `edges` must be sorted by `(src, dst)` with all sources inside
     /// `[vertex_base, vertex_base + num_vertices)`; duplicate/self-loop
     /// filtering has already happened upstream.
-    pub fn build(vertex_base: u64, num_vertices: usize, edges: &[Edge], storage: CsrStorage) -> Self {
+    pub fn build(
+        vertex_base: u64,
+        num_vertices: usize,
+        edges: &[Edge],
+        storage: CsrStorage,
+    ) -> Self {
         let mut offsets = vec![0u64; num_vertices + 1];
         for e in edges {
             debug_assert!(
@@ -221,7 +231,12 @@ mod tests {
     fn external_build_matches_in_memory() {
         let storage = CsrStorage::External {
             profile: DeviceProfile::dram(),
-            cache: PageCacheConfig { page_size: 64, capacity_pages: 2, shards: 1, ..PageCacheConfig::default() },
+            cache: PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 2,
+                shards: 1,
+                ..PageCacheConfig::default()
+            },
         };
         let csr = LocalCsr::build(10, 4, &sample_edges(), storage);
         check(&csr);
@@ -243,7 +258,12 @@ mod tests {
         edges.dedup();
         let storage = CsrStorage::External {
             profile: DeviceProfile::dram(),
-            cache: PageCacheConfig { page_size: 256, capacity_pages: 4, shards: 2, ..PageCacheConfig::default() },
+            cache: PageCacheConfig {
+                page_size: 256,
+                capacity_pages: 4,
+                shards: 2,
+                ..PageCacheConfig::default()
+            },
         };
         let csr = LocalCsr::build(base, n, &edges, storage);
         // two sweeps: second should be recognizable in stats as well

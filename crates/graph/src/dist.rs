@@ -16,7 +16,7 @@
 //! gap-filling range of the nearest following partition so that every vertex
 //! has a unique master.
 
-use rustc_hash::FxHashMap;
+use havoq_util::FxHashMap;
 
 use havoq_comm::RankCtx;
 
@@ -100,8 +100,7 @@ impl DistGraph {
                 for e in local_edges.drain(..) {
                     buckets[crate::partition::block_owner(e.src, n, p)].push(e);
                 }
-                let mut edges: Vec<Edge> =
-                    ctx.all_to_allv(buckets).into_iter().flatten().collect();
+                let mut edges: Vec<Edge> = ctx.all_to_allv(buckets).into_iter().flatten().collect();
                 edges.sort_unstable_by_key(|e| e.key());
                 if cfg.dedup {
                     edges.dedup();
@@ -354,11 +353,7 @@ impl DistGraph {
 /// Compute state ranges from each rank's sorted edge slice (see module
 /// docs): gather per-rank source ranges and tile `[0, n)`.
 fn edge_list_ranges(ctx: &RankCtx, edges: &[Edge], n: u64) -> (Vec<u64>, Vec<u64>) {
-    let my = if edges.is_empty() {
-        None
-    } else {
-        Some((edges[0].src, edges[edges.len() - 1].src))
-    };
+    let my = if edges.is_empty() { None } else { Some((edges[0].src, edges[edges.len() - 1].src)) };
     let ranges = ctx.all_gather(my);
     let p = ctx.size();
     let mut lo = vec![0u64; p];
@@ -427,8 +422,7 @@ fn ghost_candidates_of(edges: &[Edge]) -> Vec<(u64, u64)> {
     for e in edges {
         *counts.entry(e.dst).or_insert(0) += 1;
     }
-    let mut cands: Vec<(u64, u64)> =
-        counts.into_iter().filter(|&(_, c)| c >= 2).collect();
+    let mut cands: Vec<(u64, u64)> = counts.into_iter().filter(|&(_, c)| c >= 2).collect();
     cands.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     cands.truncate(MAX_GHOST_CANDIDATES);
     cands
@@ -443,10 +437,22 @@ mod tests {
     /// The paper's Figure 3 example: 8 vertices, 16 edges, 4 partitions.
     fn figure3_edges() -> Vec<Edge> {
         [
-            (0, 1), (1, 0), (1, 2), (2, 1),
-            (2, 3), (2, 4), (2, 5), (2, 6),
-            (2, 7), (3, 2), (4, 2), (5, 2),
-            (5, 7), (6, 2), (7, 2), (7, 5),
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (2, 6),
+            (2, 7),
+            (3, 2),
+            (4, 2),
+            (5, 2),
+            (5, 7),
+            (6, 2),
+            (7, 2),
+            (7, 5),
         ]
         .iter()
         .map(|&(s, d)| Edge::new(s, d))

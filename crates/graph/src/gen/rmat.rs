@@ -78,7 +78,11 @@ impl RmatGenerator {
     }
 
     /// Stream a contiguous range of the directed edge list.
-    pub fn edges_range(&self, seed: u64, range: std::ops::Range<u64>) -> impl Iterator<Item = Edge> + '_ {
+    pub fn edges_range(
+        &self,
+        seed: u64,
+        range: std::ops::Range<u64>,
+    ) -> impl Iterator<Item = Edge> + '_ {
         let perm = self.permutation(seed);
         range.map(move |i| self.edge_at_with(&perm, seed, i))
     }
@@ -157,10 +161,7 @@ mod tests {
         }
         let max = *deg.iter().max().unwrap();
         let mean = g.num_edges() as f64 / g.num_vertices() as f64;
-        assert!(
-            max as f64 > 8.0 * mean,
-            "expected hub growth: max {max} vs mean {mean}"
-        );
+        assert!(max as f64 > 8.0 * mean, "expected hub growth: max {max} vs mean {mean}");
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl SmallWorldGenerator {
     }
 
     /// Stream a contiguous range of the directed edge list.
-    pub fn edges_range(&self, seed: u64, range: std::ops::Range<u64>) -> impl Iterator<Item = Edge> + '_ {
+    pub fn edges_range(
+        &self,
+        seed: u64,
+        range: std::ops::Range<u64>,
+    ) -> impl Iterator<Item = Edge> + '_ {
         // hoist the permutation out of the per-edge path
         let perm = if self.permute_labels {
             RandomPermutation::new(self.vertices, seed ^ 0x5111_5EED)

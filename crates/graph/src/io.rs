@@ -56,10 +56,7 @@ pub fn read_text<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<Edge>> {
 }
 
 fn bad_line(lineno: usize) -> std::io::Error {
-    std::io::Error::new(
-        std::io::ErrorKind::InvalidData,
-        format!("malformed edge at line {lineno}"),
-    )
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("malformed edge at line {lineno}"))
 }
 
 /// Write a binary edge list: little-endian `(u64 src, u64 dst)` pairs.

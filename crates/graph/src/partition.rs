@@ -153,7 +153,8 @@ mod tests {
             partition_histogram(edges.iter().copied(), p, |e| two_d_partition(e, n, rows, cols));
         // edge-list partitioning: even by construction
         let m = edges.len() as u64;
-        let hel: Vec<u64> = (0..p as u64).map(|r| m * (r + 1) / p as u64 - m * r / p as u64).collect();
+        let hel: Vec<u64> =
+            (0..p as u64).map(|r| m * (r + 1) / p as u64 - m * r / p as u64).collect();
 
         let i1 = imbalance(&h1);
         let i2 = imbalance(&h2);

@@ -29,16 +29,9 @@ pub fn sort_edges_even(ctx: &RankCtx, mut local: Vec<Edge>) -> Vec<Edge> {
     // 1. splitter selection from gathered regular samples
     let want = (p * OVERSAMPLE).min(local.len().max(1));
     let samples: Vec<Edge> = (0..want)
-        .filter_map(|i| {
-            if local.is_empty() {
-                None
-            } else {
-                Some(local[i * local.len() / want])
-            }
-        })
+        .filter_map(|i| if local.is_empty() { None } else { Some(local[i * local.len() / want]) })
         .collect();
-    let mut all_samples: Vec<Edge> =
-        ctx.all_gather(samples).into_iter().flatten().collect();
+    let mut all_samples: Vec<Edge> = ctx.all_gather(samples).into_iter().flatten().collect();
     all_samples.sort_unstable_by_key(|e| e.key());
     let splitters: Vec<Edge> = (1..p)
         .map(|i| {
@@ -148,9 +141,8 @@ mod tests {
     fn preserves_multiset() {
         let g = RmatGenerator::graph500(7);
         let p = 3;
-        let results = CommWorld::run(p, |ctx| {
-            sort_edges_even(ctx, g.edges_for_rank(5, ctx.rank(), p))
-        });
+        let results =
+            CommWorld::run(p, |ctx| sort_edges_even(ctx, g.edges_for_rank(5, ctx.rank(), p)));
         let mut got: Vec<Edge> = results.into_iter().flatten().collect();
         let mut want = g.edges(5);
         got.sort_unstable_by_key(|e| e.key());
@@ -163,9 +155,10 @@ mod tests {
         // all edges start on rank 0; many duplicate keys (hub pattern)
         check_sorted_even(5, |r| {
             if r == 0 {
-                (0..1000).map(|i| Edge::new(7, i % 13)).chain(
-                    (0..500).map(|i| Edge::new(i % 29, 7)),
-                ).collect()
+                (0..1000)
+                    .map(|i| Edge::new(7, i % 13))
+                    .chain((0..500).map(|i| Edge::new(i % 29, 7)))
+                    .collect()
             } else {
                 Vec::new()
             }
@@ -179,7 +172,13 @@ mod tests {
 
     #[test]
     fn handles_fewer_edges_than_ranks() {
-        check_sorted_even(6, |r| if r == 2 { vec![Edge::new(5, 1), Edge::new(1, 2)] } else { Vec::new() });
+        check_sorted_even(6, |r| {
+            if r == 2 {
+                vec![Edge::new(5, 1), Edge::new(1, 2)]
+            } else {
+                Vec::new()
+            }
+        });
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use havoq_comm::WireCodec;
+
 /// A global vertex identifier.
 ///
 /// Identifiers are dense in `0..num_vertices`. The paper stores partition
@@ -20,6 +22,21 @@ impl fmt::Display for VertexId {
 impl From<u64> for VertexId {
     fn from(v: u64) -> Self {
         VertexId(v)
+    }
+}
+
+impl WireCodec for VertexId {
+    const WIRE_SIZE: usize = 8;
+    type DecodeCtx = ();
+
+    #[inline]
+    fn encode(&self, buf: &mut [u8]) {
+        self.0.encode(buf);
+    }
+
+    #[inline]
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        VertexId(u64::decode(buf, ctx))
     }
 }
 
@@ -52,6 +69,22 @@ impl Edge {
     #[inline]
     pub fn key(self) -> (u64, u64) {
         (self.src, self.dst)
+    }
+}
+
+impl WireCodec for Edge {
+    const WIRE_SIZE: usize = 16;
+    type DecodeCtx = ();
+
+    #[inline]
+    fn encode(&self, buf: &mut [u8]) {
+        self.src.encode(&mut buf[..8]);
+        self.dst.encode(&mut buf[8..16]);
+    }
+
+    #[inline]
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        Edge { src: u64::decode(&buf[..8], ctx), dst: u64::decode(&buf[8..16], ctx) }
     }
 }
 
@@ -96,5 +129,18 @@ mod tests {
     fn max_vertex_of_empty_is_zero() {
         assert_eq!(max_vertex(&[]), 0);
         assert_eq!(max_vertex(&[Edge::new(0, 9)]), 10);
+    }
+
+    #[test]
+    fn wire_codecs_roundtrip() {
+        let v = VertexId(0xdead_beef_1234_5678);
+        let mut buf = [0u8; 8];
+        v.encode(&mut buf);
+        assert_eq!(VertexId::decode(&buf, &()), v);
+
+        let e = Edge::new(u64::MAX, 42);
+        let mut buf = [0u8; 16];
+        e.encode(&mut buf);
+        assert_eq!(Edge::decode(&buf, &()), e);
     }
 }

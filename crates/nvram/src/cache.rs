@@ -8,10 +8,9 @@
 //! flush. Hit/miss/eviction statistics drive the Figure 9 analysis.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
-use rustc_hash::FxHashMap;
+use havoq_util::FxHashMap;
 
 use crate::device::BlockDevice;
 
@@ -103,7 +102,7 @@ struct CacheCounters {
 /// Sharded page cache over a [`BlockDevice`].
 ///
 /// ```
-/// use std::sync::Arc;
+/// use std::sync::{Arc, Mutex};
 /// use havoq_nvram::cache::{PageCache, PageCacheConfig};
 /// use havoq_nvram::device::{BlockDevice, MemDevice, SimNvram, DeviceProfile};
 ///
@@ -157,7 +156,7 @@ impl PageCache {
         count_stats: bool,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> (R, bool) {
-        let mut shard = self.shard_of(page_no).lock();
+        let mut shard = self.shard_of(page_no).lock().unwrap();
         if let Some(&idx) = shard.map.get(&page_no) {
             if count_stats {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
@@ -205,10 +204,8 @@ impl PageCache {
             let old_page = shard.frames[victim].page_no;
             if shard.frames[victim].dirty {
                 self.counters.writebacks.fetch_add(1, Ordering::Relaxed);
-                self.device.write_at(
-                    old_page * self.cfg.page_size as u64,
-                    &shard.frames[victim].data,
-                );
+                self.device
+                    .write_at(old_page * self.cfg.page_size as u64, &shard.frames[victim].data);
             }
             shard.map.remove(&old_page);
             let frame = &mut shard.frames[victim];
@@ -235,7 +232,7 @@ impl PageCache {
         // skip entirely-cached windows cheaply
         let any_missing = (0..count as u64).any(|i| {
             let page_no = first + i;
-            !self.shard_of(page_no).lock().map.contains_key(&page_no)
+            !self.shard_of(page_no).lock().unwrap().map.contains_key(&page_no)
         });
         if !any_missing {
             return;
@@ -244,7 +241,7 @@ impl PageCache {
         self.device.read_at(first * ps as u64, &mut buf);
         for i in 0..count {
             let page_no = first + i as u64;
-            let mut shard = self.shard_of(page_no).lock();
+            let mut shard = self.shard_of(page_no).lock().unwrap();
             if shard.map.contains_key(&page_no) {
                 continue;
             }
@@ -316,7 +313,7 @@ impl PageCache {
     /// Write every dirty page back to the device.
     pub fn flush(&self) {
         for shard in &self.shards {
-            let mut s = shard.lock();
+            let mut s = shard.lock().unwrap();
             for frame in s.frames.iter_mut() {
                 if frame.dirty {
                     self.counters.writebacks.fetch_add(1, Ordering::Relaxed);
@@ -332,7 +329,7 @@ impl PageCache {
     pub fn clear(&self) {
         self.flush();
         for shard in &self.shards {
-            let mut s = shard.lock();
+            let mut s = shard.lock().unwrap();
             s.map.clear();
             s.frames.clear();
             s.clock_hand = 0;
@@ -393,7 +390,12 @@ mod tests {
         let dev = Arc::new(MemDevice::new());
         let c = PageCache::new(
             Arc::clone(&dev) as Arc<dyn BlockDevice>,
-            PageCacheConfig { page_size, capacity_pages: pages, shards: 2, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size,
+                capacity_pages: pages,
+                shards: 2,
+                ..PageCacheConfig::default()
+            },
         );
         (dev, c)
     }
@@ -432,7 +434,7 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_pages() {
         let (dev, c) = cache(2, 64); // 1 page per shard
-        // page numbers map to shards by page_no % 2; use pages 0,2,4 (shard 0)
+                                     // page numbers map to shards by page_no % 2; use pages 0,2,4 (shard 0)
         c.write_at(0, &[1u8; 64]); // page 0
         c.write_at(2 * 64, &[2u8; 64]); // page 2: evicts page 0
         c.write_at(4 * 64, &[3u8; 64]); // page 4: evicts page 2
@@ -481,7 +483,12 @@ mod tests {
         let dev = Arc::new(MemDevice::new());
         let c = PageCache::new(
             dev as Arc<dyn BlockDevice>,
-            PageCacheConfig { page_size: 64, capacity_pages: 2, shards: 1, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 2,
+                shards: 1,
+                ..PageCacheConfig::default()
+            },
         );
         let mut b = [0u8; 1];
         c.read_at(0, &mut b); // A: miss
@@ -568,7 +575,13 @@ mod tests {
         let dev = Arc::new(MemDevice::new());
         PageCache::new(
             dev as Arc<dyn BlockDevice>,
-            PageCacheConfig { page_size: 64, capacity_pages: 2, shards: 1, policy, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 2,
+                shards: 1,
+                policy,
+                ..PageCacheConfig::default()
+            },
         )
     }
 
@@ -618,7 +631,12 @@ mod tests {
         let dev = Arc::new(MemDevice::new());
         let c = Arc::new(PageCache::new(
             dev as Arc<dyn BlockDevice>,
-            PageCacheConfig { page_size: 256, capacity_pages: 16, shards: 4, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size: 256,
+                capacity_pages: 16,
+                shards: 4,
+                ..PageCacheConfig::default()
+            },
         ));
         let mut handles = Vec::new();
         for t in 0..4u64 {
@@ -646,7 +664,12 @@ mod tests {
         let dev = Arc::new(MemDevice::new());
         let _ = PageCache::new(
             dev as Arc<dyn BlockDevice>,
-            PageCacheConfig { page_size: 100, capacity_pages: 8, shards: 2, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size: 100,
+                capacity_pages: 8,
+                shards: 2,
+                ..PageCacheConfig::default()
+            },
         );
     }
 }

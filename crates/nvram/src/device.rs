@@ -12,7 +12,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::{Condvar, Mutex, RwLock};
 
 /// A byte-addressable block device. All methods take `&self`; devices are
 /// internally synchronized because page-cache shards access them
@@ -100,7 +100,7 @@ impl Default for MemDevice {
 impl BlockDevice for MemDevice {
     fn read_at(&self, offset: u64, buf: &mut [u8]) {
         self.counters.record_read(buf.len());
-        let data = self.data.read();
+        let data = self.data.read().unwrap();
         let off = offset as usize;
         let have = data.len().saturating_sub(off).min(buf.len());
         if have > 0 {
@@ -111,7 +111,7 @@ impl BlockDevice for MemDevice {
 
     fn write_at(&self, offset: u64, buf: &[u8]) {
         self.counters.record_write(buf.len());
-        let mut data = self.data.write();
+        let mut data = self.data.write().unwrap();
         let end = offset as usize + buf.len();
         if data.len() < end {
             data.resize(end, 0);
@@ -120,7 +120,7 @@ impl BlockDevice for MemDevice {
     }
 
     fn len(&self) -> u64 {
-        self.data.read().len() as u64
+        self.data.read().unwrap().len() as u64
     }
 
     fn stats(&self) -> DeviceStatsSnapshot {
@@ -146,7 +146,7 @@ impl FileDevice {
 impl BlockDevice for FileDevice {
     fn read_at(&self, offset: u64, buf: &mut [u8]) {
         self.counters.record_read(buf.len());
-        let mut f = self.file.lock();
+        let mut f = self.file.lock().unwrap();
         let len = f.seek(SeekFrom::End(0)).expect("seek");
         if offset >= len {
             buf.fill(0);
@@ -160,13 +160,13 @@ impl BlockDevice for FileDevice {
 
     fn write_at(&self, offset: u64, buf: &[u8]) {
         self.counters.record_write(buf.len());
-        let mut f = self.file.lock();
+        let mut f = self.file.lock().unwrap();
         f.seek(SeekFrom::Start(offset)).expect("seek");
         f.write_all(buf).expect("write");
     }
 
     fn len(&self) -> u64 {
-        let mut f = self.file.lock();
+        let mut f = self.file.lock().unwrap();
         f.seek(SeekFrom::End(0)).expect("seek")
     }
 
@@ -223,15 +223,15 @@ impl Gate {
     }
 
     fn acquire(&self) {
-        let mut p = self.permits.lock();
+        let mut p = self.permits.lock().unwrap();
         while *p == 0 {
-            self.cv.wait(&mut p);
+            p = self.cv.wait(p).unwrap();
         }
         *p -= 1;
     }
 
     fn release(&self) {
-        *self.permits.lock() += 1;
+        *self.permits.lock().unwrap() += 1;
         self.cv.notify_one();
     }
 }
@@ -367,7 +367,12 @@ mod tests {
     fn sim_nvram_injects_latency() {
         let dev = SimNvram::new(
             MemDevice::new(),
-            DeviceProfile { name: "t", read_latency_ns: 100_000, write_latency_ns: 0, concurrency: 4 },
+            DeviceProfile {
+                name: "t",
+                read_latency_ns: 100_000,
+                write_latency_ns: 0,
+                concurrency: 4,
+            },
         );
         let mut b = [0u8; 8];
         let t0 = Instant::now();
@@ -402,7 +407,12 @@ mod tests {
     fn concurrent_access_under_gate() {
         let dev = std::sync::Arc::new(SimNvram::new(
             MemDevice::with_capacity(1 << 16),
-            DeviceProfile { name: "t", read_latency_ns: 1_000, write_latency_ns: 1_000, concurrency: 2 },
+            DeviceProfile {
+                name: "t",
+                read_latency_ns: 1_000,
+                write_latency_ns: 1_000,
+                concurrency: 2,
+            },
         ));
         let mut handles = Vec::new();
         for t in 0..4u64 {

@@ -161,7 +161,12 @@ mod tests {
         let dev = Arc::new(MemDevice::new());
         let cache = Arc::new(PageCache::new(
             dev as Arc<dyn BlockDevice>,
-            PageCacheConfig { page_size: 128, capacity_pages: pages, shards: 2, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size: 128,
+                capacity_pages: pages,
+                shards: 2,
+                ..PageCacheConfig::default()
+            },
         ));
         ExtStore::new(cache)
     }

@@ -23,5 +23,7 @@ pub mod device;
 pub mod extvec;
 
 pub use cache::{CacheStatsSnapshot, EvictionPolicy, PageCache, PageCacheConfig};
-pub use device::{BlockDevice, DeviceProfile, DeviceStatsSnapshot, FileDevice, MemDevice, SimNvram};
+pub use device::{
+    BlockDevice, DeviceProfile, DeviceStatsSnapshot, FileDevice, MemDevice, SimNvram,
+};
 pub use extvec::{ExtStore, ExternalVec, Pod};

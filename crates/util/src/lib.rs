@@ -1,0 +1,135 @@
+//! Dependency-free utilities shared across the workspace.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! handful of small external crates the workspace used to lean on are
+//! implemented here instead:
+//!
+//! - [`FxHashMap`] / [`FxHashSet`]: `HashMap`/`HashSet` using the Fx hash
+//!   (the rustc-internal multiplicative hash) — non-cryptographic, very
+//!   fast on the small integer keys the graph code hashes.
+//! - [`testing`]: a deterministic property-test harness (seeded cases +
+//!   a small PRNG) replacing proptest for the invariant suites.
+
+pub mod testing;
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiplicative hash used inside rustc: fold each word into the
+/// state with a rotate + xor + multiply. Not DoS-resistant; the workspace
+/// only hashes trusted vertex ids and file offsets.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail) | (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 3)));
+        }
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<(u64, u64)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.insert((2, 1)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn hasher_is_deterministic_and_spreads() {
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        let mut outs: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..10_000u64 {
+            outs.insert(h(i));
+        }
+        assert_eq!(outs.len(), 10_000, "no collisions on small sequential keys");
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("alpha".into(), 1);
+        m.insert("beta".into(), 2);
+        assert_eq!(m["alpha"], 1);
+        assert_eq!(m["beta"], 2);
+    }
+}

@@ -28,12 +28,7 @@ fn main() {
     io::write_binary(&path, &edges).expect("write graph file");
     let total = io::binary_edge_count(&path).expect("count edges");
     println!("== file-based pipeline ==");
-    println!(
-        "wrote {} edges ({} MiB) to {}",
-        total,
-        total * 16 / (1 << 20),
-        path.display()
-    );
+    println!("wrote {} edges ({} MiB) to {}", total, total * 16 / (1 << 20), path.display());
 
     // 2. each rank loads only its slice of the file and builds collectively
     let path_ref = &path;
@@ -58,7 +53,8 @@ fn main() {
                 *counts.entry(cc.local_state[g.local_index(v)].component).or_insert(0u64) += 1;
             }
         }
-        let (label, _) = counts.iter().max_by_key(|&(_, c)| c).map(|(l, c)| (*l, *c)).unwrap_or((0, 0));
+        let (label, _) =
+            counts.iter().max_by_key(|&(_, c)| c).map(|(l, c)| (*l, *c)).unwrap_or((0, 0));
         // not necessarily globally giant, but the root of the giant
         // component has the globally maximal count; reduce by trying the
         // min label (components are labeled by their minimum vertex)

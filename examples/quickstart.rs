@@ -17,11 +17,7 @@ fn main() {
 
     let gen = RmatGenerator::graph500(scale);
     let edges = gen.symmetric_edges(42);
-    println!(
-        "        {} vertices, {} directed edges",
-        gen.num_vertices(),
-        edges.len()
-    );
+    println!("        {} vertices, {} directed edges", gen.num_vertices(), edges.len());
 
     let results = CommWorld::run(ranks, |ctx| {
         // every rank takes its slice and the build redistributes via the
@@ -48,7 +44,10 @@ fn main() {
     let max = *edge_counts.iter().max().unwrap() as f64;
     let mean = edge_counts.iter().sum::<u64>() as f64 / ranks as f64;
     println!("edges per rank:     {edge_counts:?}");
-    println!("imbalance (max/mean): {:.4}  (edge-list partitioning is even by construction)", max / mean);
+    println!(
+        "imbalance (max/mean): {:.4}  (edge-list partitioning is even by construction)",
+        max / mean
+    );
 
     println!("\n-- visitor-queue statistics (rank 0) --");
     let s = &r0.stats;

@@ -56,15 +56,17 @@ fn main() {
         let pages = (bytes_per_rank / 4096 / denom).max(8);
         let cfg = GraphConfig::external(
             DeviceProfile::fusion_io(),
-            PageCacheConfig { page_size: 4096, capacity_pages: pages, shards: 8, readahead_pages: 8, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size: 4096,
+                capacity_pages: pages,
+                shards: 8,
+                readahead_pages: 8,
+                ..PageCacheConfig::default()
+            },
         );
         let label = format!("NVRAM, cache = data/{denom}");
         let teps = run(cfg, &label);
-        println!(
-            "{:<28} {:>9.0}% of DRAM performance",
-            "",
-            100.0 * teps / dram
-        );
+        println!("{:<28} {:>9.0}% of DRAM performance", "", 100.0 * teps / dram);
     }
 
     println!("\nThe paper's Figure 9 shows the same shape at trillion-edge scale:");

@@ -23,7 +23,10 @@ fn main() {
     let gen = PaGenerator::new(vertices, 8);
     let edges = gen.symmetric_edges(7);
 
-    println!("{:>6} {:>12} {:>14} {:>12} {:>10}", "k", "core size", "% of network", "visitors", "time");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12} {:>10}",
+        "k", "core size", "% of network", "visitors", "time"
+    );
     for k in [2u64, 4, 8, 12, 16, 24, 32] {
         let out = CommWorld::run(ranks, |ctx| {
             let g = DistGraph::build_replicated(

@@ -47,9 +47,7 @@ pub use havoq_nvram as nvram;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
-    pub use havoq_comm::{
-        CommWorld, Mailbox, MailboxConfig, Quiescence, RankCtx, TopologyKind,
-    };
+    pub use havoq_comm::{CommWorld, Mailbox, MailboxConfig, Quiescence, RankCtx, TopologyKind};
     pub use havoq_core::algorithms::bfs::{bfs, BfsConfig, BfsResult};
     pub use havoq_core::algorithms::cc::{connected_components, CcConfig, CcResult};
     pub use havoq_core::algorithms::kcore::{
@@ -66,6 +64,6 @@ pub mod prelude {
     pub use havoq_graph::gen::rmat::RmatGenerator;
     pub use havoq_graph::gen::smallworld::SmallWorldGenerator;
     pub use havoq_graph::types::{Edge, VertexId};
-    pub use havoq_nvram::device::{DeviceProfile, SimNvram};
     pub use havoq_nvram::cache::{PageCache, PageCacheConfig};
+    pub use havoq_nvram::device::{DeviceProfile, SimNvram};
 }

@@ -124,13 +124,10 @@ fn sssp_distances_bounded_by_bfs_levels() {
                 continue;
             }
             let li = g.local_index(v);
-            let (lvl, dist) =
-                (b.local_state[li].length, s.local_state[li].distance);
+            let (lvl, dist) = (b.local_state[li].length, s.local_state[li].distance);
             match (lvl == u64::MAX, dist == u64::MAX) {
                 (true, true) => {}
-                (false, false) => {
-                    ok &= dist >= lvl && dist <= lvl.saturating_mul(cfg.max_weight)
-                }
+                (false, false) => ok &= dist >= lvl && dist <= lvl.saturating_mul(cfg.max_weight),
                 _ => ok = false, // must agree on reachability
             }
         }
@@ -159,10 +156,5 @@ fn ghost_filtering_reduces_network_payload() {
         (w[0], wo[0])
     };
     assert_eq!(with.0, without.0, "ghosts must not change reachability");
-    assert!(
-        with.1 < without.1,
-        "ghosts should reduce payload: {} vs {}",
-        with.1,
-        without.1
-    );
+    assert!(with.1 < without.1, "ghosts should reduce payload: {} vs {}", with.1, without.1);
 }

@@ -73,15 +73,8 @@ fn bfs_matches_reference_across_strategies_and_topologies() {
         for topo in [TopologyKind::Direct, TopologyKind::Routed2D, TopologyKind::Routed3D] {
             let mut cfg = BfsConfig::default();
             cfg.traversal.mailbox = MailboxConfig::with_topology(topo);
-            let got = distributed_bfs_levels(
-                8,
-                n,
-                &edges,
-                1,
-                strategy,
-                &cfg,
-                GraphConfig::default(),
-            );
+            let got =
+                distributed_bfs_levels(8, n, &edges, 1, strategy, &cfg, GraphConfig::default());
             assert_eq!(got, want, "strategy={strategy:?} topo={topo:?}");
         }
     }
@@ -103,7 +96,12 @@ fn bfs_on_external_memory_matches_dram() {
     );
     let ext = GraphConfig::external(
         DeviceProfile::dram(),
-        PageCacheConfig { page_size: 256, capacity_pages: 16, shards: 2, ..PageCacheConfig::default() },
+        PageCacheConfig {
+            page_size: 256,
+            capacity_pages: 16,
+            shards: 2,
+            ..PageCacheConfig::default()
+        },
     );
     let got = distributed_bfs_levels(
         4,

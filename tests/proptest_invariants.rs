@@ -2,52 +2,48 @@
 //! distributed sort, owner functions, CSR storage, page cache, and the
 //! visitor algorithms against serial references on arbitrary graphs.
 
-use proptest::prelude::*;
-
 use havoq::prelude::*;
 use havoq_core::algorithms::bfs::UNREACHED;
 use havoq_graph::gen::permute::RandomPermutation;
 use havoq_graph::sort::sort_edges_even;
 use havoq_nvram::device::BlockDevice;
+use havoq_util::testing::{run_cases, TestRng};
 
 /// Arbitrary small symmetric graph: vertex count + undirected edge pairs.
-fn arb_graph() -> impl Strategy<Value = (u64, Vec<Edge>)> {
-    (2u64..60).prop_flat_map(|n| {
-        let edge = (0..n, 0..n).prop_map(|(a, b)| Edge::new(a, b));
-        proptest::collection::vec(edge, 0..200).prop_map(move |mut es| {
-            let m = es.len();
-            for i in 0..m {
-                let e = es[i];
-                if !e.is_self_loop() {
-                    es.push(e.reversed());
-                }
-            }
-            (n, es)
-        })
-    })
+fn arb_graph(rng: &mut TestRng) -> (u64, Vec<Edge>) {
+    let n = rng.range(2, 60);
+    let m = rng.range_usize(0, 200);
+    let mut es: Vec<Edge> = (0..m).map(|_| Edge::new(rng.below(n), rng.below(n))).collect();
+    for i in 0..m {
+        let e = es[i];
+        if !e.is_self_loop() {
+            es.push(e.reversed());
+        }
+    }
+    (n, es)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn permutation_is_a_bijection(n in 1u64..5000, seed in any::<u64>()) {
+#[test]
+fn permutation_is_a_bijection() {
+    run_cases(24, |rng: &mut TestRng| {
+        let n = rng.range(1, 5000);
+        let seed = rng.next_u64();
         let p = RandomPermutation::new(n, seed);
         let mut seen = vec![false; n as usize];
         for x in 0..n {
             let y = p.apply(x);
-            prop_assert!(y < n);
-            prop_assert!(!seen[y as usize]);
+            assert!(y < n);
+            assert!(!seen[y as usize]);
             seen[y as usize] = true;
         }
-    }
+    });
+}
 
-    #[test]
-    fn distributed_sort_equals_serial_sort(
-        (n, edges) in arb_graph(),
-        p in 1usize..6,
-    ) {
-        let _ = n;
+#[test]
+fn distributed_sort_equals_serial_sort() {
+    run_cases(24, |rng: &mut TestRng| {
+        let (_n, edges) = arb_graph(rng);
+        let p = rng.range_usize(1, 6);
         let sorted = CommWorld::run(p, |ctx| {
             let m = edges.len();
             let lo = m * ctx.rank() / p;
@@ -57,14 +53,15 @@ proptest! {
         let got: Vec<Edge> = sorted.into_iter().flatten().collect();
         let mut want = edges.clone();
         want.sort_unstable_by_key(|e| e.key());
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn owner_functions_tile_every_vertex(
-        (n, edges) in arb_graph(),
-        p in 1usize..6,
-    ) {
+#[test]
+fn owner_functions_tile_every_vertex() {
+    run_cases(24, |rng: &mut TestRng| {
+        let (n, edges) = arb_graph(rng);
+        let p = rng.range_usize(1, 6);
         let checks = CommWorld::run(p, |ctx| {
             let g = DistGraph::build_replicated(
                 ctx,
@@ -85,19 +82,19 @@ proptest! {
             (ok, ctx.all_reduce_sum(masters))
         });
         for (ok, master_total) in checks {
-            prop_assert!(ok);
-            prop_assert_eq!(master_total, n);
+            assert!(ok);
+            assert_eq!(master_total, n);
         }
-    }
+    });
+}
 
-    #[test]
-    fn distributed_bfs_equals_serial_bfs(
-        (n, edges) in arb_graph(),
-        p in 1usize..6,
-        source in 0u64..60,
-        ghosts in 0usize..32,
-    ) {
-        let source = source % n;
+#[test]
+fn distributed_bfs_equals_serial_bfs() {
+    run_cases(24, |rng: &mut TestRng| {
+        let (n, edges) = arb_graph(rng);
+        let p = rng.range_usize(1, 6);
+        let source = rng.below(n);
+        let ghosts = rng.range_usize(0, 32);
         // serial reference
         let mut adj = vec![Vec::new(); n as usize];
         for e in &edges {
@@ -141,14 +138,15 @@ proptest! {
         for (v, lvl) in pieces.into_iter().flatten() {
             got[v as usize] = lvl;
         }
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn replica_state_is_consistent_after_bfs(
-        (n, edges) in arb_graph(),
-        p in 2usize..6,
-    ) {
+#[test]
+fn replica_state_is_consistent_after_bfs() {
+    run_cases(24, |rng: &mut TestRng| {
+        let (n, edges) = arb_graph(rng);
+        let p = rng.range_usize(2, 6);
         // after termination, every replica of a split vertex must agree
         // with its master (BFS updates are monotone and fully propagated)
         let pieces = CommWorld::run(p, |ctx| {
@@ -166,17 +164,18 @@ proptest! {
         let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for (v, lvl) in pieces.into_iter().flatten() {
             if let Some(prev) = seen.insert(v, lvl) {
-                prop_assert_eq!(prev, lvl, "replica disagreement at vertex {}", v);
+                assert_eq!(prev, lvl, "replica disagreement at vertex {v}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn distributed_kcore_equals_serial_peeling(
-        (n, edges) in arb_graph(),
-        p in 1usize..5,
-        k in 1u64..6,
-    ) {
+#[test]
+fn distributed_kcore_equals_serial_peeling() {
+    run_cases(24, |rng: &mut TestRng| {
+        let (n, edges) = arb_graph(rng);
+        let p = rng.range_usize(1, 5);
+        let k = rng.range(1, 6);
         // serial peeling reference
         let mut adj = vec![Vec::new(); n as usize];
         for e in &edges {
@@ -215,14 +214,15 @@ proptest! {
             );
             kcore(ctx, &g, k, &KCoreConfig::default()).alive_count
         });
-        prop_assert!(got.iter().all(|&c| c == want), "{got:?} != {want}");
-    }
+        assert!(got.iter().all(|&c| c == want), "{got:?} != {want}");
+    });
+}
 
-    #[test]
-    fn distributed_triangles_equal_serial_count(
-        (n, edges) in arb_graph(),
-        p in 1usize..5,
-    ) {
+#[test]
+fn distributed_triangles_equal_serial_count() {
+    run_cases(24, |rng: &mut TestRng| {
+        let (n, edges) = arb_graph(rng);
+        let p = rng.range_usize(1, 5);
         use std::collections::HashSet;
         let mut adj: Vec<HashSet<u64>> = vec![HashSet::new(); n as usize];
         for e in &edges {
@@ -234,7 +234,9 @@ proptest! {
         let mut want = 0u64;
         for a in 0..n {
             for &b in &adj[a as usize] {
-                if b <= a { continue; }
+                if b <= a {
+                    continue;
+                }
                 for &c in &adj[b as usize] {
                     if c > b && adj[a as usize].contains(&c) {
                         want += 1;
@@ -251,57 +253,61 @@ proptest! {
             );
             triangle_count(ctx, &g, &TriangleConfig::default()).triangles
         });
-        prop_assert!(got.iter().all(|&t| t == want), "{got:?} != {want}");
-    }
+        assert!(got.iter().all(|&t| t == want), "{got:?} != {want}");
+    });
+}
 
-    #[test]
-    fn edge_file_roundtrips(
-        (n, edges) in arb_graph(),
-        binary in any::<bool>(),
-    ) {
-        let _ = n;
+#[test]
+fn edge_file_roundtrips() {
+    run_cases(8, |rng: &mut TestRng| {
+        let (_n, edges) = arb_graph(rng);
+        let binary = rng.bool();
         let dir = std::env::temp_dir().join(format!("havoq-prop-io-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("e-{binary}.dat"));
         if binary {
             havoq_graph::io::write_binary(&path, &edges).unwrap();
-            prop_assert_eq!(havoq_graph::io::read_binary(&path).unwrap(), edges);
+            assert_eq!(havoq_graph::io::read_binary(&path).unwrap(), edges);
         } else {
             havoq_graph::io::write_text(&path, &edges).unwrap();
-            prop_assert_eq!(havoq_graph::io::read_text(&path).unwrap(), edges);
+            assert_eq!(havoq_graph::io::read_text(&path).unwrap(), edges);
         }
-    }
+    });
+}
 
-    #[test]
-    fn page_cache_matches_memory_model(
-        ops in proptest::collection::vec(
-            (0u64..2048, proptest::option::of(any::<u8>())), 1..200),
-        pages in 1usize..8,
-    ) {
+#[test]
+fn page_cache_matches_memory_model() {
+    run_cases(24, |rng: &mut TestRng| {
         use std::sync::Arc;
+        let pages = rng.range_usize(1, 8);
+        let nops = rng.range_usize(1, 200);
         let dev = Arc::new(havoq_nvram::device::MemDevice::new());
         let cache = PageCache::new(
             dev as Arc<dyn BlockDevice>,
-            PageCacheConfig { page_size: 64, capacity_pages: pages.max(2), shards: 2, ..PageCacheConfig::default() },
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: pages.max(2),
+                shards: 2,
+                ..PageCacheConfig::default()
+            },
         );
         let mut model = vec![0u8; 2048 + 1];
-        for (addr, write) in ops {
-            match write {
-                Some(v) => {
-                    cache.write_at(addr, &[v]);
-                    model[addr as usize] = v;
-                }
-                None => {
-                    let mut b = [0u8; 1];
-                    cache.read_at(addr, &mut b);
-                    prop_assert_eq!(b[0], model[addr as usize]);
-                }
+        for _ in 0..nops {
+            let addr = rng.below(2048);
+            if rng.bool() {
+                let v = rng.u8();
+                cache.write_at(addr, &[v]);
+                model[addr as usize] = v;
+            } else {
+                let mut b = [0u8; 1];
+                cache.read_at(addr, &mut b);
+                assert_eq!(b[0], model[addr as usize]);
             }
         }
         // final flush + raw device readback agrees with the model
         cache.flush();
         let mut all = vec![0u8; model.len()];
         cache.read_at(0, &mut all);
-        prop_assert_eq!(all, model);
-    }
+        assert_eq!(all, model);
+    });
 }
