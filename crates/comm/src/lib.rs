@@ -26,6 +26,7 @@
 pub mod chan;
 pub mod codec;
 pub mod collectives;
+pub mod fault;
 pub mod mailbox;
 pub mod registry;
 pub mod runtime;
@@ -35,6 +36,7 @@ pub mod topology;
 pub mod transport;
 
 pub use codec::{Frame, FramePool, WireCodec, FRAME_HEADER_BYTES, RECORD_DST_BYTES};
+pub use fault::{FaultConfig, FaultPlan};
 pub use mailbox::{Mailbox, MailboxConfig, MailboxStatsSnapshot, DEFAULT_CHANNEL_CAPACITY};
 pub use runtime::{CommWorld, RankCtx};
 pub use stats::{ChannelStats, ChannelStatsSnapshot};

@@ -296,11 +296,24 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
     /// slow path if the bounded channel is full: count the stall, drain our
     /// own receiver into the inbox (a blocked sender must keep consuming so
     /// the world always makes progress), check for poison, retry.
+    ///
+    /// Under fault injection the plan may ask for this frame to be shipped
+    /// twice: the copy reuses the original's sequence number and the
+    /// receiver's dedup window drops whichever lands second. The decision
+    /// keys on the sequence number the send will carry, so it is stable
+    /// across backpressure retries.
     fn ship(&mut self, hop: usize, frame: Frame, records: u64, bytes: u64) {
+        let duplicate =
+            self.transport.wants_duplicate(hop).then(|| Frame { buf: frame.buf.clone() });
         let mut frame = frame;
         loop {
             match self.transport.try_send_counted(hop, frame, records, bytes) {
-                Ok(()) => return,
+                Ok(()) => {
+                    if let Some(copy) = duplicate {
+                        self.transport.send_duplicate(hop, copy);
+                    }
+                    return;
+                }
                 Err(TrySendError::Full(f)) => {
                     self.backpressure_stalls += 1;
                     let mut drained = false;

@@ -15,11 +15,24 @@ use std::sync::{Arc, Mutex};
 use crate::chan::{channel, Receiver, Sender};
 use crate::stats::ChannelStats;
 
-/// A message on the wire, carrying its source rank.
+/// A message on the wire, carrying its source rank and a per-`(src, dst)`
+/// sequence number. The sequence number exists for the fault-injection
+/// layer: duplicated frames reuse the original's number so the receiver
+/// can drop the second copy, and delayed frames stay identifiable no
+/// matter when they surface. Fault-free runs stamp it but never read it.
 #[derive(Debug)]
 pub struct Wire<M> {
     pub src: u32,
+    pub seq: u64,
     pub msg: M,
+}
+
+impl<M> Wire<M> {
+    /// A wire envelope with sequence number 0 — for tests and callers that
+    /// bypass [`Transport`](crate::transport::Transport) stamping.
+    pub fn new(src: u32, msg: M) -> Self {
+        Self { src, seq: 0, msg }
+    }
 }
 
 /// One materialized channel set: `p` queues, one per destination rank.
@@ -138,7 +151,7 @@ mod tests {
         let reg = Registry::new(2);
         let set = reg.channel_set::<u32>(7);
         let rx1 = reg.take_receiver::<u32>(7, 1);
-        set.senders[1].send(Wire { src: 0, msg: 42u32 }).unwrap();
+        set.senders[1].send(Wire::new(0, 42u32)).unwrap();
         let w = rx1.try_recv().unwrap();
         assert_eq!(w.src, 0);
         assert_eq!(w.msg, 42);
@@ -149,7 +162,7 @@ mod tests {
         let reg = Registry::new(1);
         let a = reg.channel_set::<u32>(0);
         let b = reg.channel_set::<u32>(1);
-        a.senders[0].send(Wire { src: 0, msg: 1 }).unwrap();
+        a.senders[0].send(Wire::new(0, 1)).unwrap();
         // Nothing arrives on tag 1's queue.
         let rx_b = reg.take_receiver::<u32>(1, 0);
         assert!(rx_b.try_recv().is_err());
@@ -163,7 +176,7 @@ mod tests {
         let reg = Registry::new(1);
         let a = reg.channel_set::<u32>(0);
         let _b = reg.channel_set::<u64>(0);
-        a.senders[0].send(Wire { src: 0, msg: 9 }).unwrap();
+        a.senders[0].send(Wire::new(0, 9)).unwrap();
         let rx64 = reg.take_receiver::<u64>(0, 0);
         assert!(rx64.try_recv().is_err());
     }
@@ -172,9 +185,9 @@ mod tests {
     fn bounded_sets_enforce_capacity() {
         let reg = Registry::new(1);
         let set = reg.channel_set_with_capacity::<u8>(3, Some(2));
-        assert!(set.senders[0].try_send(Wire { src: 0, msg: 1 }).is_ok());
-        assert!(set.senders[0].try_send(Wire { src: 0, msg: 2 }).is_ok());
-        assert!(set.senders[0].try_send(Wire { src: 0, msg: 3 }).is_err());
+        assert!(set.senders[0].try_send(Wire::new(0, 1)).is_ok());
+        assert!(set.senders[0].try_send(Wire::new(0, 2)).is_ok());
+        assert!(set.senders[0].try_send(Wire::new(0, 3)).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::registry::Registry;
 use crate::transport::Transport;
 
@@ -31,18 +32,33 @@ impl CommWorld {
         R: Send,
         F: Fn(&RankCtx) -> R + Sync,
     {
+        Self::run_with_faults(ranks, None, f)
+    }
+
+    /// Like [`CommWorld::run`], but every user-tag channel injects the
+    /// deterministic faults described by `faults` (see [`FaultConfig`]).
+    /// `None`, or a config with all knobs zero, behaves exactly like
+    /// [`CommWorld::run`]. Control channels (collectives, termination) are
+    /// never perturbed.
+    pub fn run_with_faults<R, F>(ranks: usize, faults: Option<FaultConfig>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Sync,
+    {
         assert!(ranks > 0, "world must have at least one rank");
         let registry = Arc::new(Registry::new(ranks));
         let poisoned = Arc::new(AtomicBool::new(false));
+        let plan = faults.filter(FaultConfig::is_active).map(|cfg| Arc::new(FaultPlan::new(cfg)));
 
         let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..ranks)
                 .map(|rank| {
                     let registry = Arc::clone(&registry);
                     let poisoned = Arc::clone(&poisoned);
+                    let plan = plan.clone();
                     let f = &f;
                     scope.spawn(move || {
-                        let ctx = RankCtx::new(rank, ranks, registry, Arc::clone(&poisoned));
+                        let ctx = RankCtx::new(rank, ranks, registry, Arc::clone(&poisoned), plan);
                         let out = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
                         if out.is_err() {
                             poisoned.store(true, Ordering::SeqCst);
@@ -89,13 +105,22 @@ pub struct RankCtx {
     pub(crate) collective_seq: Cell<u64>,
     /// Counter backing [`RankCtx::auto_tag`].
     auto_seq: Cell<u64>,
+    /// Fault plan shared by all ranks of a [`CommWorld::run_with_faults`]
+    /// world; `None` on unperturbed runs.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Base of the tag namespace handed out by [`RankCtx::auto_tag`].
 pub const AUTO_TAG_BASE: u64 = 1 << 40;
 
 impl RankCtx {
-    fn new(rank: usize, ranks: usize, registry: Arc<Registry>, poisoned: Arc<AtomicBool>) -> Self {
+    fn new(
+        rank: usize,
+        ranks: usize,
+        registry: Arc<Registry>,
+        poisoned: Arc<AtomicBool>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         Self {
             rank,
             ranks,
@@ -103,7 +128,13 @@ impl RankCtx {
             poisoned,
             collective_seq: Cell::new(0),
             auto_seq: Cell::new(0),
+            faults,
         }
+    }
+
+    /// The world's fault plan, if this is a fault-injected run.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// Allocate a fresh world-agreed user channel tag. Like collectives,
@@ -179,7 +210,15 @@ impl RankCtx {
     ) -> Transport<M> {
         let set = self.registry.channel_set_with_capacity::<M>(tag, capacity);
         let receiver = self.registry.take_receiver::<M>(tag, self.rank);
-        Transport::new(self.rank, self.ranks, set, receiver, Arc::clone(&self.poisoned))
+        Transport::new(
+            self.rank,
+            self.ranks,
+            tag,
+            set,
+            receiver,
+            Arc::clone(&self.poisoned),
+            self.faults.clone(),
+        )
     }
 
     pub(crate) fn next_collective_tag(&self) -> u64 {

@@ -31,12 +31,34 @@ pub struct ChannelStats {
     /// `stalls[src * ranks + dst]`: failed sends into a full bounded
     /// channel (each retry loop iteration counts once).
     stalls: Vec<AtomicU64>,
+    /// Fault-injection counters, one matrix per fault type, all indexed
+    /// `src * ranks + dst` like the traffic matrices above. Zero on
+    /// fault-free runs. `dup` counts duplicated frames at the sender;
+    /// the rest count events observed at the receiver.
+    fault_delays: Vec<AtomicU64>,
+    fault_reorders: Vec<AtomicU64>,
+    fault_dups: Vec<AtomicU64>,
+    fault_dedups: Vec<AtomicU64>,
+    fault_stalls: Vec<AtomicU64>,
+    fault_throttles: Vec<AtomicU64>,
 }
 
 impl ChannelStats {
     pub fn new(ranks: usize) -> Self {
         let zeros = || (0..ranks * ranks).map(|_| AtomicU64::new(0)).collect();
-        Self { ranks, msgs: zeros(), items: zeros(), bytes: zeros(), stalls: zeros() }
+        Self {
+            ranks,
+            msgs: zeros(),
+            items: zeros(),
+            bytes: zeros(),
+            stalls: zeros(),
+            fault_delays: zeros(),
+            fault_reorders: zeros(),
+            fault_dups: zeros(),
+            fault_dedups: zeros(),
+            fault_stalls: zeros(),
+            fault_throttles: zeros(),
+        }
     }
 
     #[inline]
@@ -52,6 +74,42 @@ impl ChannelStats {
         self.stalls[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A message src -> dst was held back by an injected delay.
+    #[inline]
+    pub fn record_fault_delay(&self, src: usize, dst: usize) {
+        self.fault_delays[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A message src -> dst was delivered ahead of an earlier arrival.
+    #[inline]
+    pub fn record_fault_reorder(&self, src: usize, dst: usize) {
+        self.fault_reorders[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A frame src -> dst was shipped twice by the fault layer.
+    #[inline]
+    pub fn record_fault_dup(&self, src: usize, dst: usize) {
+        self.fault_dups[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A duplicate delivery src -> dst was dropped by the dedup window.
+    #[inline]
+    pub fn record_fault_dedup(&self, src: usize, dst: usize) {
+        self.fault_dedups[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An arrival src -> dst opened an injected receive-stall window.
+    #[inline]
+    pub fn record_fault_stall(&self, src: usize, dst: usize) {
+        self.fault_stalls[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A delivery src -> dst paid the slow-rank throttle at receiver `dst`.
+    #[inline]
+    pub fn record_fault_throttle(&self, src: usize, dst: usize) {
+        self.fault_throttles[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn ranks(&self) -> usize {
         self.ranks
     }
@@ -65,6 +123,12 @@ impl ChannelStats {
             items: load(&self.items),
             bytes: load(&self.bytes),
             stalls: load(&self.stalls),
+            fault_delays: load(&self.fault_delays),
+            fault_reorders: load(&self.fault_reorders),
+            fault_dups: load(&self.fault_dups),
+            fault_dedups: load(&self.fault_dedups),
+            fault_stalls: load(&self.fault_stalls),
+            fault_throttles: load(&self.fault_throttles),
         }
     }
 }
@@ -77,6 +141,12 @@ pub struct ChannelStatsSnapshot {
     pub items: Vec<u64>,
     pub bytes: Vec<u64>,
     pub stalls: Vec<u64>,
+    pub fault_delays: Vec<u64>,
+    pub fault_reorders: Vec<u64>,
+    pub fault_dups: Vec<u64>,
+    pub fault_dedups: Vec<u64>,
+    pub fault_stalls: Vec<u64>,
+    pub fault_throttles: Vec<u64>,
 }
 
 impl ChannelStatsSnapshot {
@@ -114,6 +184,41 @@ impl ChannelStatsSnapshot {
 
     pub fn total_stalls(&self) -> u64 {
         self.stalls.iter().sum()
+    }
+
+    pub fn total_fault_delays(&self) -> u64 {
+        self.fault_delays.iter().sum()
+    }
+
+    pub fn total_fault_reorders(&self) -> u64 {
+        self.fault_reorders.iter().sum()
+    }
+
+    pub fn total_fault_dups(&self) -> u64 {
+        self.fault_dups.iter().sum()
+    }
+
+    pub fn total_fault_dedups(&self) -> u64 {
+        self.fault_dedups.iter().sum()
+    }
+
+    pub fn total_fault_stalls(&self) -> u64 {
+        self.fault_stalls.iter().sum()
+    }
+
+    pub fn total_fault_throttles(&self) -> u64 {
+        self.fault_throttles.iter().sum()
+    }
+
+    /// Sum of all fault events of every type — nonzero iff the fault layer
+    /// perturbed at least one message on this channel set.
+    pub fn total_faults(&self) -> u64 {
+        self.total_fault_delays()
+            + self.total_fault_reorders()
+            + self.total_fault_dups()
+            + self.total_fault_dedups()
+            + self.total_fault_stalls()
+            + self.total_fault_throttles()
     }
 
     /// Number of distinct destinations rank `src` ever sent to.
@@ -245,11 +350,34 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_are_tracked_per_pair() {
+        let s = ChannelStats::new(3);
+        s.record_fault_delay(0, 1);
+        s.record_fault_delay(0, 1);
+        s.record_fault_reorder(1, 2);
+        s.record_fault_dup(2, 0);
+        s.record_fault_dedup(2, 0);
+        s.record_fault_stall(0, 2);
+        s.record_fault_throttle(1, 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.fault_delays[1], 2);
+        assert_eq!(snap.total_fault_delays(), 2);
+        assert_eq!(snap.total_fault_reorders(), 1);
+        assert_eq!(snap.total_fault_dups(), 1);
+        assert_eq!(snap.total_fault_dedups(), 1);
+        assert_eq!(snap.total_fault_stalls(), 1);
+        assert_eq!(snap.total_fault_throttles(), 1);
+        assert_eq!(snap.total_faults(), 7);
+        assert_eq!(snap.total_msgs(), 0, "fault events are not messages");
+    }
+
+    #[test]
     fn empty_stats() {
         let snap = ChannelStats::new(4).snapshot();
         assert_eq!(snap.total_msgs(), 0);
         assert_eq!(snap.total_bytes(), 0);
         assert_eq!(snap.total_stalls(), 0);
+        assert_eq!(snap.total_faults(), 0);
         assert_eq!(snap.aggregation_factor(), 0.0);
         assert_eq!(snap.mean_msg_bytes(), 0.0);
         assert_eq!(snap.receive_imbalance(), 1.0);

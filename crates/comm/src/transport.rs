@@ -1,11 +1,13 @@
 //! Typed non-blocking point-to-point transport between ranks.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::chan::{Receiver, RecvTimeoutError, TrySendError};
-use crate::registry::{ChannelSet, Wire};
+use crate::fault::{FaultPlan, FaultState};
+use crate::registry::{ChannelSet, Wire, RESERVED_TAG_BASE};
 use crate::runtime::RankCtx;
 use crate::stats::{ChannelStats, ChannelStatsSnapshot};
 
@@ -13,23 +15,47 @@ use crate::stats::{ChannelStats, ChannelStatsSnapshot};
 /// receive messages addressed to itself. Unbounded sets never block on send
 /// (the MPI eager protocol analogue); bounded sets surface backpressure
 /// through [`Transport::try_send_counted`].
+///
+/// When the world runs with a [`FaultPlan`] and the channel's tag is in user
+/// space (below [`RESERVED_TAG_BASE`]), every receive funnels through a
+/// receiver-side fault buffer that delays, reorders, and dedups deliveries
+/// deterministically. Control channels (collectives, termination) never
+/// carry a fault buffer: MPI guarantees non-overtaking per pair, and the
+/// quiescence wave protocol relies on it.
 pub struct Transport<M: Send + 'static> {
     rank: usize,
     ranks: usize,
+    tag: u64,
     set: Arc<ChannelSet<M>>,
     receiver: Receiver<Wire<M>>,
     poisoned: Arc<AtomicBool>,
+    /// Next sequence number for each destination. Only this rank's thread
+    /// sends through this endpoint, so these are uncontended; atomics keep
+    /// `send` on `&self` without interior-mutability gymnastics.
+    next_seq: Vec<AtomicU64>,
+    /// Present only on faulted user-tag channels. `RefCell` is sound here
+    /// because a transport endpoint is owned and polled by exactly one rank
+    /// thread.
+    fault: Option<(Arc<FaultPlan>, RefCell<FaultState<M>>)>,
 }
 
 impl<M: Send + 'static> Transport<M> {
     pub(crate) fn new(
         rank: usize,
         ranks: usize,
+        tag: u64,
         set: Arc<ChannelSet<M>>,
         receiver: Receiver<Wire<M>>,
         poisoned: Arc<AtomicBool>,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Self {
-        Self { rank, ranks, set, receiver, poisoned }
+        let fault =
+            faults.filter(|p| tag < RESERVED_TAG_BASE && p.config().is_active()).map(|plan| {
+                let state = RefCell::new(FaultState::new(plan.clone(), tag, rank));
+                (plan, state)
+            });
+        let next_seq = (0..ranks).map(|_| AtomicU64::new(0)).collect();
+        Self { rank, ranks, tag, set, receiver, poisoned, next_seq, fault }
     }
 
     #[inline]
@@ -46,6 +72,25 @@ impl<M: Send + 'static> Transport<M> {
     #[inline]
     pub fn capacity(&self) -> Option<usize> {
         self.set.capacity
+    }
+
+    /// True when this endpoint injects faults on its receive path.
+    #[inline]
+    pub fn faults_active(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// The sequence number the next send to `dst` will carry. Only the
+    /// owning rank thread sends, so this cannot race with a send.
+    #[inline]
+    fn peek_seq(&self, dst: usize) -> u64 {
+        self.next_seq[dst].load(Ordering::Relaxed)
+    }
+
+    /// Claim the next sequence number for a send to `dst`.
+    #[inline]
+    fn claim_seq(&self, dst: usize) -> u64 {
+        self.next_seq[dst].fetch_add(1, Ordering::Relaxed)
     }
 
     /// Non-blocking send of one message to `dst`. Self-sends are allowed and
@@ -66,14 +111,18 @@ impl<M: Send + 'static> Transport<M> {
     pub fn send_counted(&self, dst: usize, msg: M, items: u64, bytes: u64) {
         debug_assert!(dst < self.ranks, "destination rank out of range");
         self.set.stats.record(self.rank, dst, items, bytes);
+        let seq = self.claim_seq(dst);
         // Receivers only disappear when the world is shutting down; at that
         // point delivery no longer matters.
-        let _ = self.set.senders[dst].send(Wire { src: self.rank as u32, msg });
+        let _ = self.set.senders[dst].send(Wire { src: self.rank as u32, seq, msg });
     }
 
     /// Non-blocking send attempt. Statistics are recorded only on success;
     /// a full channel records a backpressure stall and hands the message
     /// back so the caller can retry after making progress elsewhere.
+    ///
+    /// The sequence number is claimed only on success, so a retried send
+    /// reuses its number and receiver-side dedup windows stay gap-free.
     pub fn try_send_counted(
         &self,
         dst: usize,
@@ -82,8 +131,10 @@ impl<M: Send + 'static> Transport<M> {
         bytes: u64,
     ) -> Result<(), TrySendError<M>> {
         debug_assert!(dst < self.ranks, "destination rank out of range");
-        match self.set.senders[dst].try_send(Wire { src: self.rank as u32, msg }) {
+        let seq = self.peek_seq(dst);
+        match self.set.senders[dst].try_send(Wire { src: self.rank as u32, seq, msg }) {
             Ok(()) => {
+                self.claim_seq(dst);
                 self.set.stats.record(self.rank, dst, items, bytes);
                 Ok(())
             }
@@ -95,23 +146,89 @@ impl<M: Send + 'static> Transport<M> {
         }
     }
 
+    /// Should the *next* message sent to `dst` be shipped twice? Decided by
+    /// the fault plan from the message's identity, so the answer is stable
+    /// across retries of the same send. Loopback (`dst == self`) is never
+    /// duplicated: a blocking duplicate send into this rank's own full
+    /// queue would deadlock against itself.
+    pub fn wants_duplicate(&self, dst: usize) -> bool {
+        match &self.fault {
+            Some((plan, _)) if dst != self.rank => {
+                plan.duplicate(self.tag, self.rank, dst, self.peek_seq(dst))
+            }
+            _ => false,
+        }
+    }
+
+    /// Ship a byte-identical copy of the message just sent to `dst`,
+    /// reusing its sequence number so the receiver's dedup window drops
+    /// whichever copy arrives second. Duplicate traffic is recorded in the
+    /// fault counters only — never in the message/byte matrices — so
+    /// conservation invariants (bytes sent == bytes received) still hold.
+    ///
+    /// The send blocks if the bounded channel is full; receivers drain
+    /// their raw channels even inside injected stall windows, so this
+    /// always completes.
+    pub fn send_duplicate(&self, dst: usize, msg: M) {
+        debug_assert!(dst != self.rank, "loopback frames are never duplicated");
+        let seq = self.peek_seq(dst).checked_sub(1).expect("send_duplicate before any send");
+        self.set.stats.record_fault_dup(self.rank, dst);
+        let _ = self.set.senders[dst].send(Wire { src: self.rank as u32, seq, msg });
+    }
+
     /// Non-blocking receive: `Some((source_rank, message))` if one is queued.
+    ///
+    /// Under fault injection each call is one tick of the fault clock: raw
+    /// arrivals are pulled into the fault buffer, then the earliest due
+    /// message (if any) is released.
     #[inline]
     pub fn try_recv(&self) -> Option<(usize, M)> {
-        self.receiver.try_recv().ok().map(|w| (w.src as usize, w.msg))
+        match &self.fault {
+            None => self.receiver.try_recv().ok().map(|w| (w.src as usize, w.msg)),
+            Some((_, state)) => state.borrow_mut().try_recv(&self.receiver, &self.set.stats),
+        }
     }
 
     /// Blocking receive that aborts (panics) if the world is poisoned by a
     /// peer rank's panic, so one failure never deadlocks the run.
+    ///
+    /// Waits on the channel condvar in 20 ms slices rather than spinning;
+    /// under fault injection, while deliveries are held back by the fault
+    /// buffer, it ticks the fault clock with a short yield instead (held
+    /// messages release on ticks, not on channel arrivals).
     pub fn recv_blocking(&self, ctx: &RankCtx) -> (usize, M) {
-        loop {
-            match self.receiver.recv_timeout(Duration::from_millis(20)) {
-                Ok(w) => return (w.src as usize, w.msg),
-                Err(RecvTimeoutError::Timeout) => ctx.check_poison(),
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("transport disconnected on rank {}", self.rank)
+        match &self.fault {
+            None => loop {
+                match self.receiver.recv_timeout(Duration::from_millis(20)) {
+                    Ok(w) => return (w.src as usize, w.msg),
+                    Err(RecvTimeoutError::Timeout) => ctx.check_poison(),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("transport disconnected on rank {}", self.rank)
+                    }
                 }
-            }
+            },
+            Some((_, state)) => loop {
+                let mut st = state.borrow_mut();
+                if let Some(out) = st.try_recv(&self.receiver, &self.set.stats) {
+                    return out;
+                }
+                let pending = st.pending();
+                drop(st);
+                ctx.check_poison();
+                if pending > 0 {
+                    // Held messages release on ticks; yield and tick again.
+                    std::thread::yield_now();
+                } else {
+                    // Nothing held: sleep on the condvar until an arrival.
+                    match self.receiver.recv_timeout(Duration::from_millis(20)) {
+                        Ok(w) => state.borrow_mut().ingest(w, &self.set.stats),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            panic!("transport disconnected on rank {}", self.rank)
+                        }
+                    }
+                }
+            },
         }
     }
 
@@ -142,6 +259,7 @@ impl<M: Send + 'static> Transport<M> {
 
 #[cfg(test)]
 mod tests {
+    use crate::fault::FaultConfig;
     use crate::runtime::CommWorld;
 
     #[test]
@@ -233,6 +351,76 @@ mod tests {
             // draining frees a slot
             assert_eq!(ch.try_recv(), Some((0, 1)));
             assert!(ch.try_send_counted(0, 3, 1, 4).is_ok());
+        });
+    }
+
+    #[test]
+    fn fault_recv_blocking_delivers_all_delayed_messages() {
+        // Regression for the recv_blocking busy-spin: under heavy delay
+        // every message is held at arrival, so the receive loop must keep
+        // ticking the fault clock (not sleep forever on the condvar) and
+        // still deliver everything exactly once.
+        let cfg = FaultConfig::quiet(11).with_delay(1000, 8).with_reorder(500, 4);
+        CommWorld::run_with_faults(2, Some(cfg), |ctx| {
+            let ch = ctx.channel::<u64>(0);
+            assert!(ch.faults_active());
+            if ctx.rank() == 0 {
+                for i in 0..200u64 {
+                    ch.send(1, i);
+                }
+            } else {
+                let mut got: Vec<u64> = (0..200).map(|_| ch.recv_blocking(ctx).1).collect();
+                got.sort_unstable();
+                assert_eq!(got, (0..200).collect::<Vec<_>>());
+                let snap = ch.stats_snapshot();
+                assert_eq!(snap.total_fault_delays(), 200, "every message was delayed");
+            }
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn fault_control_channels_stay_fifo() {
+        // Reserved-tag channels (collectives, termination) must never get a
+        // fault buffer even when the world runs with faults; barriers and
+        // reductions below would hang or misorder otherwise.
+        let cfg = FaultConfig::chaos(3);
+        CommWorld::run_with_faults(4, Some(cfg), |ctx| {
+            let sum = ctx.all_reduce_sum(ctx.rank() as u64);
+            assert_eq!(sum, 6);
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn fault_duplicates_are_deduped() {
+        let cfg = FaultConfig::quiet(21).with_duplicate(1000);
+        CommWorld::run_with_faults(2, Some(cfg), |ctx| {
+            let ch = ctx.channel::<u64>(0);
+            if ctx.rank() == 0 {
+                for i in 0..50u64 {
+                    assert!(ch.wants_duplicate(1), "permille=1000 duplicates every send");
+                    ch.send(1, i);
+                    ch.send_duplicate(1, i);
+                }
+            } else {
+                let mut got: Vec<u64> = (0..50).map(|_| ch.recv_blocking(ctx).1).collect();
+                got.sort_unstable();
+                assert_eq!(got, (0..50).collect::<Vec<_>>(), "each message delivered once");
+                // Keep ticking until every duplicate copy has arrived and
+                // been dropped; a 51st unique delivery never appears.
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                while ch.stats_snapshot().total_fault_dedups() < 50 {
+                    assert!(std::time::Instant::now() < deadline, "duplicate drops never landed");
+                    assert_eq!(ch.try_recv(), None, "a duplicate escaped the dedup window");
+                    std::thread::yield_now();
+                }
+                let snap = ch.stats_snapshot();
+                assert_eq!(snap.total_fault_dups(), 50);
+                assert_eq!(snap.total_fault_dedups(), 50);
+                assert_eq!(snap.msgs_between(0, 1), 50, "duplicates not counted as traffic");
+            }
+            ctx.barrier();
         });
     }
 }

@@ -170,6 +170,147 @@ fn int_and_tuple_codecs_roundtrip() {
     });
 }
 
+/// Every primitive and tuple codec must survive the value extremes: zero,
+/// one, max and max-1 of each field width, in every tuple slot. A codec
+/// that narrows a field (or swaps little/big endian halves) passes random
+/// roundtrips with high probability but fails deterministically here.
+#[test]
+fn codecs_roundtrip_at_extreme_values() {
+    let u64s = [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63];
+    let u32s = [0u32, 1, u32::MAX, u32::MAX - 1, 1 << 31];
+    let u16s = [0u16, 1, u16::MAX, u16::MAX - 1];
+    let u8s = [0u8, 1, u8::MAX, u8::MAX - 1];
+    let i64s = [0i64, 1, -1, i64::MAX, i64::MIN];
+
+    for &v in &u64s {
+        let mut buf = [0u8; 8];
+        v.encode(&mut buf);
+        assert_eq!(u64::decode(&buf, &()), v);
+    }
+    for &v in &u32s {
+        let mut buf = [0u8; 4];
+        v.encode(&mut buf);
+        assert_eq!(u32::decode(&buf, &()), v);
+    }
+    for &v in &i64s {
+        let mut buf = [0u8; 8];
+        v.encode(&mut buf);
+        assert_eq!(i64::decode(&buf, &()), v);
+    }
+    for &a in &u32s {
+        for &b in &u64s {
+            let mut buf = [0u8; 12];
+            (a, b).encode(&mut buf);
+            assert_eq!(<(u32, u64)>::decode(&buf, &()), (a, b));
+        }
+    }
+    for &a in &u8s {
+        for &b in &u64s {
+            for &c in &u16s {
+                let mut buf = [0u8; 11];
+                (a, b, c).encode(&mut buf);
+                assert_eq!(<(u8, u64, u16)>::decode(&buf, &()), (a, b, c));
+            }
+        }
+    }
+}
+
+/// Termination-detector safety on randomized send/receive/idle traces.
+///
+/// Ranks exchange tokens through a shared set of queues (standing in for
+/// any message fabric), feeding their true monotone counters to
+/// [`Quiescence::poll`]. One message — counted as sent by rank 0 but not
+/// receivable until the drain phase — is provably undelivered throughout
+/// the random phase, so *every* `poll` must return false there, whatever
+/// the trace does. The drain phase then checks liveness (the detector does
+/// fire once everything is delivered) and that at the moment it fires the
+/// global sent/received totals agree and every queue is empty.
+#[test]
+fn quiescence_never_terminates_with_undelivered_messages() {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    run_cases(8, |rng: &mut TestRng| {
+        let p = rng.range_usize(2, 7);
+        let steps = rng.range_usize(40, 160);
+        let seed = rng.next_u64();
+        let pending: Vec<Mutex<VecDeque<u64>>> =
+            (0..p).map(|_| Mutex::new(VecDeque::new())).collect();
+        let total_sent = AtomicU64::new(0);
+        let total_recv = AtomicU64::new(0);
+
+        CommWorld::run(p, |ctx| {
+            let me = ctx.rank();
+            let mut rng = TestRng::new(seed ^ (me as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut q = Quiescence::new(ctx, 11);
+            let mut sent = 0u64;
+            let mut recv = 0u64;
+
+            // The undelivered message: counted by rank 0's send counter,
+            // accounted for by the last rank only after the barrier below.
+            if me == 0 {
+                sent += 1;
+                total_sent.fetch_add(1, Ordering::SeqCst);
+            }
+
+            // Random phase: interleave sends, receives and polls. The
+            // hidden message keeps global sent > recv at every real
+            // instant, so termination here would be a detector bug.
+            for _ in 0..steps {
+                if rng.bool() {
+                    let dst = rng.below(p as u64) as usize;
+                    pending[dst].lock().unwrap().push_back(rng.next_u64());
+                    sent += 1;
+                    total_sent.fetch_add(1, Ordering::SeqCst);
+                } else if pending[me].lock().unwrap().pop_front().is_some() {
+                    recv += 1;
+                    total_recv.fetch_add(1, Ordering::SeqCst);
+                }
+                let idle = pending[me].lock().unwrap().is_empty();
+                assert!(!q.poll(sent, recv, idle), "terminated with a counted message undelivered");
+            }
+
+            // All ranks leave the random phase before the hidden message
+            // becomes deliverable, so the asserts above stay sound.
+            ctx.barrier();
+            if me == p - 1 {
+                recv += 1;
+                total_recv.fetch_add(1, Ordering::SeqCst);
+            }
+
+            // Drain phase: no more sends; receive everything, then poll
+            // until the detector fires. On the first true, the world must
+            // genuinely be quiescent.
+            let mut polls = 0u64;
+            loop {
+                while pending[me].lock().unwrap().pop_front().is_some() {
+                    recv += 1;
+                    total_recv.fetch_add(1, Ordering::SeqCst);
+                }
+                let idle = pending[me].lock().unwrap().is_empty();
+                if q.poll(sent, recv, idle) {
+                    assert_eq!(
+                        total_sent.load(Ordering::SeqCst),
+                        total_recv.load(Ordering::SeqCst),
+                        "terminated before every message was delivered"
+                    );
+                    assert!(
+                        pending.iter().all(|pq| pq.lock().unwrap().is_empty()),
+                        "terminated with tokens still queued"
+                    );
+                    break;
+                }
+                polls += 1;
+                if polls.is_multiple_of(64) {
+                    std::thread::yield_now();
+                }
+                assert!(polls < 10_000_000, "detector failed to fire after the drain");
+            }
+        });
+    });
+}
+
 /// Frame pack/unpack property: pack random (dst, payload) records into a
 /// frame exactly the way the mailbox does, then unpack and compare.
 #[test]

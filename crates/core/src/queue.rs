@@ -83,8 +83,32 @@ pub struct TraversalStats {
     pub backpressure_stalls: u64,
     /// Mean fill ratio of shipped frames in `(0, 1]` (0.0 if none shipped).
     pub mean_frame_fill: f64,
+    /// Injected-fault events observed by this rank's mailbox channel (all
+    /// zero on fault-free runs): frames held by a delay, deliveries that
+    /// overtook an earlier arrival, frames this rank shipped twice,
+    /// duplicate deliveries dropped, receive-stall windows opened, and
+    /// deliveries that paid the slow-rank throttle.
+    pub fault_delayed: u64,
+    pub fault_reordered: u64,
+    pub fault_duplicated: u64,
+    pub fault_deduped: u64,
+    pub fault_stalled: u64,
+    pub fault_throttled: u64,
     /// Wall-clock time inside `do_traversal`.
     pub elapsed: Duration,
+}
+
+impl TraversalStats {
+    /// Sum of all injected-fault events this rank observed — nonzero iff
+    /// the fault layer perturbed this rank's traversal traffic.
+    pub fn total_faults(&self) -> u64 {
+        self.fault_delayed
+            + self.fault_reordered
+            + self.fault_duplicated
+            + self.fault_deduped
+            + self.fault_stalled
+            + self.fault_throttled
+    }
 }
 
 /// Min-heap adapter: smallest algorithm priority first, then the
@@ -215,6 +239,19 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
         s.frames_sent = mb.frames_sent;
         s.backpressure_stalls = mb.backpressure_stalls;
         s.mean_frame_fill = mb.mean_frame_fill();
+        // Fault counters live in the world-shared transport matrix; report
+        // this rank's share: events observed at our receiver, plus frames
+        // we duplicated as a sender.
+        let tr = self.mailbox.transport_stats();
+        let me = self.rank;
+        let recv_col = |m: &[u64]| (0..tr.ranks).map(|src| m[src * tr.ranks + me]).sum::<u64>();
+        let send_row = |m: &[u64]| (0..tr.ranks).map(|dst| m[me * tr.ranks + dst]).sum::<u64>();
+        s.fault_delayed = recv_col(&tr.fault_delays);
+        s.fault_reordered = recv_col(&tr.fault_reorders);
+        s.fault_duplicated = send_row(&tr.fault_dups);
+        s.fault_deduped = recv_col(&tr.fault_dedups);
+        s.fault_stalled = recv_col(&tr.fault_stalls);
+        s.fault_throttled = recv_col(&tr.fault_throttles);
         s
     }
 
