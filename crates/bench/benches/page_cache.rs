@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use havoq_nvram::cache::{PageCache, PageCacheConfig};
+use havoq_nvram::cache::{EvictionPolicy, PageCache, PageCacheConfig};
 use havoq_nvram::device::{BlockDevice, DeviceProfile, MemDevice, SimNvram};
 
 fn make_cache(pages: usize, profile: Option<DeviceProfile>) -> PageCache {
@@ -64,6 +64,40 @@ fn main() {
         g.bench("miss_with_fusionio_latency", || {
             page = (page + 97) % 4096; // defeat the tiny cache
             cache.read_at(page * 4096, &mut buf);
+        });
+    }
+
+    // victim search at a large capacity: every access below misses, so each
+    // iteration pays one pick_victim. The stamp-ordered index keeps LRU/FIFO
+    // selection O(log n) instead of an O(capacity) scan; CLOCK stays a hand
+    // sweep for comparison.
+    for (name, policy) in [
+        ("victim_search_clock_4k_frames", EvictionPolicy::Clock),
+        ("victim_search_lru_4k_frames", EvictionPolicy::Lru),
+        ("victim_search_fifo_4k_frames", EvictionPolicy::Fifo),
+    ] {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::with_capacity(256 << 20));
+        let cache = PageCache::new(
+            dev,
+            PageCacheConfig {
+                page_size: 4096,
+                capacity_pages: 4096,
+                shards: 1, // one shard = the full capacity in one victim pool
+                policy,
+                ..PageCacheConfig::default()
+            },
+        );
+        // warm to full occupancy so every further miss evicts
+        let mut buf = [0u8; 64];
+        for page in 0..4096u64 {
+            cache.read_at(page * 4096, &mut buf);
+        }
+        let mut page = 4096u64;
+        g.bench(name, || {
+            for _ in 0..16 {
+                cache.read_at(page * 4096, &mut buf);
+                page += 1;
+            }
         });
     }
 

@@ -27,8 +27,8 @@ fn main() {
             &format!("(external-memory BFS, RMAT scale {scale}, {ranks} ranks, cache = data/16)"),
         ],
         "ablation_locality.csv",
-        &["ordering", "hit_rate%", "dev_reads", "time_ms", "MTEPS"],
-        &["ordering", "hit_rate", "device_reads", "time_ms", "mteps"],
+        &["ordering", "hit_rate%", "dev_reads", "io_stall_ms", "time_ms", "MTEPS"],
+        &["ordering", "hit_rate", "device_reads", "io_stall_ms", "time_ms", "mteps"],
     );
 
     for (name, locality) in [("vertex-id", true), ("arrival", false)] {
@@ -54,11 +54,15 @@ fn main() {
         });
         let (r, cache, dev) = &out[0];
         let elapsed = out.iter().map(|o| o.0.elapsed).max().unwrap();
+        // sync demand paging on purpose: the stall column shows how much
+        // blocking I/O each ordering leaves on the access path
+        let io_stall = out.iter().map(|o| o.0.stats.io_stall).max().unwrap();
         exp.row2(
             &csv_row![
                 name,
                 format!("{:.2}", 100.0 * cache.hit_rate()),
                 dev.reads,
+                ms(io_stall),
                 ms(elapsed),
                 havoq_bench::mteps(r.traversed_edges, elapsed)
             ],
@@ -66,6 +70,7 @@ fn main() {
                 name,
                 cache.hit_rate(),
                 dev.reads,
+                io_stall.as_secs_f64() * 1e3,
                 elapsed.as_secs_f64() * 1e3,
                 r.traversed_edges as f64 / elapsed.as_secs_f64() / 1e6
             ],

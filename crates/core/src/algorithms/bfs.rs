@@ -199,7 +199,17 @@ pub fn bfs(ctx: &RankCtx, g: &DistGraph, source: VertexId, cfg: &BfsConfig) -> B
     let visited_count = ctx.all_reduce_sum(visited);
     let traversed_edges = ctx.all_reduce_sum(traversed);
     let max_level = ctx.all_reduce_max(deepest);
-    let stats = q.stats();
+    let mut stats = q.stats();
+    // Fold in this rank's storage-layer stalls and queue pressure
+    // (semi-external storage only; all zeros for in-memory CSR).
+    if let Some(cs) = g.csr().cache_stats() {
+        stats.io_stall = cs.io_stall();
+        stats.evict_stall = cs.evict_stall();
+    }
+    if let Some(io) = g.csr().io_stats() {
+        stats.io_avg_queue_depth = io.avg_queue_depth();
+        stats.io_queue_peak = io.peak_outstanding;
+    }
     let transport = q.transport_stats();
     BfsResult {
         visited_count,

@@ -96,6 +96,17 @@ pub struct TraversalStats {
     pub fault_throttled: u64,
     /// Wall-clock time inside `do_traversal`.
     pub elapsed: Duration,
+    /// Time this rank spent blocked on demand page fills (semi-external
+    /// storage only; zero for in-memory runs).
+    pub io_stall: Duration,
+    /// Time this rank spent writing dirty victims inline on the access path
+    /// (eviction stalls; driven to zero by async write-behind).
+    pub evict_stall: Duration,
+    /// Mean sampled depth of the async I/O request queue (0.0 in sync mode
+    /// or in-memory runs).
+    pub io_avg_queue_depth: f64,
+    /// Peak outstanding async I/O requests observed.
+    pub io_queue_peak: u64,
 }
 
 impl TraversalStats {

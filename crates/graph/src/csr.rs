@@ -159,6 +159,9 @@ impl LocalCsr {
                 let mut s = s.borrow_mut();
                 s.clear();
                 s.resize(end - start, 0);
+                // overlap: queue background prefetch of the whole slice
+                // (no-op in sync I/O mode) before the blocking scan
+                vec.advise(start, end - start);
                 vec.read_range(start, &mut s);
                 f(&s)
             }),
@@ -176,6 +179,15 @@ impl LocalCsr {
         match &self.targets {
             Targets::Mem(_) => None,
             Targets::Ext { cache, .. } => Some(cache.stats()),
+        }
+    }
+
+    /// I/O engine statistics — queue depths, outstanding gauge, service
+    /// times (external storage only).
+    pub fn io_stats(&self) -> Option<havoq_nvram::IoStatsSnapshot> {
+        match &self.targets {
+            Targets::Mem(_) => None,
+            Targets::Ext { cache, .. } => Some(cache.io_stats()),
         }
     }
 
@@ -276,6 +288,26 @@ mod tests {
         assert_eq!(count, 2 * csr.num_edges());
         let st = csr.cache_stats().unwrap();
         assert!(st.evictions > 0, "tiny cache must evict: {st:?}");
+    }
+
+    #[test]
+    fn external_async_io_matches_in_memory() {
+        use havoq_nvram::IoConfig;
+        let storage = CsrStorage::External {
+            profile: DeviceProfile::fusion_io(),
+            cache: PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 8,
+                shards: 2,
+                readahead_pages: 4,
+                io: IoConfig::asynchronous(),
+                ..PageCacheConfig::default()
+            },
+        };
+        let csr = LocalCsr::build(10, 4, &sample_edges(), storage);
+        check(&csr);
+        let io = csr.io_stats().unwrap();
+        assert!(io.workers > 0, "async engine must be running: {io:?}");
     }
 
     #[test]

@@ -6,13 +6,31 @@
 //! independently-locked shards so concurrent ranks don't serialize on one
 //! lock, CLOCK (second-chance) eviction, and write-back with explicit
 //! flush. Hit/miss/eviction statistics drive the Figure 9 analysis.
+//!
+//! Device I/O never happens under a shard lock. A demand miss claims its
+//! page with a `Faulting` marker, parks the chosen frame in limbo, and
+//! fills it with the lock released; concurrent accesses to the same page
+//! wait on the shard's condvar instead of issuing a second device read.
+//! Dirty eviction victims are registered with the
+//! [`crate::io::WritebackRegistry`] *before* the lock drops (so their
+//! bytes stay visible to faults) and are then written back either inline
+//! ([`IoMode::Sync`]) or by the background engine ([`IoMode::Async`]) —
+//! see [`crate::io`] for the queue, worker pool, and ordering guarantees.
 
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use havoq_util::FxHashMap;
 
 use crate::device::BlockDevice;
+use crate::io::{
+    IoConfig, IoEngine, IoMode, IoRequest, IoShared, IoStatsSnapshot, PendingWriteback, WbOutcome,
+    WritebackRegistry,
+};
 
 /// Frame replacement policy. The paper's cache uses CLOCK; LRU and FIFO
 /// are provided for the design-choice ablation benchmark.
@@ -21,10 +39,17 @@ pub enum EvictionPolicy {
     /// Second-chance CLOCK (the paper's design: near-LRU at O(1) cost).
     #[default]
     Clock,
-    /// True least-recently-used (per-access timestamp scan).
+    /// True least-recently-used (stamp-ordered victim index).
     Lru,
     /// First-in-first-out (ignores recency entirely).
     Fifo,
+}
+
+impl EvictionPolicy {
+    /// Whether the policy keeps the stamp-ordered victim index.
+    fn stamp_ordered(self) -> bool {
+        matches!(self, EvictionPolicy::Lru | EvictionPolicy::Fifo)
+    }
 }
 
 /// Page cache configuration.
@@ -32,7 +57,8 @@ pub enum EvictionPolicy {
 pub struct PageCacheConfig {
     /// Page size in bytes (power of two).
     pub page_size: usize,
-    /// Total cache capacity in pages (split across shards).
+    /// Total cache capacity in pages (split across shards; a remainder is
+    /// distributed so no configured page is lost).
     pub capacity_pages: usize,
     /// Number of independently-locked shards.
     pub shards: usize,
@@ -40,13 +66,15 @@ pub struct PageCacheConfig {
     pub policy: EvictionPolicy,
     /// On a read miss, also fault in up to this many following pages.
     ///
-    /// This is the synchronous stand-in for the paper's highly concurrent
-    /// asynchronous I/O (Section II-B): NAND devices deliver far more
-    /// bandwidth than a single blocking request uses, and the
-    /// vertex-ordered visitor queue makes adjacency reads sequential, so
-    /// pulling the next pages alongside a miss hides most of the
-    /// per-access latency. 0 disables readahead.
+    /// The vertex-ordered visitor queue makes adjacency reads sequential,
+    /// so pulling the next pages alongside a miss hides most of the
+    /// per-access latency. In [`IoMode::Sync`] the window is filled on the
+    /// faulting thread; in [`IoMode::Async`] it is issued to the
+    /// background engine and the fault returns immediately. 0 disables
+    /// readahead.
     pub readahead_pages: usize,
+    /// I/O engine configuration (sync/async, worker pool, queue depth).
+    pub io: IoConfig,
 }
 
 impl Default for PageCacheConfig {
@@ -57,8 +85,40 @@ impl Default for PageCacheConfig {
             shards: 8,
             policy: EvictionPolicy::Clock,
             readahead_pages: 0,
+            io: IoConfig::default(),
         }
     }
+}
+
+thread_local! {
+    /// Shard locks held by this thread; lets devices and tests assert
+    /// that no device I/O happens under a shard lock.
+    static SHARD_LOCKS: Cell<u32> = const { Cell::new(0) };
+}
+
+/// True while the calling thread holds any page-cache shard lock. Device
+/// access hooks use this to assert the cache's no-I/O-under-lock
+/// invariant.
+pub fn shard_lock_held() -> bool {
+    SHARD_LOCKS.with(|c| c.get() > 0)
+}
+
+fn tls_lock_inc() {
+    SHARD_LOCKS.with(|c| c.set(c.get() + 1));
+}
+
+fn tls_lock_dec() {
+    SHARD_LOCKS.with(|c| c.set(c.get() - 1));
+}
+
+/// State of a page in the shard map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    /// Cached in this frame.
+    Present(usize),
+    /// A thread (or prefetch worker) is filling it; wait on the shard
+    /// condvar instead of double-faulting.
+    Faulting,
 }
 
 struct Frame {
@@ -68,25 +128,95 @@ struct Frame {
     dirty: bool,
     /// Shard-local tick of the last access (LRU) / of insertion (FIFO).
     stamp: u64,
+    /// Buffer is checked out for an out-of-lock fill; not evictable.
+    limbo: bool,
 }
 
 struct Shard {
-    /// page number -> frame index
-    map: FxHashMap<u64, usize>,
+    /// page number -> slot
+    map: FxHashMap<u64, Slot>,
     frames: Vec<Frame>,
     clock_hand: usize,
     capacity: usize,
     tick: u64,
+    /// stamp -> frame index, maintained for LRU/FIFO only: victim choice
+    /// is `pop_first` instead of an O(capacity) scan. Limbo frames are
+    /// absent (not evictable).
+    order: BTreeMap<u64, usize>,
 }
 
 impl Shard {
     fn new(capacity: usize) -> Self {
-        Self { map: FxHashMap::default(), frames: Vec::new(), clock_hand: 0, capacity, tick: 0 }
+        Self {
+            map: FxHashMap::default(),
+            frames: Vec::new(),
+            clock_hand: 0,
+            capacity,
+            tick: 0,
+            order: BTreeMap::new(),
+        }
     }
 
     fn next_tick(&mut self) -> u64 {
         self.tick += 1;
         self.tick
+    }
+}
+
+/// One shard: the mutex plus the condvar that fault-waiters and
+/// frame-starved reservers sleep on.
+struct ShardSlot {
+    m: Mutex<Shard>,
+    cv: Condvar,
+}
+
+impl ShardSlot {
+    fn new(capacity: usize) -> Self {
+        Self { m: Mutex::new(Shard::new(capacity)), cv: Condvar::new() }
+    }
+
+    fn lock(&self) -> ShardGuard<'_> {
+        let g = self.m.lock().unwrap();
+        tls_lock_inc();
+        ShardGuard { g: Some(g), slot: self }
+    }
+}
+
+/// Mutex guard that keeps the thread-local lock count accurate, including
+/// across condvar waits (the lock is *not* held while waiting).
+struct ShardGuard<'a> {
+    g: Option<MutexGuard<'a, Shard>>,
+    slot: &'a ShardSlot,
+}
+
+impl ShardGuard<'_> {
+    fn wait(&mut self) {
+        let g = self.g.take().expect("guard present");
+        tls_lock_dec();
+        let g = self.slot.cv.wait(g).unwrap();
+        tls_lock_inc();
+        self.g = Some(g);
+    }
+}
+
+impl Deref for ShardGuard<'_> {
+    type Target = Shard;
+    fn deref(&self) -> &Shard {
+        self.g.as_ref().expect("guard present")
+    }
+}
+
+impl DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Shard {
+        self.g.as_mut().expect("guard present")
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        if self.g.take().is_some() {
+            tls_lock_dec();
+        }
     }
 }
 
@@ -97,6 +227,454 @@ struct CacheCounters {
     evictions: AtomicU64,
     writebacks: AtomicU64,
     prefetches: AtomicU64,
+    fault_waits: AtomicU64,
+    wb_coalesced: AtomicU64,
+    dropped_prefetches: AtomicU64,
+    io_stall_ns: AtomicU64,
+    evict_stall_ns: AtomicU64,
+}
+
+/// Outcome of reserving a frame for an incoming page.
+enum Reserve {
+    /// Fresh frame grown within capacity (no data buffer yet).
+    New(usize),
+    /// Victim evicted; its buffer (checked out) and, if it was dirty, the
+    /// write-back ticket registered under the shard lock.
+    Evicted { idx: usize, buf: Box<[u8]>, pending: Option<PendingWriteback> },
+    /// Every frame is in limbo — wait for a fill to complete and retry.
+    Starved,
+}
+
+/// Pages per queued prefetch request when splitting a large advise window.
+const ADVISE_CHUNK_PAGES: usize = 32;
+
+/// The shared cache state: everything except the worker pool handle.
+/// Submitting threads and I/O workers both operate on this through an
+/// `Arc`.
+pub(crate) struct CacheCore {
+    device: Arc<dyn BlockDevice>,
+    cfg: PageCacheConfig,
+    shards: Vec<ShardSlot>,
+    counters: CacheCounters,
+    registry: WritebackRegistry,
+    io: IoShared,
+    /// High-water mark of bytes the application has addressed; bounds
+    /// readahead together with `device.len()` so prefetch never reads
+    /// past the data that exists.
+    len_hint: AtomicU64,
+}
+
+impl CacheCore {
+    fn new(device: Arc<dyn BlockDevice>, cfg: PageCacheConfig) -> Self {
+        assert!(cfg.page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(cfg.shards > 0 && cfg.capacity_pages >= cfg.shards, "need >= 1 page per shard");
+        let per_shard = cfg.capacity_pages / cfg.shards;
+        let remainder = cfg.capacity_pages % cfg.shards;
+        let shards = (0..cfg.shards)
+            .map(|i| ShardSlot::new(per_shard + usize::from(i < remainder)))
+            .collect();
+        let depth = cfg.io.resolved_depth(&device);
+        let workers = if cfg.io.mode == IoMode::Async { cfg.io.resolved_workers(depth) } else { 0 };
+        Self {
+            device,
+            cfg,
+            shards,
+            counters: CacheCounters::default(),
+            registry: WritebackRegistry::new(),
+            io: IoShared::new(depth, workers),
+            len_hint: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn io_shared(&self) -> &IoShared {
+        &self.io
+    }
+
+    #[inline]
+    fn shard_of(&self, page_no: u64) -> &ShardSlot {
+        // Pages are accessed with strong sequential locality, so spread
+        // consecutive pages across shards.
+        &self.shards[(page_no as usize) % self.shards.len()]
+    }
+
+    #[inline]
+    fn stall(&self, since: Instant) {
+        self.counters.io_stall_ns.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Pages that currently exist: whichever is larger of the device's
+    /// length and the application's addressed high-water mark.
+    fn total_pages(&self) -> u64 {
+        let bytes = self.device.len().max(self.len_hint.load(Ordering::Relaxed));
+        bytes.div_ceil(self.cfg.page_size as u64)
+    }
+
+    /// Run `f` on the cached page `page_no`, faulting it in if necessary.
+    /// Returns `(result, missed)`. Exactly one hit or miss is counted per
+    /// call, at the moment the access resolves.
+    fn with_page<R>(
+        &self,
+        page_no: u64,
+        mark_dirty: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> (R, bool) {
+        let slot = self.shard_of(page_no);
+        let mut waited = false;
+        let mut shard = slot.lock();
+        let (idx, mut buf, pending) = loop {
+            match shard.map.get(&page_no).copied() {
+                Some(Slot::Present(idx)) => {
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    if self.cfg.policy == EvictionPolicy::Lru {
+                        let stamp = shard.next_tick();
+                        let old = shard.frames[idx].stamp;
+                        shard.order.remove(&old);
+                        shard.frames[idx].stamp = stamp;
+                        shard.order.insert(stamp, idx);
+                    }
+                    let frame = &mut shard.frames[idx];
+                    frame.referenced = true;
+                    frame.dirty |= mark_dirty;
+                    return (f(&mut frame.data), false);
+                }
+                Some(Slot::Faulting) => {
+                    if !waited {
+                        waited = true;
+                        self.counters.fault_waits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let t = Instant::now();
+                    shard.wait();
+                    self.stall(t);
+                }
+                None => match self.reserve_frame(&mut shard) {
+                    Reserve::New(idx) => {
+                        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                        shard.map.insert(page_no, Slot::Faulting);
+                        break (idx, vec![0u8; self.cfg.page_size].into_boxed_slice(), None);
+                    }
+                    Reserve::Evicted { idx, buf, pending } => {
+                        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                        shard.map.insert(page_no, Slot::Faulting);
+                        break (idx, buf, pending);
+                    }
+                    Reserve::Starved => {
+                        let t = Instant::now();
+                        shard.wait();
+                        self.stall(t);
+                    }
+                },
+            }
+        };
+        drop(shard);
+        if let Some(pw) = pending {
+            self.dispatch_writeback(pw);
+        }
+        // Fill with no lock held. The registry is checked first so a page
+        // whose newest bytes are still queued for write-behind is never
+        // re-read stale from the device. No new registration of this page
+        // can race in: the Faulting marker keeps it out of every frame.
+        let t = Instant::now();
+        if let Some(d) = self.registry.lookup(page_no) {
+            buf.copy_from_slice(&d);
+        } else {
+            self.device.read_at(page_no * self.cfg.page_size as u64, &mut buf);
+        }
+        self.stall(t);
+        let mut shard = slot.lock();
+        self.install_frame(&mut shard, idx, page_no, buf, mark_dirty);
+        slot.cv.notify_all();
+        let frame = &mut shard.frames[idx];
+        (f(&mut frame.data), true)
+    }
+
+    /// Acquire a frame for an incoming page. Caller holds the shard lock.
+    fn reserve_frame(&self, shard: &mut Shard) -> Reserve {
+        if shard.frames.len() < shard.capacity {
+            shard.frames.push(Frame {
+                page_no: u64::MAX,
+                data: Box::default(),
+                referenced: false,
+                dirty: false,
+                stamp: 0,
+                limbo: true,
+            });
+            return Reserve::New(shard.frames.len() - 1);
+        }
+        let Some(victim) = self.pick_victim(shard) else {
+            return Reserve::Starved;
+        };
+        self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        let old_page = shard.frames[victim].page_no;
+        shard.map.remove(&old_page);
+        if self.cfg.policy.stamp_ordered() {
+            shard.order.remove(&shard.frames[victim].stamp);
+        }
+        // Register dirty victims while the lock is still held: from here
+        // until the write-behind completes, faults of `old_page` resolve
+        // from the registry, never from stale device bytes.
+        let pending = shard.frames[victim]
+            .dirty
+            .then(|| self.registry.register(old_page, &shard.frames[victim].data));
+        let frame = &mut shard.frames[victim];
+        frame.limbo = true;
+        frame.dirty = false;
+        let buf = std::mem::take(&mut frame.data);
+        Reserve::Evicted { idx: victim, buf, pending }
+    }
+
+    /// Publish a filled buffer as the frame for `page_no`. Caller holds
+    /// the shard lock and must notify the shard condvar afterwards.
+    fn install_frame(
+        &self,
+        shard: &mut Shard,
+        idx: usize,
+        page_no: u64,
+        buf: Box<[u8]>,
+        dirty: bool,
+    ) {
+        let stamp = shard.next_tick();
+        let frame = &mut shard.frames[idx];
+        frame.page_no = page_no;
+        frame.data = buf;
+        frame.referenced = true;
+        frame.dirty = dirty;
+        frame.stamp = stamp;
+        frame.limbo = false;
+        if self.cfg.policy.stamp_ordered() {
+            shard.order.insert(stamp, idx);
+        }
+        shard.map.insert(page_no, Slot::Present(idx));
+    }
+
+    /// Victim selection according to the configured policy. `None` means
+    /// every frame is in limbo (all buffers checked out for fills).
+    fn pick_victim(&self, shard: &mut Shard) -> Option<usize> {
+        match self.cfg.policy {
+            EvictionPolicy::Clock => {
+                let len = shard.frames.len();
+                // Bounded scan: one full lap clears reference bits, the
+                // second must find an unreferenced non-limbo frame unless
+                // all frames are in limbo.
+                for _ in 0..(2 * len + 1) {
+                    let i = shard.clock_hand;
+                    shard.clock_hand = (shard.clock_hand + 1) % len;
+                    if shard.frames[i].limbo {
+                        continue;
+                    }
+                    if shard.frames[i].referenced {
+                        shard.frames[i].referenced = false;
+                    } else {
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            // LRU: oldest access stamp; FIFO: oldest insertion stamp. The
+            // order index makes this O(log n) instead of an O(capacity)
+            // scan per eviction; limbo frames are absent from the index.
+            EvictionPolicy::Lru | EvictionPolicy::Fifo => {
+                shard.order.iter().next().map(|(_, &idx)| idx)
+            }
+        }
+    }
+
+    /// Fill absent pages in `first .. first + count`, clamped to the data
+    /// that exists. Pages are claimed with `Faulting` markers before the
+    /// bulk device read, so demand faults wait for this fill instead of
+    /// issuing duplicate reads, and no page is ever faulted into two
+    /// frames. Runs on prefetch workers (async) or the faulting thread
+    /// (sync); never called with a shard lock held.
+    pub(crate) fn do_prefetch(&self, first: u64, count: usize) {
+        let ps = self.cfg.page_size;
+        let total = self.total_pages();
+        if first >= total || count == 0 {
+            return;
+        }
+        let count = count.min((total - first) as usize);
+        // Claim pass: mark absent pages Faulting.
+        let mut claimed = vec![false; count];
+        for (i, c) in claimed.iter_mut().enumerate() {
+            let page_no = first + i as u64;
+            let mut shard = self.shard_of(page_no).lock();
+            if let std::collections::hash_map::Entry::Vacant(e) = shard.map.entry(page_no) {
+                e.insert(Slot::Faulting);
+                *c = true;
+            }
+        }
+        if !claimed.iter().any(|&c| c) {
+            return;
+        }
+        // One sequential device access for the whole window — the
+        // latency-hiding step: a multi-page sequential NAND read costs
+        // roughly one access latency plus transfer, unlike `count`
+        // independent demand misses.
+        let mut bulk = vec![0u8; ps * count];
+        self.device.read_at(first * ps as u64, &mut bulk);
+        for (i, &c) in claimed.iter().enumerate() {
+            if !c {
+                continue;
+            }
+            let page_no = first + i as u64;
+            let slot = self.shard_of(page_no);
+            let mut pending_out = None;
+            {
+                let mut shard = slot.lock();
+                match self.reserve_frame(&mut shard) {
+                    Reserve::Starved => {
+                        // Best effort: release the claim; a demand fault
+                        // will fill the page when a frame frees up.
+                        shard.map.remove(&page_no);
+                        self.counters.dropped_prefetches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    reserved => {
+                        let (idx, mut buf) = match reserved {
+                            Reserve::New(idx) => (idx, vec![0u8; ps].into_boxed_slice()),
+                            Reserve::Evicted { idx, buf, pending } => {
+                                pending_out = pending;
+                                (idx, buf)
+                            }
+                            Reserve::Starved => unreachable!(),
+                        };
+                        // The claim blocks new registrations of this page,
+                        // so the registry check (under the shard lock)
+                        // catches any write-behind that was in flight when
+                        // the bulk read sampled the device.
+                        if let Some(d) = self.registry.lookup(page_no) {
+                            buf.copy_from_slice(&d);
+                        } else {
+                            buf.copy_from_slice(&bulk[i * ps..(i + 1) * ps]);
+                        }
+                        self.install_frame(&mut shard, idx, page_no, buf, false);
+                        self.counters.prefetches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            slot.cv.notify_all();
+            if let Some(pw) = pending_out {
+                self.dispatch_writeback(pw);
+            }
+        }
+    }
+
+    /// Resolve a write-back ticket now, on this thread.
+    pub(crate) fn perform_writeback(&self, pw: &PendingWriteback) {
+        debug_assert!(!shard_lock_held(), "write-back under a shard lock");
+        match self.registry.perform(pw, &self.device, self.cfg.page_size) {
+            WbOutcome::Written => self.counters.writebacks.fetch_add(1, Ordering::Relaxed),
+            WbOutcome::Coalesced => self.counters.wb_coalesced.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Route a dirty victim: background queue in async mode (with inline
+    /// fallback as back-pressure), inline in sync mode. Inline work is
+    /// timed as eviction stall — the cost the async engine exists to hide.
+    fn dispatch_writeback(&self, pw: PendingWriteback) {
+        debug_assert!(!shard_lock_held(), "write-back dispatched under a shard lock");
+        let pw = if self.cfg.io.mode == IoMode::Async {
+            match self.io.try_push(IoRequest::WriteBack(pw)) {
+                Ok(()) => return,
+                Err(IoRequest::WriteBack(pw)) => pw,
+                Err(_) => unreachable!("pushed a writeback"),
+            }
+        } else {
+            pw
+        };
+        let t = Instant::now();
+        self.perform_writeback(&pw);
+        self.counters.evict_stall_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Issue readahead for the window after a demand miss.
+    fn request_readahead(&self, first: u64, count: usize) {
+        match self.cfg.io.mode {
+            IoMode::Sync => {
+                let t = Instant::now();
+                self.do_prefetch(first, count);
+                self.stall(t);
+            }
+            IoMode::Async => {
+                if self.io.try_push(IoRequest::Prefetch { first, count }).is_err() {
+                    self.counters.dropped_prefetches.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) {
+        let ps = self.cfg.page_size as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page_no = pos / ps;
+            let in_page = (pos % ps) as usize;
+            let n = (self.cfg.page_size - in_page).min(buf.len() - done);
+            let (_, missed) = self.with_page(page_no, false, |page| {
+                buf[done..done + n].copy_from_slice(&page[in_page..in_page + n]);
+            });
+            done += n;
+            if missed && self.cfg.readahead_pages > 0 {
+                self.request_readahead(page_no + 1, self.cfg.readahead_pages);
+            }
+        }
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) {
+        let ps = self.cfg.page_size as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page_no = pos / ps;
+            let in_page = (pos % ps) as usize;
+            let n = (self.cfg.page_size - in_page).min(buf.len() - done);
+            self.with_page(page_no, true, |page| {
+                page[in_page..in_page + n].copy_from_slice(&buf[done..done + n]);
+            });
+            done += n;
+        }
+        self.len_hint.fetch_max(offset + buf.len() as u64, Ordering::Relaxed);
+    }
+
+    fn quiesce(&self) {
+        if self.cfg.io.mode == IoMode::Async {
+            self.io.quiesce();
+        }
+    }
+
+    fn flush(&self) {
+        // Let queued prefetches and write-behinds finish first.
+        self.quiesce();
+        let mut pending = Vec::new();
+        for slot in &self.shards {
+            let mut shard = slot.lock();
+            for idx in 0..shard.frames.len() {
+                if shard.frames[idx].dirty && !shard.frames[idx].limbo {
+                    let page_no = shard.frames[idx].page_no;
+                    pending.push(self.registry.register(page_no, &shard.frames[idx].data));
+                    shard.frames[idx].dirty = false;
+                }
+            }
+        }
+        for pw in pending {
+            self.perform_writeback(&pw);
+        }
+        self.registry.drain();
+    }
+
+    fn clear(&self) {
+        self.flush();
+        for slot in &self.shards {
+            let mut shard = slot.lock();
+            while shard.map.values().any(|s| matches!(s, Slot::Faulting))
+                || shard.frames.iter().any(|f| f.limbo)
+            {
+                shard.wait();
+            }
+            shard.map.clear();
+            shard.frames.clear();
+            shard.order.clear();
+            shard.clock_hand = 0;
+        }
+    }
 }
 
 /// Sharded page cache over a [`BlockDevice`].
@@ -116,243 +694,154 @@ struct CacheCounters {
 /// assert_eq!(cache.stats().hits, 1); // the read hit the dirty cached page
 /// ```
 pub struct PageCache {
-    device: Arc<dyn BlockDevice>,
-    cfg: PageCacheConfig,
-    shards: Vec<Mutex<Shard>>,
-    counters: CacheCounters,
+    core: Arc<CacheCore>,
+    /// Worker pool; present only in async mode. Dropping it drains the
+    /// queue and joins the workers.
+    _engine: Option<IoEngine>,
 }
 
 impl PageCache {
     pub fn new(device: Arc<dyn BlockDevice>, cfg: PageCacheConfig) -> Self {
-        assert!(cfg.page_size.is_power_of_two(), "page size must be a power of two");
-        assert!(cfg.shards > 0 && cfg.capacity_pages >= cfg.shards, "need >= 1 page per shard");
-        let per_shard = cfg.capacity_pages / cfg.shards;
-        let shards = (0..cfg.shards).map(|_| Mutex::new(Shard::new(per_shard))).collect();
-        Self { device, cfg, shards, counters: CacheCounters::default() }
+        let core = Arc::new(CacheCore::new(device, cfg));
+        let engine = (cfg.io.mode == IoMode::Async)
+            .then(|| IoEngine::start(Arc::clone(&core), core.io.workers()));
+        Self { core, _engine: engine }
     }
 
     pub fn config(&self) -> PageCacheConfig {
-        self.cfg
+        self.core.cfg
     }
 
     pub fn device(&self) -> &Arc<dyn BlockDevice> {
-        &self.device
+        &self.core.device
     }
 
-    #[inline]
-    fn shard_of(&self, page_no: u64) -> &Mutex<Shard> {
-        // Pages are accessed with strong sequential locality, so spread
-        // consecutive pages across shards.
-        &self.shards[(page_no as usize) % self.shards.len()]
+    /// Total frames across shards — always equals the configured
+    /// `capacity_pages` (remainders are distributed, not dropped).
+    pub fn capacity_pages(&self) -> usize {
+        self.core.shards.iter().map(|s| s.m.lock().unwrap().capacity).sum()
     }
 
-    /// Run `f` on the cached page `page_no`, faulting it in if necessary.
-    /// Returns `(result, missed)`. `count_stats` is false for readahead
-    /// faults, which are tallied as prefetches instead of misses.
-    fn with_page<R>(
-        &self,
-        page_no: u64,
-        mark_dirty: bool,
-        count_stats: bool,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> (R, bool) {
-        let mut shard = self.shard_of(page_no).lock().unwrap();
-        if let Some(&idx) = shard.map.get(&page_no) {
-            if count_stats {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
-            }
-            let tick = self.cfg.policy == EvictionPolicy::Lru;
-            let stamp = if tick { shard.next_tick() } else { 0 };
-            let frame = &mut shard.frames[idx];
-            frame.referenced = true;
-            frame.dirty |= mark_dirty;
-            if tick {
-                frame.stamp = stamp;
-            }
-            return (f(&mut frame.data), false);
-        }
-        if count_stats {
-            self.counters.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.counters.prefetches.fetch_add(1, Ordering::Relaxed);
-        }
-        let idx = self.fault_into(&mut shard, page_no, |dev, data| {
-            dev.read_at(page_no * self.cfg.page_size as u64, data);
-        });
-        let frame = &mut shard.frames[idx];
-        frame.dirty |= mark_dirty;
-        (f(&mut frame.data), true)
-    }
-
-    /// Insert (or evict-and-replace) a frame for `page_no`, filling it via
-    /// `fill`. Caller holds the shard lock and accounts hit/miss stats.
-    fn fault_into(
-        &self,
-        shard: &mut Shard,
-        page_no: u64,
-        fill: impl FnOnce(&Arc<dyn BlockDevice>, &mut [u8]),
-    ) -> usize {
-        let stamp = shard.next_tick();
-        let idx = if shard.frames.len() < shard.capacity {
-            let mut data = vec![0u8; self.cfg.page_size].into_boxed_slice();
-            fill(&self.device, &mut data);
-            shard.frames.push(Frame { page_no, data, referenced: true, dirty: false, stamp });
-            shard.frames.len() - 1
-        } else {
-            let victim = self.pick_victim(shard);
-            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-            let old_page = shard.frames[victim].page_no;
-            if shard.frames[victim].dirty {
-                self.counters.writebacks.fetch_add(1, Ordering::Relaxed);
-                self.device
-                    .write_at(old_page * self.cfg.page_size as u64, &shard.frames[victim].data);
-            }
-            shard.map.remove(&old_page);
-            let frame = &mut shard.frames[victim];
-            fill(&self.device, &mut frame.data);
-            frame.page_no = page_no;
-            frame.referenced = true;
-            frame.dirty = false;
-            frame.stamp = stamp;
-            victim
-        };
-        shard.map.insert(page_no, idx);
-        idx
-    }
-
-    /// Fault the pages `first .. first + count` with a *single* sequential
-    /// device access — the latency-hiding step of readahead: a multi-page
-    /// sequential NAND read costs roughly one access latency plus
-    /// transfer, unlike `count` independent demand misses.
-    fn prefetch_window(&self, first: u64, count: usize) {
-        if count == 0 {
-            return;
-        }
-        let ps = self.cfg.page_size;
-        // skip entirely-cached windows cheaply
-        let any_missing = (0..count as u64).any(|i| {
-            let page_no = first + i;
-            !self.shard_of(page_no).lock().unwrap().map.contains_key(&page_no)
-        });
-        if !any_missing {
-            return;
-        }
-        let mut buf = vec![0u8; ps * count];
-        self.device.read_at(first * ps as u64, &mut buf);
-        for i in 0..count {
-            let page_no = first + i as u64;
-            let mut shard = self.shard_of(page_no).lock().unwrap();
-            if shard.map.contains_key(&page_no) {
-                continue;
-            }
-            self.counters.prefetches.fetch_add(1, Ordering::Relaxed);
-            let src = &buf[i * ps..(i + 1) * ps];
-            self.fault_into(&mut shard, page_no, |_dev, data| data.copy_from_slice(src));
-        }
-    }
-
-    /// Victim selection according to the configured policy.
-    fn pick_victim(&self, shard: &mut Shard) -> usize {
-        match self.cfg.policy {
-            EvictionPolicy::Clock => loop {
-                let i = shard.clock_hand;
-                shard.clock_hand = (shard.clock_hand + 1) % shard.frames.len();
-                if shard.frames[i].referenced {
-                    shard.frames[i].referenced = false;
-                } else {
-                    return i;
-                }
-            },
-            // LRU: oldest access stamp; FIFO: oldest insertion stamp
-            EvictionPolicy::Lru | EvictionPolicy::Fifo => shard
-                .frames
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, fr)| fr.stamp)
-                .map(|(i, _)| i)
-                .expect("non-empty shard"),
-        }
-    }
-
-    /// POSIX-like positional read through the cache, with optional
-    /// sequential readahead on misses.
+    /// POSIX-like positional read through the cache, with sequential
+    /// readahead on misses (inline or background per [`IoConfig`]).
     pub fn read_at(&self, offset: u64, buf: &mut [u8]) {
-        let ps = self.cfg.page_size as u64;
-        let mut done = 0usize;
-        while done < buf.len() {
-            let pos = offset + done as u64;
-            let page_no = pos / ps;
-            let in_page = (pos % ps) as usize;
-            let n = (self.cfg.page_size - in_page).min(buf.len() - done);
-            let (_, missed) = self.with_page(page_no, false, true, |page| {
-                buf[done..done + n].copy_from_slice(&page[in_page..in_page + n]);
-            });
-            done += n;
-            if missed && self.cfg.readahead_pages > 0 {
-                self.prefetch_window(page_no + 1, self.cfg.readahead_pages);
-            }
-        }
+        self.core.read_at(offset, buf);
     }
 
     /// POSIX-like positional write through the cache (write-back).
     pub fn write_at(&self, offset: u64, buf: &[u8]) {
-        let ps = self.cfg.page_size as u64;
-        let mut done = 0usize;
-        while done < buf.len() {
-            let pos = offset + done as u64;
-            let page_no = pos / ps;
-            let in_page = (pos % ps) as usize;
-            let n = (self.cfg.page_size - in_page).min(buf.len() - done);
-            self.with_page(page_no, true, true, |page| {
-                page[in_page..in_page + n].copy_from_slice(&buf[done..done + n]);
-            });
-            done += n;
+        self.core.write_at(offset, buf);
+    }
+
+    /// Raise the addressed-length high-water mark (e.g. when an allocator
+    /// parcels out device space before any write lands). Readahead is
+    /// clamped to `max(device length, high-water mark)`.
+    pub fn note_len(&self, len: u64) {
+        self.core.len_hint.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// Hint that `offset .. offset + len` will be read soon. In async
+    /// mode, issues background prefetch for the covered pages and returns
+    /// immediately; a no-op in sync mode.
+    pub fn advise(&self, offset: u64, len: u64) {
+        if self.core.cfg.io.mode != IoMode::Async || len == 0 {
+            return;
+        }
+        let ps = self.core.cfg.page_size as u64;
+        let last = (offset + len - 1) / ps;
+        let mut page = offset / ps;
+        while page <= last {
+            let count = ((last - page + 1) as usize).min(ADVISE_CHUNK_PAGES);
+            if self.core.io.try_push(IoRequest::Prefetch { first: page, count }).is_err() {
+                // queue is saturated: stop hinting, demand faults cope
+                self.core.counters.dropped_prefetches.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            page += count as u64;
         }
     }
 
-    /// Write every dirty page back to the device.
+    /// Write every dirty page back to the device (waits for in-flight
+    /// background I/O first).
     pub fn flush(&self) {
-        for shard in &self.shards {
-            let mut s = shard.lock().unwrap();
-            for frame in s.frames.iter_mut() {
-                if frame.dirty {
-                    self.counters.writebacks.fetch_add(1, Ordering::Relaxed);
-                    self.device.write_at(frame.page_no * self.cfg.page_size as u64, &frame.data);
-                    frame.dirty = false;
-                }
-            }
-        }
+        self.core.flush();
     }
 
     /// Drop every cached page (flushing dirty ones): cold-cache state for
     /// experiments.
     pub fn clear(&self) {
-        self.flush();
-        for shard in &self.shards {
-            let mut s = shard.lock().unwrap();
-            s.map.clear();
-            s.frames.clear();
-            s.clock_hand = 0;
-        }
+        self.core.clear();
     }
 
     pub fn stats(&self) -> CacheStatsSnapshot {
+        let c = &self.core.counters;
         CacheStatsSnapshot {
-            hits: self.counters.hits.load(Ordering::Relaxed),
-            misses: self.counters.misses.load(Ordering::Relaxed),
-            evictions: self.counters.evictions.load(Ordering::Relaxed),
-            writebacks: self.counters.writebacks.load(Ordering::Relaxed),
-            prefetches: self.counters.prefetches.load(Ordering::Relaxed),
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            writebacks: c.writebacks.load(Ordering::Relaxed),
+            prefetches: c.prefetches.load(Ordering::Relaxed),
+            fault_waits: c.fault_waits.load(Ordering::Relaxed),
+            wb_coalesced: c.wb_coalesced.load(Ordering::Relaxed),
+            dropped_prefetches: c.dropped_prefetches.load(Ordering::Relaxed),
+            io_stall_ns: c.io_stall_ns.load(Ordering::Relaxed),
+            evict_stall_ns: c.evict_stall_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Observability snapshot of the I/O engine (queue-depth histogram,
+    /// outstanding gauge, service times). Zeros in sync mode.
+    pub fn io_stats(&self) -> IoStatsSnapshot {
+        self.core.io.snapshot(self.core.cfg.io.mode)
     }
 
     /// Reset counters (e.g. after a warm-up traversal).
     pub fn reset_stats(&self) {
-        self.counters.hits.store(0, Ordering::Relaxed);
-        self.counters.misses.store(0, Ordering::Relaxed);
-        self.counters.evictions.store(0, Ordering::Relaxed);
-        self.counters.writebacks.store(0, Ordering::Relaxed);
-        self.counters.prefetches.store(0, Ordering::Relaxed);
+        let c = &self.core.counters;
+        c.hits.store(0, Ordering::Relaxed);
+        c.misses.store(0, Ordering::Relaxed);
+        c.evictions.store(0, Ordering::Relaxed);
+        c.writebacks.store(0, Ordering::Relaxed);
+        c.prefetches.store(0, Ordering::Relaxed);
+        c.fault_waits.store(0, Ordering::Relaxed);
+        c.wb_coalesced.store(0, Ordering::Relaxed);
+        c.dropped_prefetches.store(0, Ordering::Relaxed);
+        c.io_stall_ns.store(0, Ordering::Relaxed);
+        c.evict_stall_ns.store(0, Ordering::Relaxed);
+        self.core.io.reset_stats();
+    }
+
+    /// Check structural invariants; panics on violation. Intended for
+    /// tests on a quiescent cache: map and frame table must form a
+    /// bijection, no page may occupy two frames, and nothing may be
+    /// mid-fault.
+    pub fn validate(&self) {
+        self.core.quiesce();
+        for (si, slot) in self.core.shards.iter().enumerate() {
+            let shard = slot.lock();
+            let mut seen = vec![false; shard.frames.len()];
+            for (&page, &s) in &shard.map {
+                let Slot::Present(idx) = s else {
+                    panic!("shard {si}: page {page} still faulting on a quiescent cache");
+                };
+                assert!(idx < shard.frames.len(), "shard {si}: frame index out of range");
+                assert!(!seen[idx], "shard {si}: frame {idx} mapped by two pages");
+                seen[idx] = true;
+                assert_eq!(shard.frames[idx].page_no, page, "shard {si}: map/frame mismatch");
+                assert!(!shard.frames[idx].limbo, "shard {si}: mapped frame in limbo");
+            }
+            for (idx, frame) in shard.frames.iter().enumerate() {
+                assert!(!frame.limbo, "shard {si}: limbo frame on a quiescent cache");
+                assert!(seen[idx], "shard {si}: frame {idx} (page {}) unmapped", frame.page_no);
+            }
+            assert!(shard.frames.len() <= shard.capacity, "shard {si}: over capacity");
+            if self.core.cfg.policy.stamp_ordered() {
+                assert_eq!(shard.order.len(), shard.frames.len(), "shard {si}: order index size");
+                for (&stamp, &idx) in &shard.order {
+                    assert_eq!(shard.frames[idx].stamp, stamp, "shard {si}: stale order stamp");
+                }
+            }
+        }
     }
 }
 
@@ -365,6 +854,20 @@ pub struct CacheStatsSnapshot {
     pub writebacks: u64,
     /// Pages faulted by sequential readahead rather than demand misses.
     pub prefetches: u64,
+    /// Accesses that found their page mid-fill and waited for it instead
+    /// of issuing a duplicate device read.
+    pub fault_waits: u64,
+    /// Write-back tickets skipped because a newer generation of the page
+    /// superseded them before they reached the device.
+    pub wb_coalesced: u64,
+    /// Prefetch requests dropped (queue full) or released (no free frame).
+    pub dropped_prefetches: u64,
+    /// Time callers spent blocked on I/O: demand fills, waits on in-flight
+    /// fills, and (sync mode) inline readahead.
+    pub io_stall_ns: u64,
+    /// Time callers spent writing dirty victims inline — the eviction
+    /// stall that write-behind exists to remove.
+    pub evict_stall_ns: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -379,12 +882,22 @@ impl CacheStatsSnapshot {
             self.hits as f64 / self.accesses() as f64
         }
     }
+
+    /// Caller time blocked on I/O, as a duration.
+    pub fn io_stall(&self) -> Duration {
+        Duration::from_nanos(self.io_stall_ns)
+    }
+
+    /// Caller time spent on inline dirty-victim writes, as a duration.
+    pub fn evict_stall(&self) -> Duration {
+        Duration::from_nanos(self.evict_stall_ns)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::MemDevice;
+    use crate::device::{DeviceProfile, MemDevice, SimNvram};
 
     fn cache(pages: usize, page_size: usize) -> (Arc<MemDevice>, PageCache) {
         let dev = Arc::new(MemDevice::new());
@@ -571,6 +1084,156 @@ mod tests {
         }
     }
 
+    #[test]
+    fn readahead_clamps_at_end_of_data() {
+        // Regression: readahead past the last allocated page must not
+        // fault in (or charge device reads for) pages that don't exist.
+        let dev = Arc::new(MemDevice::new());
+        dev.write_at(0, &[9u8; 8 * 64]); // exactly 8 pages of real data
+        let c = PageCache::new(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 32,
+                shards: 2,
+                readahead_pages: 16,
+                ..PageCacheConfig::default()
+            },
+        );
+        let mut b = [0u8; 64];
+        c.read_at(6 * 64, &mut b); // miss on page 6 -> window 7..23 clamps to {7}
+        assert_eq!(b, [9u8; 64]);
+        let s = c.stats();
+        assert_eq!(s.prefetches, 1, "window must clamp to the one existing page: {s:?}");
+        assert!(
+            dev.stats().bytes_read <= 8 * 64,
+            "read past end of device: {} bytes",
+            dev.stats().bytes_read
+        );
+        // the last page itself must still readahead-hit
+        c.read_at(7 * 64, &mut b);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn note_len_bounds_readahead_on_empty_device() {
+        // Allocations announced via note_len (ExtStore::alloc does this)
+        // bound the window even before any byte reaches the device.
+        let dev = Arc::new(MemDevice::new());
+        let c = PageCache::new(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 8,
+                shards: 1,
+                readahead_pages: 8,
+                ..PageCacheConfig::default()
+            },
+        );
+        c.note_len(3 * 64); // three pages allocated, zero on device
+        let mut b = [0u8; 64];
+        c.read_at(0, &mut b); // miss on 0 -> window 1..9 clamps to {1, 2}
+        assert_eq!(b, [0u8; 64]);
+        assert_eq!(c.stats().prefetches, 2, "{:?}", c.stats());
+    }
+
+    #[test]
+    fn shard_capacity_remainder_is_distributed() {
+        // Regression: 129 pages / 8 shards used to silently cache 128.
+        let dev = Arc::new(MemDevice::new());
+        let c = PageCache::new(
+            dev as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 129,
+                shards: 8,
+                ..PageCacheConfig::default()
+            },
+        );
+        assert_eq!(c.capacity_pages(), 129);
+        let (_dev2, c2) = cache(8, 64);
+        assert_eq!(c2.capacity_pages(), 8);
+    }
+
+    #[test]
+    fn no_device_io_under_shard_lock() {
+        // Regression: dirty victims used to be written (and demand fills
+        // read) while holding the shard mutex, serializing every rank that
+        // hashed to the shard behind multi-microsecond NAND accesses.
+        let dev = Arc::new(MemDevice::new());
+        let violations = Arc::new(AtomicU64::new(0));
+        let v1 = Arc::clone(&violations);
+        dev.set_read_hook(Arc::new(move |_, _| {
+            if shard_lock_held() {
+                v1.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+        let v2 = Arc::clone(&violations);
+        dev.set_write_hook(Arc::new(move |_, _| {
+            if shard_lock_held() {
+                v2.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+        let c = PageCache::new(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 2,
+                shards: 1,
+                readahead_pages: 2,
+                ..PageCacheConfig::default()
+            },
+        );
+        // dirty evictions + demand fills + readahead + flush
+        for i in 0..32u64 {
+            c.write_at(i * 64, &[i as u8; 64]);
+        }
+        for i in 0..32u64 {
+            let mut b = [0u8; 64];
+            c.read_at(i * 64, &mut b);
+            assert_eq!(b, [i as u8; 64]);
+        }
+        c.flush();
+        let s = c.stats();
+        assert!(s.writebacks > 0, "workload must exercise write-back: {s:?}");
+        assert_eq!(
+            violations.load(Ordering::Relaxed),
+            0,
+            "device I/O performed while holding a shard lock"
+        );
+    }
+
+    #[test]
+    fn eviction_stall_is_measured_in_sync_mode() {
+        let dev = Arc::new(SimNvram::new(
+            MemDevice::new(),
+            DeviceProfile {
+                name: "t",
+                read_latency_ns: 0,
+                write_latency_ns: 50_000,
+                concurrency: 8,
+            },
+        ));
+        let c = PageCache::new(
+            dev as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 2,
+                shards: 1,
+                ..PageCacheConfig::default()
+            },
+        );
+        for i in 0..8u64 {
+            c.write_at(i * 64, &[i as u8; 64]);
+        }
+        let s = c.stats();
+        assert!(s.writebacks > 0, "{s:?}");
+        assert!(
+            s.evict_stall() >= Duration::from_micros(50),
+            "inline victim writes must be timed: {s:?}"
+        );
+    }
+
     fn policy_cache(policy: EvictionPolicy) -> PageCache {
         let dev = Arc::new(MemDevice::new());
         PageCache::new(
@@ -623,6 +1286,7 @@ mod tests {
                 c.read_at(i * 64, &mut buf);
                 assert_eq!(buf, [i as u8; 64], "{policy:?} page {i}");
             }
+            c.validate();
         }
     }
 
@@ -656,6 +1320,94 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        c.validate();
+    }
+
+    #[test]
+    fn async_roundtrip_with_readahead_and_writeback() {
+        let dev = Arc::new(SimNvram::new(MemDevice::new(), DeviceProfile::fusion_io()));
+        let c = PageCache::new(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 8,
+                shards: 2,
+                readahead_pages: 4,
+                io: IoConfig::asynchronous(),
+                ..PageCacheConfig::default()
+            },
+        );
+        let n = 64usize;
+        for i in 0..n {
+            c.write_at((i * 64) as u64, &[i as u8; 64]);
+        }
+        for i in 0..n {
+            let mut b = [0u8; 64];
+            c.read_at((i * 64) as u64, &mut b);
+            assert_eq!(b, [i as u8; 64], "page {i}");
+        }
+        c.flush();
+        // durability: raw device holds everything after flush
+        for i in 0..n {
+            let mut b = [0u8; 64];
+            dev.read_at((i * 64) as u64, &mut b);
+            assert_eq!(b, [i as u8; 64], "device page {i}");
+        }
+        c.validate();
+        let s = c.stats();
+        assert_eq!(s.accesses(), s.hits + s.misses);
+        let io = c.io_stats();
+        assert_eq!(io.mode, IoMode::Async);
+        assert!(io.workers > 0);
+    }
+
+    #[test]
+    fn async_advise_prefetches_in_background() {
+        let dev = Arc::new(MemDevice::new());
+        dev.write_at(0, &vec![5u8; 32 * 64]);
+        let c = PageCache::new(
+            dev as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 64,
+                shards: 4,
+                io: IoConfig::asynchronous(),
+                ..PageCacheConfig::default()
+            },
+        );
+        c.advise(0, 32 * 64);
+        c.flush(); // quiesces the engine
+        let s = c.stats();
+        assert_eq!(s.prefetches, 32, "{s:?}");
+        // all subsequent reads hit
+        let mut b = [0u8; 64];
+        for p in 0..32u64 {
+            c.read_at(p * 64, &mut b);
+            assert_eq!(b, [5u8; 64]);
+        }
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (32, 0), "{s:?}");
+        assert!(c.io_stats().depth_hist.count() > 0);
+    }
+
+    #[test]
+    fn async_drop_joins_workers_cleanly() {
+        let dev = Arc::new(MemDevice::new());
+        let c = PageCache::new(
+            dev as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 8,
+                shards: 2,
+                readahead_pages: 8,
+                io: IoConfig::asynchronous(),
+                ..PageCacheConfig::default()
+            },
+        );
+        c.write_at(0, &[1u8; 256]);
+        let mut b = [0u8; 256];
+        c.read_at(0, &mut b);
+        drop(c); // must not hang or leak panics
     }
 
     #[test]

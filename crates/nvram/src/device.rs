@@ -32,6 +32,15 @@ pub trait BlockDevice: Send + Sync {
         self.len() == 0
     }
 
+    /// How many accesses the device can usefully service in flight.
+    ///
+    /// The page cache sizes its asynchronous I/O queue from this, so "queue
+    /// depth" in the stats means depth against the device's real channel
+    /// parallelism. Devices without an internal bound report `usize::MAX`.
+    fn concurrency_hint(&self) -> usize {
+        usize::MAX
+    }
+
     /// Cumulative access counters.
     fn stats(&self) -> DeviceStatsSnapshot;
 }
@@ -74,11 +83,16 @@ impl DeviceCounters {
     }
 }
 
+/// Observation hook invoked on each access: `(offset, len)`.
+pub type AccessHook = std::sync::Arc<dyn Fn(u64, usize) + Send + Sync>;
+
 /// In-memory device: the DRAM tier of Figure 9 / Table II, and the backing
 /// store for most tests.
 pub struct MemDevice {
     data: RwLock<Vec<u8>>,
     counters: DeviceCounters,
+    read_hook: Mutex<Option<AccessHook>>,
+    write_hook: Mutex<Option<AccessHook>>,
 }
 
 impl MemDevice {
@@ -87,7 +101,33 @@ impl MemDevice {
     }
 
     pub fn with_capacity(bytes: usize) -> Self {
-        Self { data: RwLock::new(vec![0u8; bytes]), counters: DeviceCounters::default() }
+        Self {
+            data: RwLock::new(vec![0u8; bytes]),
+            counters: DeviceCounters::default(),
+            read_hook: Mutex::new(None),
+            write_hook: Mutex::new(None),
+        }
+    }
+
+    /// Install a hook called (on the accessing thread, before the copy) for
+    /// every `read_at`. Tests use this to assert invariants about *where*
+    /// device I/O happens — e.g. that no read runs under a cache shard lock.
+    pub fn set_read_hook(&self, hook: AccessHook) {
+        *self.read_hook.lock().unwrap() = Some(hook);
+    }
+
+    /// Install a hook called for every `write_at`; see [`Self::set_read_hook`].
+    pub fn set_write_hook(&self, hook: AccessHook) {
+        *self.write_hook.lock().unwrap() = Some(hook);
+    }
+
+    fn run_hook(slot: &Mutex<Option<AccessHook>>, offset: u64, len: usize) {
+        // Clone the Arc out so the hook itself runs without the slot lock
+        // (hooks may re-enter the device).
+        let hook = slot.lock().unwrap().clone();
+        if let Some(h) = hook {
+            h(offset, len);
+        }
     }
 }
 
@@ -99,6 +139,7 @@ impl Default for MemDevice {
 
 impl BlockDevice for MemDevice {
     fn read_at(&self, offset: u64, buf: &mut [u8]) {
+        Self::run_hook(&self.read_hook, offset, buf.len());
         self.counters.record_read(buf.len());
         let data = self.data.read().unwrap();
         let off = offset as usize;
@@ -110,6 +151,7 @@ impl BlockDevice for MemDevice {
     }
 
     fn write_at(&self, offset: u64, buf: &[u8]) {
+        Self::run_hook(&self.write_hook, offset, buf.len());
         self.counters.record_write(buf.len());
         let mut data = self.data.write().unwrap();
         let end = offset as usize + buf.len();
@@ -300,6 +342,10 @@ impl<D: BlockDevice> BlockDevice for SimNvram<D> {
 
     fn len(&self) -> u64 {
         self.inner.len()
+    }
+
+    fn concurrency_hint(&self) -> usize {
+        self.profile.concurrency
     }
 
     fn stats(&self) -> DeviceStatsSnapshot {

@@ -64,6 +64,9 @@ impl ExtStore {
         let page = self.cache.config().page_size as u64;
         let aligned = bytes.div_ceil(page) * page;
         let base = self.next_offset.fetch_add(aligned, Ordering::SeqCst);
+        // Announce the allocated extent so readahead can run to the end of
+        // the array even before its bytes reach the device.
+        self.cache.note_len(base + aligned);
         ExternalVec { cache: Arc::clone(&self.cache), base, len, _t: PhantomData }
     }
 
@@ -114,6 +117,17 @@ impl<T: Pod> ExternalVec<T> {
         let mut buf = [0u8; 16];
         value.write_le(&mut buf);
         self.cache.write_at(self.offset_of(index), &buf[..T::BYTES]);
+    }
+
+    /// Hint that `[start, start + len)` will be read soon: in async I/O
+    /// mode this queues background prefetch for the covered pages and
+    /// returns immediately (no-op otherwise).
+    pub fn advise(&self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        debug_assert!(start + len <= self.len, "advise range out of bounds");
+        self.cache.advise(self.offset_of(start), (len * T::BYTES) as u64);
     }
 
     /// Bulk-read `[start, start + out.len())` — the adjacency-scan fast path:

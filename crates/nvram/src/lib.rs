@@ -14,16 +14,23 @@
 //!   (Fusion-io, SATA SSD) with latencies scaled down so experiments finish
 //!   at simulation scale — ratios between tiers are preserved.
 //! - [`cache`] — the user-space page cache: sharded, CLOCK (second-chance)
-//!   eviction, write-back, full hit/miss/eviction statistics.
+//!   eviction, write-back, full hit/miss/eviction statistics. Device I/O
+//!   never happens under a shard lock.
+//! - [`io`] — the asynchronous I/O engine: a bounded request queue sized
+//!   from the device's channel parallelism, a background worker pool for
+//!   non-blocking readahead and write-behind, and the write-back registry
+//!   that keeps in-flight victims visible to faults.
 //! - [`extvec`] — typed external arrays over the cache, used by the
 //!   semi-external CSR (vertex state in DRAM, edge targets in "NVRAM").
 
 pub mod cache;
 pub mod device;
 pub mod extvec;
+pub mod io;
 
-pub use cache::{CacheStatsSnapshot, EvictionPolicy, PageCache, PageCacheConfig};
+pub use cache::{shard_lock_held, CacheStatsSnapshot, EvictionPolicy, PageCache, PageCacheConfig};
 pub use device::{
     BlockDevice, DeviceProfile, DeviceStatsSnapshot, FileDevice, MemDevice, SimNvram,
 };
 pub use extvec::{ExtStore, ExternalVec, Pod};
+pub use io::{IoConfig, IoMode, IoStatsSnapshot};
