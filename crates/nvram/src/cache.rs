@@ -491,29 +491,57 @@ impl CacheCore {
             return;
         }
         let count = count.min((total - first) as usize);
-        // Claim pass: mark absent pages Faulting.
-        let mut claimed = vec![false; count];
-        for (i, c) in claimed.iter_mut().enumerate() {
+        /// How a claimed page gets its bytes.
+        enum Claim {
+            /// Already present or mid-fault elsewhere; leave it alone.
+            Skip,
+            /// Fill from the bulk device snapshot.
+            Device,
+            /// Newest bytes pinned from the write-back registry at claim
+            /// time; the device snapshot may be stale for this page.
+            Pinned(std::sync::Arc<[u8]>),
+        }
+        // Claim pass: mark absent pages Faulting and capture any in-flight
+        // write-back bytes *now*. A registry entry for a claimed page can
+        // only exist at claim time — the Faulting marker keeps the page out
+        // of every frame, so no later registration is possible — but a
+        // queued write-back may remove its entry at any moment, after which
+        // the bulk snapshot below (taken before the write landed) would
+        // hand readers pre-write-back bytes.
+        let mut claims = Vec::with_capacity(count);
+        for i in 0..count {
             let page_no = first + i as u64;
             let mut shard = self.shard_of(page_no).lock();
-            if let std::collections::hash_map::Entry::Vacant(e) = shard.map.entry(page_no) {
-                e.insert(Slot::Faulting);
-                *c = true;
-            }
+            claims.push(
+                if let std::collections::hash_map::Entry::Vacant(e) = shard.map.entry(page_no) {
+                    e.insert(Slot::Faulting);
+                    match self.registry.lookup(page_no) {
+                        Some(d) => Claim::Pinned(d),
+                        None => Claim::Device,
+                    }
+                } else {
+                    Claim::Skip
+                },
+            );
         }
-        if !claimed.iter().any(|&c| c) {
+        if claims.iter().all(|c| matches!(c, Claim::Skip)) {
             return;
         }
         // One sequential device access for the whole window — the
         // latency-hiding step: a multi-page sequential NAND read costs
         // roughly one access latency plus transfer, unlike `count`
-        // independent demand misses.
+        // independent demand misses. Skipped when every claimed page is
+        // pinned from the registry.
         let mut bulk = vec![0u8; ps * count];
-        self.device.read_at(first * ps as u64, &mut bulk);
-        for (i, &c) in claimed.iter().enumerate() {
-            if !c {
-                continue;
-            }
+        if claims.iter().any(|c| matches!(c, Claim::Device)) {
+            self.device.read_at(first * ps as u64, &mut bulk);
+        }
+        for (i, claim) in claims.iter().enumerate() {
+            let pinned = match claim {
+                Claim::Skip => continue,
+                Claim::Device => None,
+                Claim::Pinned(d) => Some(d),
+            };
             let page_no = first + i as u64;
             let slot = self.shard_of(page_no);
             let mut pending_out = None;
@@ -535,12 +563,13 @@ impl CacheCore {
                             }
                             Reserve::Starved => unreachable!(),
                         };
-                        // The claim blocks new registrations of this page,
-                        // so the registry check (under the shard lock)
-                        // catches any write-behind that was in flight when
-                        // the bulk read sampled the device.
-                        if let Some(d) = self.registry.lookup(page_no) {
-                            buf.copy_from_slice(&d);
+                        // Bytes pinned at claim time supersede the bulk
+                        // snapshot: they are the newest for this page, and
+                        // if absent at claim time the device was (and
+                        // stays) current, since the bulk read happened
+                        // after the claim.
+                        if let Some(d) = pinned {
+                            buf.copy_from_slice(d);
                         } else {
                             buf.copy_from_slice(&bulk[i * ps..(i + 1) * ps]);
                         }
@@ -748,8 +777,15 @@ impl PageCache {
             return;
         }
         let ps = self.core.cfg.page_size as u64;
-        let last = (offset + len - 1) / ps;
+        // Clamp to the data that exists (mirroring do_prefetch): hints past
+        // the extent would burn bounded-queue slots and skew the depth
+        // histogram only to no-op inside the worker.
+        let total = self.core.total_pages();
         let mut page = offset / ps;
+        if total == 0 || page >= total {
+            return;
+        }
+        let last = ((offset + len - 1) / ps).min(total - 1);
         while page <= last {
             let count = ((last - page + 1) as usize).min(ADVISE_CHUNK_PAGES);
             if self.core.io.try_push(IoRequest::Prefetch { first: page, count }).is_err() {
@@ -1423,5 +1459,99 @@ mod tests {
                 ..PageCacheConfig::default()
             },
         );
+    }
+
+    /// [`MemDevice`] wrapper that runs a one-shot hook after servicing a
+    /// read — models external state changing right after a bulk snapshot
+    /// was taken but before it is consumed.
+    struct HookDevice {
+        inner: Arc<MemDevice>,
+        after_read: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    }
+
+    impl BlockDevice for HookDevice {
+        fn read_at(&self, offset: u64, buf: &mut [u8]) {
+            self.inner.read_at(offset, buf);
+            if let Some(h) = self.after_read.lock().unwrap().take() {
+                h();
+            }
+        }
+        fn write_at(&self, offset: u64, buf: &[u8]) {
+            self.inner.write_at(offset, buf);
+        }
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+        fn stats(&self) -> crate::device::DeviceStatsSnapshot {
+            self.inner.stats()
+        }
+    }
+
+    #[test]
+    fn prefetch_fill_not_stale_when_writeback_lands_mid_window() {
+        // Regression: a queued write-back that completes between
+        // do_prefetch's bulk device snapshot and its per-page fill removes
+        // its registry entry, so a post-snapshot lookup misses it and the
+        // pre-write-back snapshot bytes would be installed (lost update).
+        // The fill must use bytes pinned at claim time instead.
+        let inner = Arc::new(MemDevice::new());
+        inner.write_at(0, &[0xAA; 64]); // page 0: pre-write-back bytes
+        inner.write_at(64, &[0xBB; 64]); // page 1
+        let hooked = Arc::new(HookDevice {
+            inner: Arc::clone(&inner),
+            after_read: Mutex::new(None),
+        });
+        let c = PageCache::new(
+            Arc::clone(&hooked) as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 4,
+                shards: 1,
+                ..PageCacheConfig::default()
+            },
+        );
+        // A dirty victim of page 0 is in flight: its newest bytes sit in
+        // the registry, queued for write-back.
+        let pw = c.core.registry.register(0, &[0xCC; 64]);
+        // The write-back completes immediately after the prefetch's bulk
+        // snapshot (which still read 0xAA) and removes the registry entry.
+        let core = Arc::clone(&c.core);
+        let dev = Arc::clone(&inner) as Arc<dyn BlockDevice>;
+        *hooked.after_read.lock().unwrap() = Some(Box::new(move || {
+            let _ = core.registry.perform(&pw, &dev, 64);
+        }));
+        c.core.do_prefetch(0, 2);
+        let mut b = [0u8; 64];
+        c.read_at(0, &mut b);
+        assert_eq!(b, [0xCC; 64], "prefetch installed pre-write-back bytes");
+        c.read_at(64, &mut b);
+        assert_eq!(b, [0xBB; 64]);
+        c.validate();
+    }
+
+    #[test]
+    fn advise_past_extent_is_clamped() {
+        let dev = Arc::new(MemDevice::new());
+        dev.write_at(0, &[7u8; 4 * 64]); // 4 pages exist
+        let c = PageCache::new(
+            dev as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 16,
+                shards: 2,
+                io: IoConfig::asynchronous(),
+                ..PageCacheConfig::default()
+            },
+        );
+        // Entirely past the extent: nothing may reach the bounded queue.
+        c.advise(100 * 64, 64 * 64);
+        c.flush(); // quiesces the engine
+        assert_eq!(c.io_stats().depth_hist.count(), 0, "past-EOF hints must not be submitted");
+        // Overlapping the end: clamped to the pages that exist.
+        c.advise(0, 1_000_000);
+        c.flush();
+        let s = c.stats();
+        assert_eq!(s.prefetches, 4, "{s:?}");
+        assert_eq!(s.dropped_prefetches, 0, "{s:?}");
     }
 }
