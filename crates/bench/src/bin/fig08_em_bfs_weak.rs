@@ -16,9 +16,10 @@
 
 use std::time::Duration;
 
-use havoq_bench::{csv_row, ms, pick, Experiment};
+use havoq_bench::{csv_row, ms, overhead_pct, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig, UNREACHED};
+use havoq_core::CheckpointSpec;
 use havoq_graph::csr::GraphConfig;
 use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::rmat::RmatGenerator;
@@ -40,6 +41,11 @@ fn main() {
     let worlds: Vec<usize> = pick(vec![1, 4], vec![1, 2, 4, 8, 16]);
     // DRAM:data ratio ~ 1:8, like 24 GB DRAM vs 169 GB flash in the paper
     let cache_fraction = 8usize;
+    let ckpt_every = havoq_bench::checkpoint_every();
+    let ckpt_banner = match ckpt_every {
+        Some(e) => format!("checkpointing every {e} visitors/rank into the NVRAM store)"),
+        None => "checkpointing off — pass --checkpoint-every N to measure it)".to_string(),
+    };
 
     let mut exp = Experiment::begin(
         &[
@@ -47,11 +53,20 @@ fn main() {
             &format!(
                 "(2^{per_rank_log2} vertices/rank on simulated Fusion-io, cache = data/{cache_fraction},"
             ),
-            "sync demand paging vs async readahead + write-behind)",
+            "sync demand paging vs async readahead + write-behind,",
+            &ckpt_banner,
         ],
         "fig08_em_bfs_weak.csv",
         &[
-            "ranks", "mode", "scale", "MTEPS", "hit_rate%", "dev_reads", "io_stall_ms", "avg_qd",
+            "ranks",
+            "mode",
+            "scale",
+            "MTEPS",
+            "hit_rate%",
+            "dev_reads",
+            "io_stall_ms",
+            "avg_qd",
+            "ckpt_ovh%",
             "time_ms",
         ],
         &[
@@ -63,6 +78,7 @@ fn main() {
             "device_reads",
             "io_stall_ms",
             "avg_queue_depth",
+            "checkpoint_overhead_pct",
             "time_ms",
         ],
     );
@@ -98,7 +114,11 @@ fn main() {
                     local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()),
                 );
                 let g = DistGraph::build(ctx, local, PartitionStrategy::EdgeList, cfg);
-                let r = bfs(ctx, &g, VertexId(0), &BfsConfig::default());
+                let mut bcfg = BfsConfig::default();
+                if let Some(every) = ckpt_every {
+                    bcfg = bcfg.with_checkpoint(CheckpointSpec::default().with_every(every));
+                }
+                let r = bfs(ctx, &g, VertexId(0), &bcfg);
                 // order-independent fingerprint of the BFS level assignment:
                 // commutative sum over this rank's masters
                 let mut fp = 0u64;
@@ -118,6 +138,10 @@ fn main() {
             // per-rank I/O stall: the slowest rank gates the traversal
             let io_stall = out.iter().map(|o| o.0.stats.io_stall).max().unwrap();
             let avg_qd = out.iter().map(|o| o.3.avg_queue_depth()).sum::<f64>() / p as f64;
+            // checkpoint overhead: the slowest rank's cut+persist time
+            // over the traversal wall clock
+            let ck_time = out.iter().map(|o| o.0.stats.checkpoint_time).max().unwrap();
+            let ck_ovh = overhead_pct(ck_time, elapsed);
             fingerprints.push(out.iter().fold(0u64, |acc, o| acc.wrapping_add(o.4)));
             stalls.push(io_stall);
 
@@ -131,6 +155,7 @@ fn main() {
                     dev.reads,
                     ms(io_stall),
                     format!("{avg_qd:.2}"),
+                    format!("{ck_ovh:.2}"),
                     ms(elapsed)
                 ],
                 &csv_row![
@@ -142,9 +167,20 @@ fn main() {
                     dev.reads,
                     io_stall.as_secs_f64() * 1e3,
                     avg_qd,
+                    ck_ovh,
                     elapsed.as_secs_f64() * 1e3
                 ],
             );
+
+            if ckpt_every.is_some() {
+                let epochs: u64 = out.iter().map(|o| o.0.stats.checkpoints_written).sum();
+                let bytes: u64 = out.iter().map(|o| o.0.stats.checkpoint_bytes).sum();
+                println!(
+                    "    checkpoints: {epochs} rank-epochs, {} KiB persisted, \
+                     overhead {ck_ovh:.2}% of the traversal",
+                    bytes / 1024
+                );
+            }
 
             if matches!(io.mode, IoMode::Async) {
                 // merged queue-depth histogram across ranks

@@ -4,10 +4,11 @@
 //! search keys with nonzero degree, *validate every BFS tree*, and report
 //! the TEPS statistics (min/harmonic-mean/max) the benchmark defines.
 
-use havoq_bench::{csv_row, pick, Experiment};
+use havoq_bench::{csv_row, overhead_pct, pick, Experiment};
 use havoq_comm::CommWorld;
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_core::algorithms::validate::validate_bfs;
+use havoq_core::CheckpointSpec;
 use havoq_graph::csr::GraphConfig;
 use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::rmat::RmatGenerator;
@@ -17,8 +18,12 @@ fn main() {
     let scale: u32 = pick(10, 14);
     let ranks: usize = pick(2, 8);
     let num_keys: usize = pick(4, 16); // official runs use 64
+    let ckpt_every = havoq_bench::checkpoint_every();
 
     println!("Graph500-style run: RMAT scale {scale}, {ranks} ranks, {num_keys} search keys");
+    if let Some(e) = ckpt_every {
+        println!("checkpointing every {e} visitors/rank into the NVRAM store");
+    }
     let gen = RmatGenerator::graph500(scale);
 
     let results = CommWorld::run(ranks, |ctx| {
@@ -45,10 +50,21 @@ fn main() {
             if ctx.all_reduce_max(deg) == 0 {
                 continue;
             }
-            let r = bfs(ctx, &g, key, &BfsConfig::default());
+            let mut bcfg = BfsConfig::default();
+            if let Some(every) = ckpt_every {
+                bcfg = bcfg.with_checkpoint(CheckpointSpec::default().with_every(every));
+            }
+            let r = bfs(ctx, &g, key, &bcfg);
             let report = validate_bfs(ctx, &g, key, &r.local_state);
             let wire_bytes = ctx.all_reduce_sum(r.stats.bytes_sent);
-            runs.push((key.0, r.traversed_edges, r.elapsed, report.is_valid(), wire_bytes));
+            runs.push((
+                key.0,
+                r.traversed_edges,
+                r.elapsed,
+                report.is_valid(),
+                wire_bytes,
+                r.stats.checkpoint_time,
+            ));
         }
         (construction, runs)
     });
@@ -57,14 +73,28 @@ fn main() {
     let mut exp = Experiment::begin(
         &[&format!("construction time: {construction:?}")],
         "graph500_run.csv",
-        &["key", "traversed", "time_ms", "MTEPS", "valid", "wire_KiB"],
-        &["key", "traversed_edges", "time_ms", "mteps", "valid", "wire_bytes"],
+        &["key", "traversed", "time_ms", "MTEPS", "valid", "wire_KiB", "ckpt_ovh%"],
+        &[
+            "key",
+            "traversed_edges",
+            "time_ms",
+            "mteps",
+            "valid",
+            "wire_bytes",
+            "checkpoint_overhead_pct",
+        ],
     );
     let mut teps: Vec<f64> = Vec::new();
     let mut all_valid = true;
-    for (i, (key, traversed, _elapsed, valid, wire_bytes)) in runs.iter().enumerate() {
-        // use the slowest rank's elapsed for this key
+    let mut total_ck = std::time::Duration::ZERO;
+    let mut total_elapsed = std::time::Duration::ZERO;
+    for (i, (key, traversed, _elapsed, valid, wire_bytes, _ck)) in runs.iter().enumerate() {
+        // use the slowest rank's elapsed (and checkpoint time) for this key
         let elapsed = results.iter().map(|(_, rs)| rs[i].2).max().unwrap();
+        let ck_time = results.iter().map(|(_, rs)| rs[i].5).max().unwrap();
+        let ck_ovh = overhead_pct(ck_time, elapsed);
+        total_ck += ck_time;
+        total_elapsed += elapsed;
         let t = *traversed as f64 / elapsed.as_secs_f64();
         teps.push(t);
         all_valid &= *valid;
@@ -75,9 +105,18 @@ fn main() {
                 havoq_bench::ms(elapsed),
                 format!("{:.2}", t / 1e6),
                 valid,
-                wire_bytes / 1024
+                wire_bytes / 1024,
+                format!("{ck_ovh:.2}")
             ],
-            &csv_row![key, traversed, elapsed.as_secs_f64() * 1e3, t / 1e6, valid, wire_bytes],
+            &csv_row![
+                key,
+                traversed,
+                elapsed.as_secs_f64() * 1e3,
+                t / 1e6,
+                valid,
+                wire_bytes,
+                ck_ovh
+            ],
         );
     }
 
@@ -90,6 +129,10 @@ fn main() {
             min / 1e6,
             harmonic / 1e6,
             max / 1e6
+        ),
+        &format!(
+            "checkpoint overhead over all keys: {:.2}%",
+            overhead_pct(total_ck, total_elapsed)
         ),
         &format!("all trees valid: {all_valid}"),
     ]);

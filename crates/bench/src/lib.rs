@@ -32,6 +32,33 @@ pub fn scale_bump() -> u32 {
     std::env::var("HAVOQ_SCALE_BUMP").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
+/// Checkpoint cadence for the traversal binaries: `--checkpoint-every N`
+/// on the command line (or `HAVOQ_CHECKPOINT_EVERY=N` in the environment)
+/// checkpoints every `N` executed visitors per rank so the run reports the
+/// overhead of cutting and persisting traversal state. `None` (the
+/// default) runs uncheckpointed.
+pub fn checkpoint_every() -> Option<u64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--checkpoint-every" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--checkpoint-every=") {
+            return v.parse().ok();
+        }
+    }
+    std::env::var("HAVOQ_CHECKPOINT_EVERY").ok().and_then(|v| v.parse().ok())
+}
+
+/// Checkpoint overhead as a percentage of the traversal wall clock.
+pub fn overhead_pct(checkpoint_time: Duration, elapsed: Duration) -> f64 {
+    if elapsed.is_zero() {
+        0.0
+    } else {
+        100.0 * checkpoint_time.as_secs_f64() / elapsed.as_secs_f64()
+    }
+}
+
 /// `results/` directory beside the workspace root (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("HAVOQ_RESULTS")

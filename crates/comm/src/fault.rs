@@ -85,6 +85,13 @@ pub struct FaultConfig {
     pub slow_rank_permille: u16,
     /// Extra hold ticks a slow rank pays on every delivery.
     pub slow_rank_ticks: u32,
+    /// Per-mille chance a checkpoint epoch kills one rank mid-write. Only
+    /// consulted by checkpointed traversals (see `crash_victim`); epoch 0
+    /// is exempt so a restore point always exists.
+    pub crash_permille: u16,
+    /// Deterministic crash: `(rank, epoch)` dies on the run's first
+    /// incarnation. `(rank, 0)` never fires (epoch 0 is protected).
+    pub forced_crash: Option<(usize, u64)>,
 }
 
 impl FaultConfig {
@@ -103,6 +110,8 @@ impl FaultConfig {
             stall_ticks: 0,
             slow_rank_permille: 0,
             slow_rank_ticks: 0,
+            crash_permille: 0,
+            forced_crash: None,
         }
     }
 
@@ -121,6 +130,8 @@ impl FaultConfig {
             stall_ticks: 24,
             slow_rank_permille: 250,
             slow_rank_ticks: 2,
+            crash_permille: 0,
+            forced_crash: None,
         }
     }
 
@@ -153,6 +164,20 @@ impl FaultConfig {
         self
     }
 
+    /// Seeded rank crashes at checkpoint epochs (checkpointed traversals
+    /// only; a traversal that never checkpoints never consults this).
+    pub fn with_crash(mut self, permille: u16) -> Self {
+        self.crash_permille = permille;
+        self
+    }
+
+    /// Kill exactly `rank` while it writes checkpoint `epoch`, once (the
+    /// retry after restore survives). Epoch 0 is protected and never fires.
+    pub fn with_forced_crash(mut self, rank: usize, epoch: u64) -> Self {
+        self.forced_crash = Some((rank, epoch));
+        self
+    }
+
     /// True if any fault can ever fire under this config.
     pub fn is_active(&self) -> bool {
         (self.delay_permille > 0 && self.delay_max_ticks > 0)
@@ -160,6 +185,8 @@ impl FaultConfig {
             || self.duplicate_permille > 0
             || (self.stall_permille > 0 && self.stall_ticks > 0)
             || (self.slow_rank_permille > 0 && self.slow_rank_ticks > 0)
+            || self.crash_permille > 0
+            || self.forced_crash.is_some()
     }
 }
 
@@ -169,6 +196,7 @@ const SALT_REORDER: u64 = 0x2E0D;
 const SALT_DUP: u64 = 0xD0B1;
 const SALT_STALL: u64 = 0x57A1;
 const SALT_SLOW: u64 = 0x510E;
+const SALT_CRASH: u64 = 0xC4A5;
 
 /// World-shared fault decision oracle. All methods are pure functions of
 /// the seed and the message identity, so decisions are identical across
@@ -274,6 +302,35 @@ impl FaultPlan {
     #[inline]
     pub fn dedup_needed(&self) -> bool {
         self.cfg.duplicate_permille > 0
+    }
+
+    /// Which rank (if any) dies while writing checkpoint `epoch` on the
+    /// traversal's `incarnation`-th life. Pure function of the plan, so
+    /// every rank evaluates the same verdict — this stands in for the
+    /// failure detector a real runtime would run.
+    ///
+    /// Epoch 0 never crashes (the initial checkpoint is the guaranteed
+    /// restore point), and keying on `incarnation` keeps the run live: the
+    /// retry of an epoch after a restore draws a fresh decision, and a
+    /// forced crash fires only on incarnation 0.
+    #[inline]
+    pub fn crash_victim(&self, epoch: u64, incarnation: u64, ranks: usize) -> Option<usize> {
+        if epoch == 0 || ranks == 0 {
+            return None;
+        }
+        if incarnation == 0 {
+            if let Some((rank, e)) = self.cfg.forced_crash {
+                if e == epoch && rank < ranks {
+                    return Some(rank);
+                }
+            }
+        }
+        let h = self.mix(SALT_CRASH, epoch, incarnation, 0);
+        if self.hit(h, self.cfg.crash_permille) {
+            Some(((h >> 10) % ranks as u64) as usize)
+        } else {
+            None
+        }
     }
 }
 
@@ -502,6 +559,46 @@ mod tests {
             let d = plan.delay_ticks(0, 2, 3, seq);
             assert!((1..=7).contains(&d), "delay {d} out of bounds");
         }
+    }
+
+    #[test]
+    fn crash_only_configs_are_active() {
+        assert!(FaultConfig::quiet(9).with_crash(500).is_active());
+        assert!(FaultConfig::quiet(9).with_forced_crash(1, 2).is_active());
+    }
+
+    #[test]
+    fn crash_victim_is_deterministic_and_spares_epoch_zero() {
+        let plan = FaultPlan::new(FaultConfig::quiet(11).with_crash(1000));
+        assert_eq!(plan.crash_victim(0, 0, 4), None, "epoch 0 is protected");
+        let mut hit = false;
+        for epoch in 1..64 {
+            for inc in 0..4 {
+                let a = plan.crash_victim(epoch, inc, 4);
+                let b = plan.crash_victim(epoch, inc, 4);
+                assert_eq!(a, b, "verdict must be a pure function");
+                if let Some(v) = a {
+                    assert!(v < 4);
+                    hit = true;
+                }
+            }
+        }
+        assert!(hit, "permille 1000 must crash somewhere");
+        // different seeds draw different schedules
+        let other = FaultPlan::new(FaultConfig::quiet(12).with_crash(1000));
+        let same = (1..64u64).all(|e| plan.crash_victim(e, 0, 4) == other.crash_victim(e, 0, 4));
+        assert!(!same, "seed must steer the crash schedule");
+    }
+
+    #[test]
+    fn forced_crash_fires_once_on_first_incarnation() {
+        let plan = FaultPlan::new(FaultConfig::quiet(3).with_forced_crash(2, 5));
+        assert_eq!(plan.crash_victim(5, 0, 4), Some(2));
+        assert_eq!(plan.crash_victim(5, 1, 4), None, "retry must survive");
+        assert_eq!(plan.crash_victim(4, 0, 4), None);
+        // forced target outside the world is ignored
+        let oob = FaultPlan::new(FaultConfig::quiet(3).with_forced_crash(9, 5));
+        assert_eq!(oob.crash_victim(5, 0, 4), None);
     }
 
     #[test]

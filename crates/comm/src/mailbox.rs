@@ -438,6 +438,22 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
     pub fn transport_stats(&self) -> crate::stats::ChannelStatsSnapshot {
         self.transport.stats_snapshot()
     }
+
+    /// The wire sequence number the next frame to each destination rank
+    /// will carry — the "seq-number table" a checkpoint records. Sequence
+    /// numbers are never rewound on restore (the receiver-side dedup
+    /// window must stay gap-free), so a restored table is only used to
+    /// assert monotonicity, never re-applied.
+    pub fn wire_seqs(&self) -> Vec<u64> {
+        (0..self.ranks()).map(|d| self.transport.peek_seq(d)).collect()
+    }
+
+    /// World-shared live statistics of this mailbox's channel set, for
+    /// recording checkpoint/crash/restore events against the traversal's
+    /// own channel (see [`crate::stats::ChannelStats::record_checkpoint`]).
+    pub fn channel_stats(&self) -> &crate::stats::ChannelStats {
+        self.transport.stats()
+    }
 }
 
 /// Plain-data snapshot of one rank's mailbox counters.

@@ -137,6 +137,15 @@ impl RankCtx {
         self.faults.as_ref()
     }
 
+    /// The rank the fault plan kills while writing checkpoint `epoch` on
+    /// the given `incarnation`, or `None` — on fault-free worlds, always
+    /// `None`. Every rank computes the same verdict from the shared plan
+    /// (the simulation's failure detector), which is what lets the
+    /// checkpointed traversal agree collectively on when to restore.
+    pub fn crash_victim(&self, epoch: u64, incarnation: u64) -> Option<usize> {
+        self.faults.as_ref().and_then(|p| p.crash_victim(epoch, incarnation, self.ranks))
+    }
+
     /// Allocate a fresh world-agreed user channel tag. Like collectives,
     /// every rank must call this in the same order (SPMD), so matching
     /// calls yield matching tags. Used by subsystems (e.g. the visitor

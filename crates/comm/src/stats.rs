@@ -41,11 +41,18 @@ pub struct ChannelStats {
     fault_dedups: Vec<AtomicU64>,
     fault_stalls: Vec<AtomicU64>,
     fault_throttles: Vec<AtomicU64>,
+    /// Checkpoint/restart events, indexed by rank (they are per-rank, not
+    /// per-pair): complete checkpoint epochs written, torn writes from an
+    /// injected crash, and restores performed.
+    checkpoints: Vec<AtomicU64>,
+    crashes: Vec<AtomicU64>,
+    restores: Vec<AtomicU64>,
 }
 
 impl ChannelStats {
     pub fn new(ranks: usize) -> Self {
         let zeros = || (0..ranks * ranks).map(|_| AtomicU64::new(0)).collect();
+        let per_rank = || (0..ranks).map(|_| AtomicU64::new(0)).collect();
         Self {
             ranks,
             msgs: zeros(),
@@ -58,6 +65,9 @@ impl ChannelStats {
             fault_dedups: zeros(),
             fault_stalls: zeros(),
             fault_throttles: zeros(),
+            checkpoints: per_rank(),
+            crashes: per_rank(),
+            restores: per_rank(),
         }
     }
 
@@ -110,6 +120,24 @@ impl ChannelStats {
         self.fault_throttles[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Rank `rank` committed one complete checkpoint epoch.
+    #[inline]
+    pub fn record_checkpoint(&self, rank: usize) {
+        self.checkpoints[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rank `rank` died mid-write (its checkpoint epoch is torn).
+    #[inline]
+    pub fn record_crash(&self, rank: usize) {
+        self.crashes[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rank `rank` rewound to an earlier checkpoint epoch.
+    #[inline]
+    pub fn record_restore(&self, rank: usize) {
+        self.restores[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn ranks(&self) -> usize {
         self.ranks
     }
@@ -129,6 +157,9 @@ impl ChannelStats {
             fault_dedups: load(&self.fault_dedups),
             fault_stalls: load(&self.fault_stalls),
             fault_throttles: load(&self.fault_throttles),
+            checkpoints: load(&self.checkpoints),
+            crashes: load(&self.crashes),
+            restores: load(&self.restores),
         }
     }
 }
@@ -147,6 +178,11 @@ pub struct ChannelStatsSnapshot {
     pub fault_dedups: Vec<u64>,
     pub fault_stalls: Vec<u64>,
     pub fault_throttles: Vec<u64>,
+    /// Per-rank (length `ranks`, not a matrix): complete checkpoint epochs
+    /// written, injected mid-write crashes, and restores performed.
+    pub checkpoints: Vec<u64>,
+    pub crashes: Vec<u64>,
+    pub restores: Vec<u64>,
 }
 
 impl ChannelStatsSnapshot {
@@ -208,6 +244,18 @@ impl ChannelStatsSnapshot {
 
     pub fn total_fault_throttles(&self) -> u64 {
         self.fault_throttles.iter().sum()
+    }
+
+    pub fn total_checkpoints(&self) -> u64 {
+        self.checkpoints.iter().sum()
+    }
+
+    pub fn total_crashes(&self) -> u64 {
+        self.crashes.iter().sum()
+    }
+
+    pub fn total_restores(&self) -> u64 {
+        self.restores.iter().sum()
     }
 
     /// Sum of all fault events of every type — nonzero iff the fault layer
@@ -369,6 +417,26 @@ mod tests {
         assert_eq!(snap.total_fault_throttles(), 1);
         assert_eq!(snap.total_faults(), 7);
         assert_eq!(snap.total_msgs(), 0, "fault events are not messages");
+    }
+
+    #[test]
+    fn checkpoint_counters_are_tracked_per_rank() {
+        let s = ChannelStats::new(3);
+        s.record_checkpoint(0);
+        s.record_checkpoint(0);
+        s.record_checkpoint(1);
+        s.record_crash(2);
+        s.record_restore(0);
+        s.record_restore(1);
+        s.record_restore(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.checkpoints, vec![2, 1, 0]);
+        assert_eq!(snap.crashes, vec![0, 0, 1]);
+        assert_eq!(snap.total_checkpoints(), 3);
+        assert_eq!(snap.total_crashes(), 1);
+        assert_eq!(snap.total_restores(), 3);
+        assert_eq!(snap.total_msgs(), 0, "checkpoint events are not messages");
+        assert_eq!(snap.total_faults(), 0, "process faults are not message faults");
     }
 
     #[test]

@@ -22,10 +22,11 @@ use crate::runtime::RankCtx;
 use crate::transport::Transport;
 
 enum TermMsg {
-    /// Child -> parent: subtree totals for `wave`.
-    Up { wave: u64, sent: u64, recv: u64, stable: bool },
-    /// Parent -> child: root decision for `wave`.
-    Down { wave: u64, terminate: bool },
+    /// Child -> parent: subtree totals for `wave`. `flag` is the AND of the
+    /// subtree's user flags (see [`Quiescence::poll_cut`]).
+    Up { wave: u64, sent: u64, recv: u64, stable: bool, flag: bool },
+    /// Parent -> child: root decision for `wave`, with the global flag AND.
+    Down { wave: u64, terminate: bool, flag: bool },
 }
 
 /// Per-rank handle on the termination-detection protocol.
@@ -38,11 +39,15 @@ pub struct Quiescence {
     child_sent: u64,
     child_recv: u64,
     child_stable: bool,
+    child_flag: bool,
     children_seen: usize,
     contributed: bool,
     prev_contrib: Option<(u64, u64)>,
     terminated: bool,
     waves_run: u64,
+    /// Consistent cuts confirmed with a false global flag (see
+    /// [`Quiescence::poll_cut`]).
+    cuts_fired: u64,
 }
 
 impl Quiescence {
@@ -59,11 +64,13 @@ impl Quiescence {
             child_sent: 0,
             child_recv: 0,
             child_stable: true,
+            child_flag: true,
             children_seen: 0,
             contributed: false,
             prev_contrib: None,
             terminated: false,
             waves_run: 0,
+            cuts_fired: 0,
         }
     }
 
@@ -72,6 +79,7 @@ impl Quiescence {
         self.child_sent = 0;
         self.child_recv = 0;
         self.child_stable = true;
+        self.child_flag = true;
         self.children_seen = 0;
         self.contributed = false;
         self.waves_run += 1;
@@ -84,8 +92,25 @@ impl Quiescence {
     /// counters; `idle` must only be true when this rank has no queued work
     /// and no un-flushed outgoing buffers.
     pub fn poll(&mut self, sent: u64, recv: u64, idle: bool) -> bool {
+        matches!(self.poll_cut(sent, recv, idle, true), Some(true))
+    }
+
+    /// Generalized, reusable quiescence: confirm a *consistent cut* — an
+    /// instant with no in-flight messages — without necessarily stopping the
+    /// detector. All ranks contribute `ready` (counted into `stable` exactly
+    /// like `idle` in [`Quiescence::poll`]) and a user `flag`; when a wave
+    /// confirms global readiness with `sent == recv`, `poll_cut` returns
+    /// `Some(g)` on every rank, where `g` is the AND of all flags at the
+    /// cut. A `Some(true)` cut is terminal (sticky, like `poll`); after a
+    /// `Some(false)` cut the detector resets and can confirm further cuts.
+    ///
+    /// Checkpointed traversals pass `flag = "no local work queued"`, so a
+    /// cut with all ranks drained reads as termination while a cut forced by
+    /// a checkpoint threshold reads as a checkpointable barrier with the
+    /// frontier parked in local heaps.
+    pub fn poll_cut(&mut self, sent: u64, recv: u64, ready: bool, flag: bool) -> Option<bool> {
         if self.terminated {
-            return true;
+            return Some(true);
         }
         if self.ch.is_poisoned() {
             // a peer rank panicked: detection can never complete, so join
@@ -95,21 +120,21 @@ impl Quiescence {
         // Drain protocol messages.
         while let Some((_src, msg)) = self.ch.try_recv() {
             match msg {
-                TermMsg::Up { wave, sent, recv, stable } => {
+                TermMsg::Up { wave, sent, recv, stable, flag } => {
                     debug_assert_eq!(wave, self.wave, "child wave skew");
                     self.child_sent += sent;
                     self.child_recv += recv;
                     self.child_stable &= stable;
+                    self.child_flag &= flag;
                     self.children_seen += 1;
                 }
-                TermMsg::Down { wave, terminate } => {
+                TermMsg::Down { wave, terminate, flag } => {
                     debug_assert_eq!(wave, self.wave, "parent wave skew");
                     for &c in &self.children {
-                        self.ch.send(c, TermMsg::Down { wave, terminate });
+                        self.ch.send(c, TermMsg::Down { wave, terminate, flag });
                     }
                     if terminate {
-                        self.terminated = true;
-                        return true;
+                        return Some(self.finish_cut(flag));
                     }
                     self.reset_wave();
                 }
@@ -117,12 +142,13 @@ impl Quiescence {
         }
         // Contribute (and combine upward) once all children have reported.
         if !self.contributed && self.children_seen == self.children.len() {
-            let stable = idle && self.prev_contrib == Some((sent, recv));
+            let stable = ready && self.prev_contrib == Some((sent, recv));
             self.prev_contrib = Some((sent, recv));
             self.contributed = true;
             let tot_sent = self.child_sent + sent;
             let tot_recv = self.child_recv + recv;
             let tot_stable = self.child_stable && stable;
+            let tot_flag = self.child_flag && flag;
             match self.parent {
                 Some(p) => {
                     self.ch.send(
@@ -132,6 +158,7 @@ impl Quiescence {
                             sent: tot_sent,
                             recv: tot_recv,
                             stable: tot_stable,
+                            flag: tot_flag,
                         },
                     );
                 }
@@ -139,23 +166,41 @@ impl Quiescence {
                     let terminate = tot_stable && tot_sent == tot_recv;
                     let wave = self.wave;
                     for &c in &self.children {
-                        self.ch.send(c, TermMsg::Down { wave, terminate });
+                        self.ch.send(c, TermMsg::Down { wave, terminate, flag: tot_flag });
                     }
                     if terminate {
-                        self.terminated = true;
-                        return true;
+                        return Some(self.finish_cut(tot_flag));
                     }
                     self.reset_wave();
                 }
             }
         }
-        false
+        None
+    }
+
+    /// A wave just confirmed a cut with global flag AND `flag`: stick if
+    /// terminal, otherwise rearm for the next cut. Clearing `prev_contrib`
+    /// forces a full two-wave stability check before the next cut can fire.
+    fn finish_cut(&mut self, flag: bool) -> bool {
+        if flag {
+            self.terminated = true;
+        } else {
+            self.cuts_fired += 1;
+            self.prev_contrib = None;
+            self.reset_wave();
+        }
+        flag
     }
 
     /// Number of completed (non-terminating) waves — a measure of how often
     /// the detector cycled; useful in tests and experiments.
     pub fn waves_run(&self) -> u64 {
         self.waves_run
+    }
+
+    /// Number of non-terminal consistent cuts this detector confirmed.
+    pub fn cuts_fired(&self) -> u64 {
+        self.cuts_fired
     }
 }
 
@@ -288,6 +333,59 @@ mod tests {
     #[test]
     fn token_storm_single_rank() {
         token_storm(1, TopologyKind::Direct, 10, 50);
+    }
+
+    /// The checkpoint-cut protocol: three non-terminal cuts (flag=false)
+    /// must each fire exactly once on every rank, then a flag=true cut
+    /// terminates and sticks.
+    #[test]
+    fn poll_cut_fires_repeatedly_then_terminates() {
+        for p in [1usize, 2, 5, 8] {
+            CommWorld::run(p, |ctx| {
+                let mut q = Quiescence::new(ctx, 0);
+                for cut in 0..3u64 {
+                    let mut polls = 0u64;
+                    loop {
+                        match q.poll_cut(7, 7, true, false) {
+                            Some(false) => break,
+                            Some(true) => panic!("flag=false cut must not terminate"),
+                            None => {
+                                polls += 1;
+                                if polls.is_multiple_of(64) {
+                                    std::thread::yield_now();
+                                }
+                                assert!(polls < 1_000_000, "cut {cut} too slow (p={p})");
+                            }
+                        }
+                    }
+                    assert_eq!(q.cuts_fired(), cut + 1);
+                }
+                let mut polls = 0u64;
+                while q.poll_cut(7, 7, true, true) != Some(true) {
+                    polls += 1;
+                    if polls.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    }
+                    assert!(polls < 1_000_000, "terminal cut too slow (p={p})");
+                }
+                // terminal cuts are sticky
+                assert_eq!(q.poll_cut(7, 7, true, false), Some(true));
+                assert!(q.poll(7, 7, true));
+            });
+        }
+    }
+
+    /// Readiness gates the cut: one rank polling `ready = false` blocks
+    /// every cut, regardless of the flags the others contribute.
+    #[test]
+    fn poll_cut_blocks_on_unready_rank() {
+        CommWorld::run(3, |ctx| {
+            let mut q = Quiescence::new(ctx, 0);
+            let ready = ctx.rank() != 2;
+            for _ in 0..500 {
+                assert_eq!(q.poll_cut(0, 0, ready, true), None);
+            }
+        });
     }
 
     #[test]

@@ -305,11 +305,44 @@ mod tests {
 
     #[test]
     fn prime_rank_counts_degrade_gracefully() {
-        let t2 = Grid2D::new(13);
-        assert_eq!(t2.dims(), (1, 13));
-        for s in 0..13 {
-            for d in 0..13 {
-                assert!(hops_to(&t2, s, d) <= 2);
+        // A prime p has no nontrivial factorization, so both grids must
+        // collapse to a single line — effectively direct routing. The hop
+        // bound tightens to 1 and the channel set is all p-1 peers,
+        // matching the paper's observation that routing only pays off when
+        // the rank count factors.
+        for p in [2usize, 3, 5, 7, 13, 31, 97] {
+            let t2 = Grid2D::new(p);
+            assert_eq!(t2.dims(), (1, p), "p={p}");
+            let t3 = Grid3D::new(p);
+            assert_eq!(t3.dims(), (1, 1, p), "p={p}");
+            for s in 0..p {
+                assert_eq!(t2.neighbors(s).len(), p - 1, "2d channel set, p={p} rank {s}");
+                assert_eq!(t3.neighbors(s).len(), p - 1, "3d channel set, p={p} rank {s}");
+                for d in 0..p {
+                    assert!(hops_to(&t2, s, d) <= 1, "degenerate 2d grid must route directly");
+                    assert!(hops_to(&t3, s, d) <= 1, "degenerate 3d grid must route directly");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prime_grid_routes_stay_inside_neighbor_sets() {
+        // Even in the degenerate line every forwarded hop must be a rank
+        // the sender holds a channel to (the mailbox only opens channels
+        // from `neighbors`).
+        for p in [5usize, 13] {
+            let t2 = Grid2D::new(p);
+            let t3 = Grid3D::new(p);
+            for s in 0..p {
+                let n2 = t2.neighbors(s);
+                let n3 = t3.neighbors(s);
+                for d in 0..p {
+                    let h2 = t2.route(s, d);
+                    assert!(h2 == s || n2.contains(&h2), "2d p={p} {s}->{d} via {h2}");
+                    let h3 = t3.route(s, d);
+                    assert!(h3 == s || n3.contains(&h3), "3d p={p} {s}->{d} via {h3}");
+                }
             }
         }
     }

@@ -83,7 +83,7 @@ impl<M: Send + 'static> Transport<M> {
     /// The sequence number the next send to `dst` will carry. Only the
     /// owning rank thread sends, so this cannot race with a send.
     #[inline]
-    fn peek_seq(&self, dst: usize) -> u64 {
+    pub(crate) fn peek_seq(&self, dst: usize) -> u64 {
         self.next_seq[dst].load(Ordering::Relaxed)
     }
 

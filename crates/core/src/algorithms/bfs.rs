@@ -14,6 +14,7 @@ use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
+use crate::checkpoint::CheckpointSpec;
 use crate::queue::{TraversalConfig, TraversalStats, VisitorQueue};
 use crate::visitor::{Role, Visitor, VisitorPush};
 
@@ -21,7 +22,7 @@ use crate::visitor::{Role, Visitor, VisitorPush};
 pub const UNREACHED: u64 = u64::MAX;
 
 /// Per-vertex BFS state.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BfsData {
     /// BFS level (path length from the source).
     pub length: u64,
@@ -32,6 +33,20 @@ pub struct BfsData {
 impl Default for BfsData {
     fn default() -> Self {
         Self { length: UNREACHED, parent: UNREACHED }
+    }
+}
+
+impl WireCodec for BfsData {
+    const WIRE_SIZE: usize = 16;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.length.encode(&mut buf[..8]);
+        self.parent.encode(&mut buf[8..16]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        BfsData { length: u64::decode(&buf[..8], ctx), parent: u64::decode(&buf[8..16], ctx) }
     }
 }
 
@@ -110,11 +125,19 @@ impl Visitor for BfsVisitor {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BfsConfig {
     pub traversal: TraversalConfig,
+    /// When set, the traversal checkpoints at quiescence cuts and can
+    /// crash/restore under an injected fault plan.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl BfsConfig {
     pub fn with_ghosts(mut self, ghosts: usize) -> Self {
         self.traversal.ghosts = ghosts;
+        self
+    }
+
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
         self
     }
 }
@@ -179,7 +202,10 @@ pub fn bfs(ctx: &RankCtx, g: &DistGraph, source: VertexId, cfg: &BfsConfig) -> B
     if g.is_master(source) {
         q.push(BfsVisitor { vertex: source, length: 0, parent: source.0 });
     }
-    q.do_traversal();
+    match &cfg.checkpoint {
+        Some(spec) => q.do_traversal_checkpointed(ctx, spec),
+        None => q.do_traversal(),
+    }
 
     // aggregate over masters only (replica state is a copy)
     let mut visited = 0u64;

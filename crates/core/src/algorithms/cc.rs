@@ -13,11 +13,12 @@ use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
+use crate::checkpoint::CheckpointSpec;
 use crate::queue::{TraversalConfig, TraversalStats, VisitorQueue};
 use crate::visitor::{Role, Visitor, VisitorPush};
 
 /// Per-vertex component state.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CcData {
     /// Smallest vertex id known to be in this vertex's component.
     pub component: u64,
@@ -26,6 +27,19 @@ pub struct CcData {
 impl Default for CcData {
     fn default() -> Self {
         Self { component: u64::MAX }
+    }
+}
+
+impl WireCodec for CcData {
+    const WIRE_SIZE: usize = 8;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.component.encode(buf);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        CcData { component: u64::decode(buf, ctx) }
     }
 }
 
@@ -90,6 +104,9 @@ impl Visitor for CcVisitor {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CcConfig {
     pub traversal: TraversalConfig,
+    /// When set, the traversal checkpoints at quiescence cuts and can
+    /// crash/restore under an injected fault plan.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 /// Result of a components run (per rank).
@@ -112,7 +129,10 @@ pub fn connected_components(ctx: &RankCtx, g: &DistGraph, cfg: &CcConfig) -> CcR
             q.push(CcVisitor { vertex: v, label: v.0 });
         }
     }
-    q.do_traversal();
+    match &cfg.checkpoint {
+        Some(spec) => q.do_traversal_checkpointed(ctx, spec),
+        None => q.do_traversal(),
+    }
 
     // roots are vertices labeled with their own id
     let local_roots = g

@@ -19,17 +19,32 @@ use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
+use crate::checkpoint::CheckpointSpec;
 use crate::queue::{TraversalConfig, TraversalStats, VisitorQueue};
 use crate::visitor::{Role, Visitor, VisitorPush};
 
 /// Per-vertex k-core state.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KCoreData {
     /// Still a k-core member?
     pub alive: bool,
     /// Remaining degree budget (master partition only; replicas keep a
     /// stale copy and rely on the forwarded kill).
     pub kcore: u64,
+}
+
+impl WireCodec for KCoreData {
+    const WIRE_SIZE: usize = 9;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0] = self.alive as u8;
+        self.kcore.encode(&mut buf[1..9]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        KCoreData { alive: buf[0] != 0, kcore: u64::decode(&buf[1..9], ctx) }
+    }
 }
 
 /// The k-core visitor (Algorithm 4). `k` rides along instead of being a
@@ -111,6 +126,9 @@ impl Visitor for KCoreVisitor {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct KCoreConfig {
     pub traversal: TraversalConfig,
+    /// When set, every round's traversal checkpoints at quiescence cuts
+    /// and can crash/restore under an injected fault plan.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 /// Result of one k-core decomposition (per rank).
@@ -160,7 +178,10 @@ pub fn kcore(ctx: &RankCtx, g: &DistGraph, k: u64, cfg: &KCoreConfig) -> KCoreRe
             q.push(KCoreVisitor { vertex: v, k });
         }
     }
-    q.do_traversal();
+    match &cfg.checkpoint {
+        Some(spec) => q.do_traversal_checkpointed(ctx, spec),
+        None => q.do_traversal(),
+    }
 
     let local_alive =
         g.local_vertices().filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].alive).count()
@@ -215,7 +236,10 @@ pub fn kcore_decomposition(ctx: &RankCtx, g: &DistGraph, cfg: &KCoreConfig) -> K
                 q.push(KCoreVisitor { vertex: v, k });
             }
         }
-        q.do_traversal();
+        match &cfg.checkpoint {
+            Some(spec) => q.do_traversal_checkpointed(ctx, spec),
+            None => q.do_traversal(),
+        }
         let stats = q.stats();
         elapsed += stats.elapsed;
         visitors_executed += stats.visitors_executed;

@@ -15,6 +15,7 @@ use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
+use crate::checkpoint::CheckpointSpec;
 use crate::queue::{TraversalConfig, TraversalStats, VisitorQueue};
 use crate::visitor::{Role, Visitor, VisitorPush};
 
@@ -33,7 +34,7 @@ pub fn edge_weight(a: u64, b: u64, max_weight: u64) -> u64 {
 }
 
 /// Per-vertex SSSP state.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SsspData {
     pub distance: u64,
     pub parent: u64,
@@ -42,6 +43,20 @@ pub struct SsspData {
 impl Default for SsspData {
     fn default() -> Self {
         Self { distance: UNREACHED, parent: UNREACHED }
+    }
+}
+
+impl WireCodec for SsspData {
+    const WIRE_SIZE: usize = 16;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.distance.encode(&mut buf[..8]);
+        self.parent.encode(&mut buf[8..16]);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        SsspData { distance: u64::decode(&buf[..8], ctx), parent: u64::decode(&buf[8..16], ctx) }
     }
 }
 
@@ -124,11 +139,14 @@ pub struct SsspConfig {
     pub traversal: TraversalConfig,
     /// Weights are uniform in `[1, max_weight]`.
     pub max_weight: u64,
+    /// When set, the traversal checkpoints at quiescence cuts and can
+    /// crash/restore under an injected fault plan.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Default for SsspConfig {
     fn default() -> Self {
-        Self { traversal: TraversalConfig::default(), max_weight: 255 }
+        Self { traversal: TraversalConfig::default(), max_weight: 255, checkpoint: None }
     }
 }
 
@@ -155,7 +173,10 @@ pub fn sssp(ctx: &RankCtx, g: &DistGraph, source: VertexId, cfg: &SsspConfig) ->
             max_weight: cfg.max_weight,
         });
     }
-    q.do_traversal();
+    match &cfg.checkpoint {
+        Some(spec) => q.do_traversal_checkpointed(ctx, spec),
+        None => q.do_traversal(),
+    }
 
     let mut visited = 0u64;
     let mut far = 0u64;

@@ -19,17 +19,31 @@ use havoq_comm::{RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 
+use crate::checkpoint::CheckpointSpec;
 use crate::queue::{TraversalConfig, TraversalStats, VisitorQueue};
 use crate::visitor::{Role, Visitor, VisitorPush};
 
 const NONE: u64 = u64::MAX;
 
 /// Per-vertex triangle state.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TriangleData {
     /// Triangles whose largest member is this vertex *and* whose closing
     /// edge lies in this partition's adjacency slice.
     pub num_triangles: u64,
+}
+
+impl WireCodec for TriangleData {
+    const WIRE_SIZE: usize = 8;
+    type DecodeCtx = ();
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.num_triangles.encode(buf);
+    }
+
+    fn decode(buf: &[u8], ctx: &()) -> Self {
+        TriangleData { num_triangles: u64::decode(buf, ctx) }
+    }
 }
 
 /// The triangle-count visitor (Algorithm 6).
@@ -118,6 +132,9 @@ impl Visitor for TriangleVisitor {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TriangleConfig {
     pub traversal: TraversalConfig,
+    /// When set, the traversal checkpoints at quiescence cuts and can
+    /// crash/restore under an injected fault plan.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 /// Result of a triangle count (per rank).
@@ -160,7 +177,10 @@ pub fn triangle_count(ctx: &RankCtx, g: &DistGraph, cfg: &TriangleConfig) -> Tri
             q.push(TriangleVisitor { vertex: v, second: NONE, third: NONE });
         }
     }
-    q.do_traversal();
+    match &cfg.checkpoint {
+        Some(spec) => q.do_traversal_checkpointed(ctx, spec),
+        None => q.do_traversal(),
+    }
 
     // local counters live on whichever partition held the closing edge —
     // masters and replicas alike — so sum every local slot (Alg. 7 line 14)
@@ -282,7 +302,10 @@ pub fn triangle_count_subset(
             });
         }
     }
-    q.do_traversal();
+    match &cfg.checkpoint {
+        Some(spec) => q.do_traversal_checkpointed(ctx, spec),
+        None => q.do_traversal(),
+    }
     let local: u64 = q.state().iter().map(|d| d.num_triangles).sum();
     let triangles = ctx.all_reduce_sum(local);
     let stats = q.stats();

@@ -62,6 +62,28 @@ impl<D: Default + Clone> GhostTable<D> {
     pub fn contains(&self, v: VertexId) -> bool {
         self.slots.contains_key(&v.0)
     }
+
+    /// Snapshot every slot, sorted by vertex id — the checkpoint export.
+    /// Ghost state must be checkpointed with the vertex arrays: a restored
+    /// master rewinds, and a fresher-than-master ghost would filter pushes
+    /// the resumed run still needs.
+    pub fn export(&self) -> Vec<(u64, D)> {
+        let mut out: Vec<(u64, D)> = self.slots.iter().map(|(&v, d)| (v, d.clone())).collect();
+        out.sort_unstable_by_key(|&(v, _)| v);
+        out
+    }
+
+    /// Overwrite slot contents from a checkpoint export. The slot *set* is
+    /// a pure function of the graph and config, so entries are replaced in
+    /// place; an entry for an unknown vertex means the checkpoint belongs
+    /// to a different table and is a logic error.
+    pub fn import(&mut self, entries: &[(u64, D)]) {
+        debug_assert_eq!(entries.len(), self.slots.len(), "ghost slot set mismatch");
+        for (v, d) in entries {
+            debug_assert!(self.slots.contains_key(v), "ghost import for unknown vertex {v}");
+            self.slots.insert(*v, d.clone());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +137,17 @@ mod tests {
         *t.get_mut(VertexId(7)).unwrap() = 42;
         assert_eq!(*t.get_mut(VertexId(7)).unwrap(), 42);
         assert!(t.get_mut(VertexId(8)).is_none());
+    }
+
+    #[test]
+    fn export_import_roundtrips_sorted() {
+        let mut t =
+            GhostTable::<u64> { slots: [(9u64, 90u64), (3, 30), (5, 50)].into_iter().collect() };
+        let snap = t.export();
+        assert_eq!(snap, vec![(3, 30), (5, 50), (9, 90)], "export is id-sorted");
+        *t.get_mut(VertexId(5)).unwrap() = 999;
+        t.import(&snap);
+        assert_eq!(*t.get_mut(VertexId(5)).unwrap(), 50, "import rewinds slot values");
+        assert_eq!(t.len(), 3);
     }
 }

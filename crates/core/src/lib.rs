@@ -22,10 +22,12 @@
 //!   visitor bounds empirically.
 
 pub mod algorithms;
+pub mod checkpoint;
 pub mod ghost;
 pub mod queue;
 pub mod rounds;
 pub mod visitor;
 
+pub use checkpoint::CheckpointSpec;
 pub use queue::{TraversalConfig, TraversalStats, VisitorQueue};
 pub use visitor::{Role, Visitor};

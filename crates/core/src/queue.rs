@@ -23,7 +23,9 @@ use std::time::{Duration, Instant};
 use havoq_comm::{Mailbox, MailboxConfig, Quiescence, RankCtx, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
+use havoq_nvram::checkpoint::CheckpointStore;
 
+use crate::checkpoint::{CheckpointSpec, QueueCheckpoint, QueueCounters};
 use crate::ghost::GhostTable;
 use crate::visitor::{Role, Visitor, VisitorPush};
 
@@ -107,6 +109,18 @@ pub struct TraversalStats {
     pub io_avg_queue_depth: f64,
     /// Peak outstanding async I/O requests observed.
     pub io_queue_peak: u64,
+    /// Checkpoint epochs this rank committed (checkpointed traversals
+    /// only; includes the epoch-0 checkpoint).
+    pub checkpoints_written: u64,
+    /// Payload bytes serialized into committed checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Times this rank was the injected crash victim (its epoch was torn).
+    pub crashes: u64,
+    /// Times this rank rewound to an earlier checkpoint epoch.
+    pub restores: u64,
+    /// Wall-clock spent serializing and writing checkpoints plus restoring
+    /// from them — the numerator of the checkpoint overhead percentage.
+    pub checkpoint_time: Duration,
 }
 
 impl TraversalStats {
@@ -164,6 +178,9 @@ pub struct VisitorQueue<'g, V: Visitor + WireCodec> {
     stats: TraversalStats,
     /// Arrival counter backing the non-locality tie-break.
     arrival_seq: u64,
+    /// Wire decode context, kept so checkpointed heap visitors can be
+    /// reconstructed on restore.
+    decode_ctx: V::DecodeCtx,
 }
 
 impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
@@ -187,7 +204,7 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
         decode_ctx: V::DecodeCtx,
     ) -> Self {
         let tag = ctx.auto_tag();
-        let mailbox = Mailbox::open_with(ctx, tag, cfg.mailbox, decode_ctx);
+        let mailbox = Mailbox::open_with(ctx, tag, cfg.mailbox, decode_ctx.clone());
         let quiescence = Quiescence::new(ctx, tag);
         let ghosts = if V::GHOSTS_ALLOWED && cfg.ghosts > 0 {
             GhostTable::select(g, cfg.ghosts)
@@ -206,6 +223,7 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
             cfg,
             stats: TraversalStats::default(),
             arrival_seq: 0,
+            decode_ctx,
         }
     }
 
@@ -351,6 +369,186 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
         }
         self.stats.elapsed += start.elapsed();
     }
+
+    /// Run the traversal with periodic checkpoints and (fault-injected)
+    /// crash/restore. Collective; every rank must call it with the same
+    /// `spec`.
+    ///
+    /// The loop piggybacks checkpointing on the quiescence detector: once a
+    /// rank has executed `spec.every` visitors since the last cut it parks
+    /// its heap (still polling, pre-visiting and forwarding, so the global
+    /// payload counters can settle) and votes for a cut via
+    /// [`Quiescence::poll_cut`]. A cut confirms a consistent global state —
+    /// `sent == recv` and stable across a full wave, so nothing is in
+    /// flight and the entire frontier sits in local heaps — which is the
+    /// only point where per-rank snapshots compose into a recoverable
+    /// whole. Each rank then writes its blob as one epoch in its
+    /// [`CheckpointStore`]. Cuts where every rank also reports "no local
+    /// work" terminate the traversal directly (no trailing checkpoint).
+    ///
+    /// Crash injection: the shared fault plan deterministically names at
+    /// most one victim per (epoch, incarnation) — a stand-in for a perfect
+    /// failure detector, so all ranks agree on the failure without extra
+    /// protocol. The victim's epoch write is torn (no commit marker); then
+    /// *all* ranks rewind to the newest epoch complete everywhere
+    /// (`all_reduce_min` of per-rank latest) — restoring mixed epochs
+    /// across ranks would break exactly-once effects such as k-core's
+    /// decrements. Wire sequence numbers are never rewound: receiver dedup
+    /// windows must stay gap-free, and the restored state re-generates any
+    /// undelivered work by re-execution.
+    pub fn do_traversal_checkpointed(&mut self, ctx: &RankCtx, spec: &CheckpointSpec)
+    where
+        V::Data: WireCodec<DecodeCtx = ()>,
+    {
+        let start = Instant::now();
+        let every = spec.every.max(1);
+        let mut store = spec.build_store();
+        let mut scratch: Vec<V> = Vec::new();
+        let mut epoch: u64 = 0;
+        let mut incarnation: u64 = 0;
+        // Start "due": the first cut fires before any visitor executes, so
+        // epoch 0 — which crash injection spares — always exists as a
+        // restore point.
+        let mut executed_since = every;
+        loop {
+            let delivered = self.check_mailbox(&mut scratch);
+            if executed_since < every {
+                let mut budget = self.cfg.poll_batch;
+                while budget > 0 && executed_since < every {
+                    let Some(HeapEntry(vis, _)) = self.heap.pop() else { break };
+                    budget -= 1;
+                    executed_since += 1;
+                    self.stats.visitors_executed += 1;
+                    let li = self.g.local_index(vis.vertex());
+                    let Self { g, mailbox, ghosts, state, stats, .. } = self;
+                    let mut pusher = Pusher { g, mailbox, ghosts, stats };
+                    vis.visit(g, &mut state[li], &mut pusher);
+                }
+            }
+            let due = executed_since >= every;
+            let no_work = delivered == 0 && self.heap.is_empty();
+            if due || no_work {
+                self.mailbox.flush();
+                let drained = self.mailbox.pending_out() == 0;
+                // `due` stays out of the flag: when every rank runs dry the
+                // cut reads as termination even if thresholds were pending.
+                let flag = no_work && drained;
+                match self.quiescence.poll_cut(
+                    self.mailbox.sent_count(),
+                    self.mailbox.received_count(),
+                    drained,
+                    flag,
+                ) {
+                    Some(true) => break,
+                    Some(false) => {
+                        self.checkpoint_cut(ctx, &mut store, &mut epoch, &mut incarnation);
+                        executed_since = 0;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        }
+        self.stats.elapsed += start.elapsed();
+    }
+
+    /// One confirmed checkpoint cut: write this rank's epoch (torn if we
+    /// are the injected victim), then — if anyone crashed — collectively
+    /// rewind every rank to the newest globally complete epoch.
+    fn checkpoint_cut(
+        &mut self,
+        ctx: &RankCtx,
+        store: &mut CheckpointStore,
+        epoch: &mut u64,
+        incarnation: &mut u64,
+    ) where
+        V::Data: WireCodec<DecodeCtx = ()>,
+    {
+        let t = Instant::now();
+        let victim = ctx.crash_victim(*epoch, *incarnation);
+        let blob = self.export_checkpoint().encode();
+        if victim == Some(self.rank) {
+            store.write_epoch_torn(*epoch, &blob);
+            self.stats.crashes += 1;
+            self.mailbox.channel_stats().record_crash(self.rank);
+        } else {
+            store.write_epoch(*epoch, &blob);
+            self.stats.checkpoints_written += 1;
+            self.stats.checkpoint_bytes += blob.len() as u64;
+            self.mailbox.channel_stats().record_checkpoint(self.rank);
+        }
+        if victim.is_some() {
+            let local_latest = store
+                .latest_complete_epoch()
+                .expect("epoch 0 is never torn, so a complete epoch exists");
+            let target = ctx.all_reduce_min(local_latest);
+            let bytes = store.read_epoch(target).expect("agreed restore epoch is complete");
+            let ck = QueueCheckpoint::<V>::decode(&bytes, &self.decode_ctx)
+                .expect("committed checkpoint blob decodes");
+            self.restore_from(ck);
+            // Drop every epoch above the restore target: the rewound run
+            // will re-number them, and a stale complete epoch from this
+            // incarnation must never satisfy a later recovery's
+            // `latest_complete_epoch`.
+            store.truncate_above(target);
+            self.stats.restores += 1;
+            self.mailbox.channel_stats().record_restore(self.rank);
+            *incarnation += 1;
+            *epoch = target + 1;
+        } else {
+            *epoch += 1;
+            // Post-cut barrier: without it a fast rank resumes executing
+            // and its sends can land in a slow rank's heap *before* that
+            // rank has taken its own epoch snapshot. The snapshots would
+            // then not form a consistent cut — the receipt checkpointed,
+            // the send not — and a restore would replay the message:
+            // double delivery, which non-idempotent visitors (triangle's
+            // counter increments) turn into wrong answers. The crash
+            // branch above is already synchronized by `all_reduce_min`.
+            ctx.barrier();
+        }
+        self.stats.checkpoint_time += t.elapsed();
+    }
+
+    /// Freeze this rank's traversal state at a confirmed cut.
+    fn export_checkpoint(&self) -> QueueCheckpoint<V>
+    where
+        V::Data: WireCodec<DecodeCtx = ()>,
+    {
+        QueueCheckpoint {
+            state: self.state.clone(),
+            ghosts: self.ghosts.export(),
+            heap: self.heap.iter().map(|HeapEntry(v, tie)| (v.clone(), *tie)).collect(),
+            wire_seqs: self.mailbox.wire_seqs(),
+            counters: QueueCounters {
+                arrival_seq: self.arrival_seq,
+                visitors_executed: self.stats.visitors_executed,
+                visitors_pushed: self.stats.visitors_pushed,
+                ghost_checked: self.stats.ghost_checked,
+                ghost_filtered: self.stats.ghost_filtered,
+                replica_forwards: self.stats.replica_forwards,
+            },
+        }
+    }
+
+    /// Rewind this rank to a decoded checkpoint. Wire sequence numbers are
+    /// audited (monotonic vs. the snapshot) but never re-applied.
+    fn restore_from(&mut self, ck: QueueCheckpoint<V>) {
+        debug_assert_eq!(ck.state.len(), self.state.len(), "checkpoint state extent mismatch");
+        #[cfg(debug_assertions)]
+        for (cur, old) in self.mailbox.wire_seqs().iter().zip(&ck.wire_seqs) {
+            debug_assert!(cur >= old, "wire sequence numbers must never rewind");
+        }
+        self.state = ck.state;
+        self.ghosts.import(&ck.ghosts);
+        self.heap = ck.heap.into_iter().map(|(v, tie)| HeapEntry(v, tie)).collect();
+        self.arrival_seq = ck.counters.arrival_seq;
+        let c = ck.counters;
+        self.stats.visitors_executed = c.visitors_executed;
+        self.stats.visitors_pushed = c.visitors_pushed;
+        self.stats.ghost_checked = c.ghost_checked;
+        self.stats.ghost_filtered = c.ghost_filtered;
+        self.stats.replica_forwards = c.replica_forwards;
+    }
 }
 
 impl<'g, V: Visitor + WireCodec> VisitorPush<V> for VisitorQueue<'g, V> {
@@ -410,9 +608,22 @@ mod tests {
         vertex: VertexId,
     }
 
-    #[derive(Clone, Default)]
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
     struct FloodData {
         marked: bool,
+    }
+
+    impl WireCodec for FloodData {
+        const WIRE_SIZE: usize = 1;
+        type DecodeCtx = ();
+
+        fn encode(&self, buf: &mut [u8]) {
+            buf[0] = self.marked as u8;
+        }
+
+        fn decode(buf: &[u8], _ctx: &()) -> Self {
+            FloodData { marked: buf[0] != 0 }
+        }
     }
 
     impl WireCodec for Flood {
@@ -638,6 +849,66 @@ mod tests {
             out[0]
         };
         assert_eq!(count(true), count(false), "ordering is a performance knob only");
+    }
+
+    /// Drive a flood with checkpointing and return (marked, per-world sums
+    /// of checkpoints written, crashes, restores).
+    fn run_flood_checkpointed(
+        p: usize,
+        edges: &[Edge],
+        every: u64,
+        faults: Option<havoq_comm::FaultConfig>,
+    ) -> (u64, u64, u64, u64) {
+        let out = CommWorld::run_with_faults(p, faults, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let mut q = VisitorQueue::<Flood>::new(ctx, &g, TraversalConfig::default());
+            if g.is_master(VertexId(0)) {
+                q.push(Flood { vertex: VertexId(0) });
+            }
+            let spec = crate::checkpoint::CheckpointSpec::default().with_every(every);
+            q.do_traversal_checkpointed(ctx, &spec);
+            let s = q.stats();
+            let marked: u64 = g
+                .local_vertices()
+                .filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].marked)
+                .count() as u64;
+            (
+                ctx.all_reduce_sum(marked),
+                ctx.all_reduce_sum(s.checkpoints_written),
+                ctx.all_reduce_sum(s.crashes),
+                ctx.all_reduce_sum(s.restores),
+            )
+        });
+        out[0]
+    }
+
+    #[test]
+    fn checkpointed_traversal_matches_plain() {
+        let edges = ring_edges(64);
+        for p in [1usize, 2, 4] {
+            let (marked, ckpts, crashes, restores) = run_flood_checkpointed(p, &edges, 8, None);
+            assert_eq!(marked, 64, "p={p}");
+            assert!(ckpts >= p as u64, "every rank writes at least epoch 0 (p={p})");
+            assert_eq!((crashes, restores), (0, 0), "fault-free run (p={p})");
+        }
+    }
+
+    #[test]
+    fn forced_crash_restores_and_converges() {
+        let edges = ring_edges(64);
+        for p in [2usize, 4] {
+            let faults = havoq_comm::FaultConfig::quiet(7).with_forced_crash(p - 1, 2);
+            let (marked, _ckpts, crashes, restores) =
+                run_flood_checkpointed(p, &edges, 8, Some(faults));
+            assert_eq!(marked, 64, "resumed flood reaches whole ring (p={p})");
+            assert_eq!(crashes, 1, "exactly one torn epoch (p={p})");
+            assert_eq!(restores, p as u64, "every rank rewinds together (p={p})");
+        }
     }
 
     #[test]

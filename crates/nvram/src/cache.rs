@@ -1497,10 +1497,8 @@ mod tests {
         let inner = Arc::new(MemDevice::new());
         inner.write_at(0, &[0xAA; 64]); // page 0: pre-write-back bytes
         inner.write_at(64, &[0xBB; 64]); // page 1
-        let hooked = Arc::new(HookDevice {
-            inner: Arc::clone(&inner),
-            after_read: Mutex::new(None),
-        });
+        let hooked =
+            Arc::new(HookDevice { inner: Arc::clone(&inner), after_read: Mutex::new(None) });
         let c = PageCache::new(
             Arc::clone(&hooked) as Arc<dyn BlockDevice>,
             PageCacheConfig {

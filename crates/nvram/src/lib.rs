@@ -24,11 +24,13 @@
 //!   semi-external CSR (vertex state in DRAM, edge targets in "NVRAM").
 
 pub mod cache;
+pub mod checkpoint;
 pub mod device;
 pub mod extvec;
 pub mod io;
 
 pub use cache::{shard_lock_held, CacheStatsSnapshot, EvictionPolicy, PageCache, PageCacheConfig};
+pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use device::{
     BlockDevice, DeviceProfile, DeviceStatsSnapshot, FileDevice, MemDevice, SimNvram,
 };

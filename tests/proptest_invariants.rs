@@ -3,7 +3,9 @@
 //! visitor algorithms against serial references on arbitrary graphs.
 
 use havoq::prelude::*;
+use havoq_comm::FaultConfig;
 use havoq_core::algorithms::bfs::UNREACHED;
+use havoq_core::CheckpointSpec;
 use havoq_graph::gen::permute::RandomPermutation;
 use havoq_graph::sort::sort_edges_even;
 use havoq_nvram::device::BlockDevice;
@@ -140,6 +142,95 @@ fn distributed_bfs_equals_serial_bfs() {
         }
         assert_eq!(got, want);
     });
+}
+
+/// Checkpointed traversals under random fault schedules *including rank
+/// crashes*: the termination detector must never declare quiescence while
+/// frames are in flight or a restored rank's replayed queue is undrained.
+/// Both failure modes are observable — a frame the detector abandoned
+/// breaks global `sent == received` conservation (the mailbox counters are
+/// live and never rewound, so replayed post-restore traffic is counted on
+/// both sides), and an unexecuted visitor leaves the fixpoint unconverged
+/// against the serial reference.
+#[test]
+fn checkpointed_bfs_survives_random_crash_schedules() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let crash_total = AtomicU64::new(0);
+    run_cases(16, |rng: &mut TestRng| {
+        let (n, edges) = arb_graph(rng);
+        let p = rng.range_usize(1, 6);
+        let source = rng.below(n);
+        let every = rng.range(1, 5);
+        // random fault plan: always a hefty crash chance, sometimes the
+        // full message-level chaos adversary stacked on top
+        let mut faults = FaultConfig::quiet(rng.next_u64()).with_crash(rng.range(150, 600) as u16);
+        if rng.bool() {
+            faults = faults.with_delay(200, 6).with_reorder(200, 4).with_duplicate(80);
+        }
+        // serial reference
+        let mut adj = vec![Vec::new(); n as usize];
+        for e in &edges {
+            if !e.is_self_loop() {
+                adj[e.src as usize].push(e.dst);
+            }
+        }
+        let mut want = vec![UNREACHED; n as usize];
+        want[source as usize] = 0;
+        let mut frontier = vec![source];
+        let mut l = 0;
+        while !frontier.is_empty() {
+            l += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &t in &adj[v as usize] {
+                    if want[t as usize] == UNREACHED {
+                        want[t as usize] = l;
+                        next.push(t);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        // distributed, checkpointing every few visitors so small runs
+        // still cross several crash-eligible epochs
+        let pieces = CommWorld::run_with_faults(p, Some(faults), |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            let cfg =
+                BfsConfig::default().with_checkpoint(CheckpointSpec::default().with_every(every));
+            let r = bfs(ctx, &g, VertexId(source), &cfg);
+            let sent = ctx.all_reduce_sum(r.stats.payload_sent);
+            let recv = ctx.all_reduce_sum(r.stats.payload_received);
+            assert_eq!(sent, recv, "quiescence fired with frames in flight");
+            let crashes = ctx.all_reduce_sum(r.stats.crashes);
+            let restores = ctx.all_reduce_sum(r.stats.restores);
+            assert_eq!(
+                restores,
+                crashes * p as u64,
+                "every rank must restore exactly once per crash event"
+            );
+            let states: Vec<(u64, u64)> = g
+                .local_vertices()
+                .filter(|&v| g.is_master(v))
+                .map(|v| (v.0, r.local_state[g.local_index(v)].length))
+                .collect();
+            (states, crashes)
+        });
+        // crash count is an all-reduce, identical on every rank
+        crash_total.fetch_add(pieces[0].1, Ordering::Relaxed);
+        let mut got = vec![UNREACHED; n as usize];
+        for (states, _) in pieces {
+            for (v, lvl) in states {
+                got[v as usize] = lvl;
+            }
+        }
+        assert_eq!(got, want);
+    });
+    assert!(crash_total.load(Ordering::Relaxed) > 0, "sweep never exercised a crash");
 }
 
 #[test]
