@@ -5,7 +5,7 @@
 //! the TEPS statistics (min/harmonic-mean/max) the benchmark defines.
 
 use havoq_bench::{csv_row, overhead_pct, pick, Experiment};
-use havoq_comm::CommWorld;
+use havoq_comm::{CommWorld, FaultConfig};
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_core::algorithms::validate::validate_bfs;
 use havoq_core::CheckpointSpec;
@@ -19,14 +19,21 @@ fn main() {
     let ranks: usize = pick(2, 8);
     let num_keys: usize = pick(4, 16); // official runs use 64
     let ckpt_every = havoq_bench::checkpoint_every();
+    let fault_seed = havoq_bench::faults();
 
     println!("Graph500-style run: RMAT scale {scale}, {ranks} ranks, {num_keys} search keys");
     if let Some(e) = ckpt_every {
         println!("checkpointing every {e} visitors/rank into the NVRAM store");
     }
+    if let Some(s) = fault_seed {
+        println!(
+            "fault injection: lossy chaos plan, seed {s:#x} \
+             (frame corruption + loss healed by CRC + NACK/retransmit)"
+        );
+    }
     let gen = RmatGenerator::graph500(scale);
 
-    let results = CommWorld::run(ranks, |ctx| {
+    let results = CommWorld::run_with_faults(ranks, fault_seed.map(FaultConfig::lossy), |ctx| {
         let t0 = std::time::Instant::now();
         let mut local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
         local.extend(local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()));
@@ -57,6 +64,14 @@ fn main() {
             let r = bfs(ctx, &g, key, &bcfg);
             let report = validate_bfs(ctx, &g, key, &r.local_state);
             let wire_bytes = ctx.all_reduce_sum(r.stats.bytes_sent);
+            // world totals of the integrity machinery for this key: injected
+            // corruption/loss and the repair traffic that healed it
+            let integrity = [
+                ctx.all_reduce_sum(r.stats.corrupt_frames_detected),
+                ctx.all_reduce_sum(r.stats.frames_dropped_injected),
+                ctx.all_reduce_sum(r.stats.retransmits),
+                ctx.all_reduce_sum(r.stats.nacks_sent),
+            ];
             runs.push((
                 key.0,
                 r.traversed_edges,
@@ -64,6 +79,7 @@ fn main() {
                 report.is_valid(),
                 wire_bytes,
                 r.stats.checkpoint_time,
+                integrity,
             ));
         }
         (construction, runs)
@@ -88,7 +104,13 @@ fn main() {
     let mut all_valid = true;
     let mut total_ck = std::time::Duration::ZERO;
     let mut total_elapsed = std::time::Duration::ZERO;
-    for (i, (key, traversed, _elapsed, valid, wire_bytes, _ck)) in runs.iter().enumerate() {
+    let mut integ = [0u64; 4];
+    for (i, (key, traversed, _elapsed, valid, wire_bytes, _ck, key_integ)) in
+        runs.iter().enumerate()
+    {
+        for (t, v) in integ.iter_mut().zip(key_integ) {
+            *t += v;
+        }
         // use the slowest rank's elapsed (and checkpoint time) for this key
         let elapsed = results.iter().map(|(_, rs)| rs[i].2).max().unwrap();
         let ck_time = results.iter().map(|(_, rs)| rs[i].5).max().unwrap();
@@ -133,6 +155,11 @@ fn main() {
         &format!(
             "checkpoint overhead over all keys: {:.2}%",
             overhead_pct(total_ck, total_elapsed)
+        ),
+        &format!(
+            "integrity over all keys: {} corrupt frames detected, {} injected drops, \
+             {} retransmits, {} NACKs (all repaired; trees validated below)",
+            integ[0], integ[1], integ[2], integ[3]
         ),
         &format!("all trees valid: {all_valid}"),
     ]);

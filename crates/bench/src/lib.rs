@@ -50,6 +50,34 @@ pub fn checkpoint_every() -> Option<u64> {
     std::env::var("HAVOQ_CHECKPOINT_EVERY").ok().and_then(|v| v.parse().ok())
 }
 
+/// Wire-fault plan for the traversal binaries: `--faults SEED` on the
+/// command line (or `HAVOQ_FAULTS=SEED` in the environment) runs every
+/// traversal under the lossy chaos plan derived from `SEED` — delay,
+/// reorder, duplicate, stall and slow-rank plus seeded frame corruption
+/// and loss — so the CRC + NACK/retransmit machinery runs hot and its
+/// recovery counters show up in the report. Seeds parse as decimal or
+/// `0x`-prefixed hex. `None` (the default) runs fault-free.
+pub fn faults() -> Option<u64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--faults" {
+            return args.next().as_deref().and_then(parse_seed);
+        }
+        if let Some(v) = a.strip_prefix("--faults=") {
+            return parse_seed(v);
+        }
+    }
+    std::env::var("HAVOQ_FAULTS").ok().as_deref().and_then(parse_seed)
+}
+
+/// Fault seeds accept decimal or `0x`-prefixed hex.
+fn parse_seed(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
 /// Checkpoint overhead as a percentage of the traversal wall clock.
 pub fn overhead_pct(checkpoint_time: Duration, elapsed: Duration) -> f64 {
     if elapsed.is_zero() {
@@ -296,6 +324,20 @@ mod tests {
         let text = std::fs::read_to_string(results_dir().join("exp.csv")).unwrap();
         assert_eq!(text, "a,b\n1,2\n1.5,x\n");
         std::env::remove_var("HAVOQ_RESULTS");
+    }
+
+    #[test]
+    fn faults_parses_seed_from_env() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var("HAVOQ_FAULTS");
+        assert_eq!(faults(), None);
+        std::env::set_var("HAVOQ_FAULTS", "42");
+        assert_eq!(faults(), Some(42));
+        std::env::set_var("HAVOQ_FAULTS", "0xBEEF");
+        assert_eq!(faults(), Some(0xBEEF));
+        std::env::set_var("HAVOQ_FAULTS", "not-a-seed");
+        assert_eq!(faults(), None);
+        std::env::remove_var("HAVOQ_FAULTS");
     }
 
     #[test]

@@ -6,10 +6,17 @@
 //! *frame*:
 //!
 //! ```text
-//! frame   := header record*
+//! frame   := header record* crc?
 //! header  := record_size: u32 LE | record_count: u32 LE      (8 bytes)
 //! record  := dst_rank: u32 LE | payload: WIRE_SIZE bytes
+//! crc     := crc32(header record*): u32 LE                   (4 bytes)
 //! ```
+//!
+//! The CRC trailer is appended by the mailbox when its integrity layer is
+//! enabled (the default): [`frame_seal`] stamps it at flush time and
+//! [`frame_verify_and_strip`] checks it on arrival, so any bit flip
+//! anywhere in a frame — header, routing prefix, payload, or the trailer
+//! itself — is detected before a single record is decoded.
 //!
 //! Frames are plain `Vec<u8>` buffers recycled through a [`FramePool`]
 //! free list, so steady-state traversal ships frames without allocating.
@@ -159,6 +166,42 @@ pub fn frame_record_count(buf: &[u8]) -> u32 {
     u32::from_le_bytes(buf[4..8].try_into().unwrap())
 }
 
+// --- frame integrity ------------------------------------------------------
+
+/// Size of the CRC32 trailer appended to integrity-protected frames.
+pub const FRAME_CRC_BYTES: usize = 4;
+
+/// CRC-32 (IEEE 802.3, reflected) shared with the NVRAM layer's per-page
+/// checksums; detects any single-bit error and any error burst up to 32
+/// bits, which covers the fault plan's one-bit corruption exactly.
+pub use havoq_util::crc::crc32;
+
+/// Seal a finalized frame: append the CRC32 trailer covering everything
+/// currently in `buf` (header + records).
+#[inline]
+pub fn frame_seal(buf: &mut Vec<u8>) {
+    let crc = crc32(buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Verify a sealed frame and strip its trailer. Returns `false` — leaving
+/// `buf` untouched — when the frame is too short or the CRC mismatches;
+/// the caller NACKs it instead of decoding garbage.
+#[inline]
+#[must_use]
+pub fn frame_verify_and_strip(buf: &mut Vec<u8>) -> bool {
+    if buf.len() < FRAME_HEADER_BYTES + FRAME_CRC_BYTES {
+        return false;
+    }
+    let split = buf.len() - FRAME_CRC_BYTES;
+    let want = u32::from_le_bytes(buf[split..].try_into().unwrap());
+    if crc32(&buf[..split]) != want {
+        return false;
+    }
+    buf.truncate(split);
+    true
+}
+
 /// Free list of reusable frame buffers, bounded so pathological fan-out
 /// cannot hoard memory. Steady-state traversal receives roughly as many
 /// frames as it sends, so the pool self-sustains after warm-up and the
@@ -247,6 +290,42 @@ mod tests {
         frame_set_count(&mut buf, 3);
         assert_eq!(frame_record_size(&buf), 28);
         assert_eq!(frame_record_count(&buf), 3);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // the canonical CRC-32/IEEE check value
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sealed_frame_roundtrips_and_detects_any_single_bit_flip() {
+        let mut buf = Vec::new();
+        frame_init(&mut buf, 12);
+        buf.extend_from_slice(&[0xA5u8; 12 * 2]);
+        frame_set_count(&mut buf, 2);
+        let clean = buf.clone();
+        frame_seal(&mut buf);
+        assert_eq!(buf.len(), clean.len() + FRAME_CRC_BYTES);
+
+        let mut ok = buf.clone();
+        assert!(frame_verify_and_strip(&mut ok));
+        assert_eq!(ok, clean, "trailer stripped, payload untouched");
+
+        for bit in 0..buf.len() * 8 {
+            let mut flipped = buf.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            let before = flipped.clone();
+            assert!(!frame_verify_and_strip(&mut flipped), "bit {bit} flip went undetected");
+            assert_eq!(flipped, before, "failed verification must not mutate the frame");
+        }
+    }
+
+    #[test]
+    fn runt_frames_fail_verification() {
+        let mut tiny = vec![0u8; FRAME_HEADER_BYTES + FRAME_CRC_BYTES - 1];
+        assert!(!frame_verify_and_strip(&mut tiny));
     }
 
     #[test]

@@ -34,6 +34,17 @@
 //!   so bounded channels cannot deadlock against a stall).
 //! - **slow-rank throttle** — a seeded subset of ranks pays extra hold
 //!   ticks on every delivery, modeling a straggler node.
+//! - **corruption** — a seeded bit is flipped in a frame's payload bytes on
+//!   arrival; the mailbox's CRC32 trailer detects the damage and a NACK
+//!   triggers a retransmission (see `mailbox.rs`).
+//! - **loss** — an arriving frame is discarded outright; the sender's
+//!   retransmit buffer (ACK/NACK + timeout driven) re-ships it.
+//!
+//! Corruption and loss attack frame *bytes*, so they are injected by the
+//! mailbox (the only layer that owns byte frames) rather than by the
+//! generic per-message fault buffer below. Their decisions additionally mix
+//! in a per-arrival nonce: a retransmitted copy of a seq draws a fresh
+//! verdict, so a permille-rate plan cannot corrupt the same frame forever.
 //!
 //! Every fault is counted per `(src, dst)` pair in [`ChannelStats`] next to
 //! the message/byte counters, so tests can assert that a seed actually
@@ -92,6 +103,10 @@ pub struct FaultConfig {
     /// Deterministic crash: `(rank, epoch)` dies on the run's first
     /// incarnation. `(rank, 0)` never fires (epoch 0 is protected).
     pub forced_crash: Option<(usize, u64)>,
+    /// Per-mille chance an arriving frame has one payload bit flipped.
+    pub corrupt_permille: u16,
+    /// Per-mille chance an arriving frame is dropped before delivery.
+    pub drop_permille: u16,
 }
 
 impl FaultConfig {
@@ -112,6 +127,8 @@ impl FaultConfig {
             slow_rank_ticks: 0,
             crash_permille: 0,
             forced_crash: None,
+            corrupt_permille: 0,
+            drop_permille: 0,
         }
     }
 
@@ -132,7 +149,16 @@ impl FaultConfig {
             slow_rank_ticks: 2,
             crash_permille: 0,
             forced_crash: None,
+            corrupt_permille: 0,
+            drop_permille: 0,
         }
+    }
+
+    /// The integrity adversary: everything [`FaultConfig::chaos`] injects,
+    /// plus frame corruption and outright frame loss at rates that force
+    /// the CRC + ACK/NACK retransmission machinery to carry real traffic.
+    pub fn lossy(seed: u64) -> Self {
+        Self::chaos(seed).with_corrupt(25).with_drop(25)
     }
 
     pub fn with_delay(mut self, permille: u16, max_ticks: u32) -> Self {
@@ -178,15 +204,58 @@ impl FaultConfig {
         self
     }
 
+    /// Seeded single-bit flips in arriving frame payloads. Requires the
+    /// mailbox integrity layer (on by default) — the CRC is what turns a
+    /// flipped bit into a NACK instead of silent data corruption.
+    pub fn with_corrupt(mut self, permille: u16) -> Self {
+        self.corrupt_permille = permille;
+        self
+    }
+
+    /// Seeded loss of arriving frames. Requires the mailbox integrity
+    /// layer — the retransmit buffer is what keeps the traversal live.
+    pub fn with_drop(mut self, permille: u16) -> Self {
+        self.drop_permille = permille;
+        self
+    }
+
     /// True if any fault can ever fire under this config.
+    ///
+    /// Written as an exhaustive destructuring on purpose: adding a fault
+    /// field without deciding whether it activates the plan is a compile
+    /// error here, not silent drift in a hand-maintained `||` chain.
     pub fn is_active(&self) -> bool {
-        (self.delay_permille > 0 && self.delay_max_ticks > 0)
-            || (self.reorder_permille > 0 && self.reorder_window > 0)
-            || self.duplicate_permille > 0
-            || (self.stall_permille > 0 && self.stall_ticks > 0)
-            || (self.slow_rank_permille > 0 && self.slow_rank_ticks > 0)
-            || self.crash_permille > 0
-            || self.forced_crash.is_some()
+        let Self {
+            seed: _,
+            delay_permille,
+            delay_max_ticks,
+            reorder_permille,
+            reorder_window,
+            duplicate_permille,
+            stall_permille,
+            stall_ticks,
+            slow_rank_permille,
+            slow_rank_ticks,
+            crash_permille,
+            forced_crash,
+            corrupt_permille,
+            drop_permille,
+        } = *self;
+        (delay_permille > 0 && delay_max_ticks > 0)
+            || (reorder_permille > 0 && reorder_window > 0)
+            || duplicate_permille > 0
+            || (stall_permille > 0 && stall_ticks > 0)
+            || (slow_rank_permille > 0 && slow_rank_ticks > 0)
+            || crash_permille > 0
+            || forced_crash.is_some()
+            || corrupt_permille > 0
+            || drop_permille > 0
+    }
+
+    /// True when frames can be corrupted or lost, i.e. the mailbox must run
+    /// its injection hooks and the integrity layer must be enabled.
+    pub fn loses_frames(&self) -> bool {
+        self.corrupt_permille > 0 || self.drop_permille > 0
     }
 }
 
@@ -197,6 +266,8 @@ const SALT_DUP: u64 = 0xD0B1;
 const SALT_STALL: u64 = 0x57A1;
 const SALT_SLOW: u64 = 0x510E;
 const SALT_CRASH: u64 = 0xC4A5;
+const SALT_CORRUPT: u64 = 0xC0FF;
+const SALT_DROP: u64 = 0xD20F;
 
 /// World-shared fault decision oracle. All methods are pure functions of
 /// the seed and the message identity, so decisions are identical across
@@ -302,6 +373,44 @@ impl FaultPlan {
     #[inline]
     pub fn dedup_needed(&self) -> bool {
         self.cfg.duplicate_permille > 0
+    }
+
+    /// Entropy draw for corrupting the frame `(tag, src, dst, seq)` on its
+    /// `attempt`-th arrival at the receiver; `Some(h)` means flip the bit
+    /// the caller derives from `h` (mod the frame's bit length). Mixing in
+    /// the arrival nonce means a retransmitted copy draws a fresh verdict,
+    /// so recovery converges geometrically instead of looping forever.
+    #[inline]
+    pub fn corrupt_draw(
+        &self,
+        tag: u64,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        attempt: u64,
+    ) -> Option<u64> {
+        if self.cfg.corrupt_permille == 0 {
+            return None;
+        }
+        let h =
+            self.mix(SALT_CORRUPT, tag ^ ((src as u64) << 32), (dst as u64) ^ (attempt << 16), seq);
+        if self.hit(h, self.cfg.corrupt_permille) {
+            Some(h >> 10)
+        } else {
+            None
+        }
+    }
+
+    /// Should the frame `(tag, src, dst, seq)` be discarded on its
+    /// `attempt`-th arrival at the receiver?
+    #[inline]
+    pub fn drop_frame(&self, tag: u64, src: usize, dst: usize, seq: u64, attempt: u64) -> bool {
+        if self.cfg.drop_permille == 0 {
+            return false;
+        }
+        let h =
+            self.mix(SALT_DROP, tag ^ ((src as u64) << 32), (dst as u64) ^ (attempt << 16), seq);
+        self.hit(h, self.cfg.drop_permille)
     }
 
     /// Which rank (if any) dies while writing checkpoint `epoch` on the
@@ -434,13 +543,22 @@ impl<M: Send + 'static> FaultState<M> {
         self.held.len()
     }
 
+    /// Hand deduplication over to a higher layer: the mailbox's integrity
+    /// window dedups by `(src, seq)` *after* CRC verification, so a
+    /// corrupted first copy never blocks its retransmission. Leaving the
+    /// transport window on as well would mark the corrupt copy delivered
+    /// and silently swallow the repair.
+    pub(crate) fn disable_dedup(&mut self) {
+        self.dedup = None;
+    }
+
     /// Pull everything off the raw channel into the fault buffer, then
     /// release the earliest due message. One call = one tick.
     pub(crate) fn try_recv(
         &mut self,
         receiver: &Receiver<Wire<M>>,
         stats: &ChannelStats,
-    ) -> Option<(usize, M)> {
+    ) -> Option<Wire<M>> {
         self.tick += 1;
         // Always ingest, even mid-stall: the raw channel must keep draining
         // so bounded-channel senders never deadlock against a stall.
@@ -482,7 +600,7 @@ impl<M: Send + 'static> FaultState<M> {
     }
 
     /// Pop the earliest due message, dropping duplicate deliveries.
-    fn release(&mut self, stats: &ChannelStats) -> Option<(usize, M)> {
+    fn release(&mut self, stats: &ChannelStats) -> Option<Wire<M>> {
         loop {
             if self.held.peek().is_none_or(|h| h.release > self.tick) {
                 return None;
@@ -498,7 +616,7 @@ impl<M: Send + 'static> FaultState<M> {
             if self.held.iter().any(|o| o.key < h.key) {
                 stats.record_fault_reorder(h.src as usize, self.rank);
             }
-            return Some((h.src as usize, h.msg));
+            return Some(Wire { src: h.src, seq: h.seq, msg: h.msg });
         }
     }
 }
@@ -550,6 +668,36 @@ mod tests {
         assert!(!FaultConfig::quiet(9).is_active());
         assert!(FaultConfig::chaos(9).is_active());
         assert!(FaultConfig::quiet(9).with_delay(100, 4).is_active());
+        assert!(FaultConfig::quiet(9).with_corrupt(20).is_active());
+        assert!(FaultConfig::quiet(9).with_drop(20).is_active());
+        assert!(FaultConfig::lossy(9).is_active());
+    }
+
+    #[test]
+    fn corrupt_and_drop_redraw_per_attempt() {
+        let plan = FaultPlan::new(FaultConfig::quiet(17).with_corrupt(500).with_drop(500));
+        assert!(!plan.config().loses_frames() || plan.config().is_active());
+        // With a 50% rate, some seq must flip its verdict between attempt 0
+        // and attempt 1 — the property that makes retransmission converge.
+        let corrupt_redraws = (0..200u64).any(|seq| {
+            plan.corrupt_draw(3, 0, 1, seq, 0).is_some()
+                != plan.corrupt_draw(3, 0, 1, seq, 1).is_some()
+        });
+        let drop_redraws = (0..200u64)
+            .any(|seq| plan.drop_frame(3, 0, 1, seq, 0) != plan.drop_frame(3, 0, 1, seq, 1));
+        assert!(corrupt_redraws, "corruption verdict ignores the arrival nonce");
+        assert!(drop_redraws, "drop verdict ignores the arrival nonce");
+        // decisions stay pure functions of their inputs
+        for seq in 0..50 {
+            assert_eq!(plan.corrupt_draw(3, 0, 1, seq, 2), plan.corrupt_draw(3, 0, 1, seq, 2));
+            assert_eq!(plan.drop_frame(3, 0, 1, seq, 2), plan.drop_frame(3, 0, 1, seq, 2));
+        }
+        // a quiet plan never fires either fault
+        let quiet = FaultPlan::new(FaultConfig::quiet(17).with_delay(100, 4));
+        for seq in 0..50 {
+            assert_eq!(quiet.corrupt_draw(3, 0, 1, seq, 0), None);
+            assert!(!quiet.drop_frame(3, 0, 1, seq, 0));
+        }
     }
 
     #[test]

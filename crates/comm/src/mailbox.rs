@@ -23,16 +23,39 @@
 //! detector: a payload counts as sent when the origin rank accepts it and as
 //! received when the final destination dequeues it, so in-flight transit
 //! frames keep the traversal alive.
+//!
+//! # Integrity layer
+//!
+//! With [`MailboxConfig::integrity`] enabled (the default) every shipped
+//! frame carries a CRC-32 trailer, sealed at flush time and verified (and
+//! stripped) on receive. The sender keeps a copy of each sealed frame in a
+//! per-destination retransmit buffer until the receiver's cumulative ACK
+//! covers its sequence number; a receiver that detects a corrupt frame or a
+//! persistent sequence gap NACKs the missing number over an unfaulted
+//! reserved-tag control channel and the sender re-ships its buffered copy.
+//! Tail loss — a dropped *last* frame leaves no gap to NACK — is repaired by
+//! a sender-side retransmit timeout. Both repair paths back off
+//! exponentially and give up (panic) after a bounded number of attempts.
+//!
+//! Exactly-once delivery survives all of this because retransmitted copies
+//! reuse their original wire sequence number and a per-source window
+//! advances only on *verified* deliveries: a corrupt copy never marks its
+//! number delivered (so the repair is accepted later), and whichever of a
+//! crossed original/retransmit pair lands second is dropped as a duplicate.
+//! Corruption and frame loss are injected here, on the receive path, keyed
+//! on a per-arrival nonce so a retransmitted copy draws a fresh verdict —
+//! the mailbox is the only layer that owns frame bytes.
 
 use crate::chan::TrySendError;
 use crate::codec::{
-    frame_init, frame_record_count, frame_record_size, frame_set_count, Frame, FramePool,
-    WireCodec, FRAME_HEADER_BYTES, RECORD_DST_BYTES,
+    frame_init, frame_record_count, frame_record_size, frame_seal, frame_set_count,
+    frame_verify_and_strip, Frame, FramePool, WireCodec, FRAME_CRC_BYTES, FRAME_HEADER_BYTES,
+    RECORD_DST_BYTES,
 };
 use crate::runtime::RankCtx;
 use crate::topology::{Topology, TopologyKind};
 use crate::transport::Transport;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// Configuration for a [`Mailbox`].
 #[derive(Clone, Copy, Debug)]
@@ -60,6 +83,12 @@ pub struct MailboxConfig {
     /// Setting a few hundred nanoseconds restores that cost honestly:
     /// it is charged for every delivered payload, whoever sent it.
     pub recv_cost_ns: u64,
+    /// CRC-frame every shipped frame and run the ACK/NACK/retransmit
+    /// machinery (see the module docs). On by default; turning it off
+    /// removes the trailer and the retransmit buffer (the measured-overhead
+    /// baseline), and is rejected when the world's fault plan can corrupt
+    /// or drop frames — nothing else could repair them.
+    pub integrity: bool,
 }
 
 /// Default per-queue frame capacity: deep enough that healthy traversals
@@ -75,6 +104,7 @@ impl Default for MailboxConfig {
             frame_bytes: 4096,
             channel_capacity: Some(DEFAULT_CHANNEL_CAPACITY),
             recv_cost_ns: 0,
+            integrity: true,
         }
     }
 }
@@ -98,6 +128,141 @@ impl MailboxConfig {
         self.channel_capacity = capacity;
         self
     }
+
+    pub fn with_integrity(mut self, integrity: bool) -> Self {
+        self.integrity = integrity;
+        self
+    }
+}
+
+/// ACK/NACK control messages of the integrity layer. They travel on an
+/// unfaulted, unbounded, FIFO reserved-tag channel
+/// ([`crate::registry::INTEGRITY_TAG_BASE`] + the mailbox's tag) — lose the
+/// control plane too and no retransmission scheme could terminate.
+#[derive(Clone, Copy, Debug)]
+enum Control {
+    /// Cumulative acknowledgement: every frame with `seq < hi` sent to the
+    /// acking rank has been verified and delivered, so the sender may prune
+    /// its retransmit buffer below `hi`.
+    Ack(u64),
+    /// The receiver discarded (or never saw) frame `seq`; the sender must
+    /// re-ship its buffered copy.
+    Nack(u64),
+}
+
+/// Send a cumulative ACK after this many verified deliveries from one
+/// source; deliveries below the threshold are covered by a lazy ACK a few
+/// polls later, so tails are acknowledged promptly and retransmit buffers
+/// stay small.
+const ACK_EVERY_FRAMES: u64 = 32;
+/// Polls after a delivery before the lazy cumulative ACK fires.
+const ACK_LAZY_TICKS: u64 = 16;
+/// Polls a sequence gap may persist before its first NACK: reordered
+/// frames usually close gaps on their own, and an over-eager NACK only
+/// costs a redundant retransmit (the window absorbs it).
+const NACK_GRACE_TICKS: u64 = 64;
+/// Sender-side retransmit timeout, in polls: how long an unacknowledged
+/// frame may linger before being re-shipped unprompted. Generous because a
+/// spurious re-ship is harmless but noisy — the receiver usually ACKs far
+/// sooner.
+const RTO_TICKS: u64 = 1024;
+/// Back-off cap for both repair timers (each doubles up to this).
+const BACKOFF_CAP_TICKS: u64 = 1 << 16;
+/// Repair attempts before a frame is declared unrecoverable. Every attempt
+/// draws an independent loss verdict, so reaching this bound under any
+/// plausible loss rate means the machinery itself is broken.
+const MAX_REPAIR_ATTEMPTS: u32 = 64;
+
+/// Per-source receive window: sequence numbers below `hi` are
+/// verified-and-delivered, `ahead` holds verified numbers past a gap. Same
+/// compaction scheme as the transport fault buffer's dedup window, but
+/// advanced only *after* CRC verification — a corrupt copy must never mark
+/// its number delivered, or the retransmitted repair would be dropped as a
+/// duplicate.
+#[derive(Default)]
+struct RecvWindow {
+    hi: u64,
+    ahead: HashSet<u64>,
+    /// One past the highest sequence number observed (delivered or not —
+    /// a discarded corrupt frame still proves its number exists).
+    max_seen: u64,
+    /// The cumulative point last advertised to the source.
+    acked_hi: u64,
+    delivered_since_ack: u64,
+    /// Tick when the lazy cumulative ACK fires.
+    ack_due: Option<u64>,
+    /// Tick when the lowest missing number gets (re)NACKed.
+    nack_due: Option<u64>,
+    nack_backoff: u64,
+    nack_attempts: u32,
+}
+
+impl RecvWindow {
+    /// Record the verified delivery of `seq`; false if already delivered
+    /// (this copy is redundant).
+    fn first_delivery(&mut self, seq: u64) -> bool {
+        self.max_seen = self.max_seen.max(seq + 1);
+        if seq < self.hi || self.ahead.contains(&seq) {
+            return false;
+        }
+        self.ahead.insert(seq);
+        let before = self.hi;
+        while self.ahead.remove(&self.hi) {
+            self.hi += 1;
+        }
+        if self.hi != before {
+            // progress: whatever gap remains is a fresh one, give it a
+            // fresh grace period
+            self.nack_due = None;
+            self.nack_backoff = 0;
+            self.nack_attempts = 0;
+        }
+        true
+    }
+
+    /// True while at least one sequence number below `max_seen` is missing.
+    #[inline]
+    fn gap(&self) -> bool {
+        self.hi < self.max_seen
+    }
+
+    /// Note that a cumulative ACK for the current `hi` is being sent;
+    /// returns the value to advertise.
+    fn note_acked(&mut self) -> u64 {
+        self.acked_hi = self.hi;
+        self.delivered_since_ack = 0;
+        self.ack_due = None;
+        self.hi
+    }
+}
+
+/// Per-destination retransmit buffer: sealed frames not yet covered by a
+/// cumulative ACK, keyed by their wire sequence number.
+#[derive(Default)]
+struct SendBuffer {
+    unacked: BTreeMap<u64, Vec<u8>>,
+    /// Tick when the oldest unacknowledged frame is re-shipped unprompted.
+    rto_due: Option<u64>,
+    rto_backoff: u64,
+    rto_attempts: u32,
+}
+
+/// State of the mailbox integrity layer (present when
+/// [`MailboxConfig::integrity`] is on).
+struct Integrity {
+    control: Transport<Control>,
+    windows: Vec<RecvWindow>,
+    sends: Vec<SendBuffer>,
+    /// Service clock: one tick per poll (and per backpressure retry).
+    tick: u64,
+    /// Frame arrival counter — the corruption/loss injection nonce, so a
+    /// retransmitted copy draws a fresh verdict and recovery converges.
+    arrivals: u64,
+    /// True when the world's fault plan can corrupt or drop frames. The
+    /// repair machinery (NACK timers, RTO) runs only then, so loss-free
+    /// runs — including the fault-free baselines the chaos sweeps compare
+    /// against — never emit spurious repair traffic.
+    repair: bool,
 }
 
 /// Aggregating, optionally routed, byte-framed mailbox for payload type `M`.
@@ -117,8 +282,10 @@ pub struct Mailbox<M: Send + WireCodec + 'static> {
     pending_out: usize,
     /// Loopback queue for self-sends.
     local: VecDeque<M>,
-    /// Frames drained off our receiver while waiting for channel space.
+    /// Frames drained off our receiver while waiting for channel space
+    /// (already CRC-verified and windowed when the integrity layer is on).
     inbox: VecDeque<Vec<u8>>,
+    integrity: Option<Integrity>,
     pool: FramePool,
     recv_cost_ns: u64,
     // end-to-end payload counters
@@ -171,9 +338,30 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
         let transport = ctx.channel_with_capacity::<Frame>(tag, cfg.channel_capacity);
         let p = ctx.size();
         let record_size = RECORD_DST_BYTES + M::WIRE_SIZE;
-        let by_bytes = cfg.frame_bytes.saturating_sub(FRAME_HEADER_BYTES) / record_size;
+        let frame_overhead = FRAME_HEADER_BYTES + if cfg.integrity { FRAME_CRC_BYTES } else { 0 };
+        let by_bytes = cfg.frame_bytes.saturating_sub(frame_overhead) / record_size;
         let cap_records = cfg.batch_size.max(1).min(by_bytes.max(1));
-        let frame_cap = FRAME_HEADER_BYTES + cap_records * record_size;
+        let frame_cap = frame_overhead + cap_records * record_size;
+        let repair = transport.fault_plan().is_some_and(|plan| plan.config().loses_frames());
+        assert!(
+            cfg.integrity || !repair,
+            "the fault plan corrupts or drops frames: MailboxConfig::integrity must stay \
+             enabled, nothing else can repair them"
+        );
+        if repair {
+            // The integrity window dedups by (src, seq) *after* CRC
+            // verification; the transport-level window would mark a corrupt
+            // copy delivered and silently swallow its retransmission.
+            transport.disable_fault_dedup();
+        }
+        let integrity = cfg.integrity.then(|| Integrity {
+            control: ctx.channel_internal::<Control>(crate::registry::INTEGRITY_TAG_BASE + tag),
+            windows: (0..p).map(|_| RecvWindow::default()).collect(),
+            sends: (0..p).map(|_| SendBuffer::default()).collect(),
+            tick: 0,
+            arrivals: 0,
+            repair,
+        });
         Self {
             transport,
             topo: cfg.topology.build(p),
@@ -185,6 +373,7 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
             pending_out: 0,
             local: VecDeque::new(),
             inbox: VecDeque::new(),
+            integrity,
             // a rank builds at most one frame per hop and keeps a few spares
             // for receive churn
             pool: FramePool::new(frame_cap, 2 * p + 8),
@@ -281,6 +470,9 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
         let mut buf = std::mem::take(&mut self.out[hop]);
         self.out_counts[hop] = 0;
         frame_set_count(&mut buf, records);
+        if self.integrity.is_some() {
+            frame_seal(&mut buf);
+        }
         self.pending_out -= records as usize;
         let bytes = buf.len() as u64;
         self.frames_sent += 1;
@@ -305,10 +497,22 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
     fn ship(&mut self, hop: usize, frame: Frame, records: u64, bytes: u64) {
         let duplicate =
             self.transport.wants_duplicate(hop).then(|| Frame { buf: frame.buf.clone() });
+        // the integrity layer holds a copy of the sealed frame until the
+        // receiver's cumulative ACK covers its sequence number
+        let retain = self.integrity.is_some().then(|| frame.buf.clone());
         let mut frame = frame;
         loop {
             match self.transport.try_send_counted(hop, frame, records, bytes) {
                 Ok(()) => {
+                    if let Some(buf) = retain {
+                        let seq = self.transport.peek_seq(hop) - 1;
+                        let integ = self.integrity.as_mut().unwrap();
+                        let sb = &mut integ.sends[hop];
+                        if sb.unacked.is_empty() {
+                            sb.rto_due = Some(integ.tick + RTO_TICKS);
+                        }
+                        sb.unacked.insert(seq, buf);
+                    }
                     if let Some(copy) = duplicate {
                         self.transport.send_duplicate(hop, copy);
                     }
@@ -316,9 +520,13 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
                 }
                 Err(TrySendError::Full(f)) => {
                     self.backpressure_stalls += 1;
+                    // servicing ACK/NACK while blocked keeps repair live:
+                    // the peer we are waiting on may itself be waiting for
+                    // one of our retransmissions
+                    self.service_integrity();
                     let mut drained = false;
-                    while let Some((_src, fr)) = self.transport.try_recv() {
-                        self.inbox.push_back(fr.buf);
+                    while let Some(buf) = self.recv_verified() {
+                        self.inbox.push_back(buf);
                         drained = true;
                     }
                     if !drained {
@@ -349,6 +557,7 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
     /// Must be called regularly even by "idle" ranks — under a routed
     /// topology every rank is also a router.
     pub fn poll(&mut self, out: &mut Vec<M>) -> usize {
+        self.service_integrity();
         let mut delivered = 0;
         while let Some(m) = self.local.pop_front() {
             self.received += 1;
@@ -359,8 +568,8 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
         while let Some(buf) = self.inbox.pop_front() {
             delivered += self.process_frame(buf, out);
         }
-        while let Some((_src, frame)) = self.transport.try_recv() {
-            delivered += self.process_frame(frame.buf, out);
+        while let Some(buf) = self.recv_verified() {
+            delivered += self.process_frame(buf, out);
         }
         // network cost model: per-payload receive overhead (see
         // `MailboxConfig::recv_cost_ns`); self-sends are charged too — the
@@ -369,11 +578,172 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
         delivered
     }
 
+    /// Pull the next *deliverable* frame off the transport. Under the
+    /// integrity layer this is where injected corruption and loss are
+    /// applied (receive side, nonce-keyed), the CRC verified and stripped,
+    /// corrupt frames NACKed, and redundant copies — fault duplicates or
+    /// crossed retransmissions — dropped by the per-source window. Without
+    /// the layer it is a plain receive.
+    fn recv_verified(&mut self) -> Option<Vec<u8>> {
+        loop {
+            let w = self.transport.try_recv_wire()?;
+            let (src, seq) = (w.src as usize, w.seq);
+            let mut buf = w.msg.buf;
+            let Some(integ) = self.integrity.as_mut() else {
+                return Some(buf);
+            };
+            let me = self.transport.rank();
+            let nonce = integ.arrivals;
+            integ.arrivals += 1;
+            if integ.repair {
+                let plan = self.transport.fault_plan().expect("repair implies a fault plan");
+                let tag = self.transport.tag();
+                if plan.drop_frame(tag, src, me, seq, nonce) {
+                    // injected loss: the frame vanishes, but its number is
+                    // still known missing so gap repair can reclaim it
+                    self.transport.stats().record_fault_drop(src, me);
+                    let win = &mut integ.windows[src];
+                    win.max_seen = win.max_seen.max(seq + 1);
+                    self.pool.put(buf);
+                    continue;
+                }
+                if let Some(h) = plan.corrupt_draw(tag, src, me, seq, nonce) {
+                    let bit = (h % (buf.len() as u64 * 8)) as usize;
+                    buf[bit / 8] ^= 1 << (bit % 8);
+                    self.transport.stats().record_fault_corrupt(src, me);
+                }
+            }
+            if !frame_verify_and_strip(&mut buf) {
+                self.transport.stats().record_corrupt_detected(src, me);
+                let win = &mut integ.windows[src];
+                win.max_seen = win.max_seen.max(seq + 1);
+                // NACK unless some copy of this number already made it
+                // through (a corrupted duplicate needs no repair)
+                if seq >= win.hi && !win.ahead.contains(&seq) {
+                    integ.control.send(src, Control::Nack(seq));
+                    self.transport.stats().record_nack(src, me);
+                }
+                self.pool.put(buf);
+                continue;
+            }
+            let win = &mut integ.windows[src];
+            if !win.first_delivery(seq) {
+                // redundant copy. A retransmit of an already-delivered
+                // frame usually means our ACK has not reached the sender
+                // yet, so re-advertise the cumulative point immediately.
+                if self.transport.fault_plan().is_some() {
+                    self.transport.stats().record_fault_dedup(src, me);
+                }
+                integ.control.send(src, Control::Ack(win.note_acked()));
+                self.pool.put(buf);
+                continue;
+            }
+            win.delivered_since_ack += 1;
+            if win.delivered_since_ack >= ACK_EVERY_FRAMES {
+                integ.control.send(src, Control::Ack(win.note_acked()));
+            } else if win.ack_due.is_none() {
+                win.ack_due = Some(integ.tick + ACK_LAZY_TICKS);
+            }
+            return Some(buf);
+        }
+    }
+
+    /// One tick of the integrity layer's service clock: drain the ACK/NACK
+    /// control channel (pruning retransmit buffers, re-shipping NACKed
+    /// frames), fire matured lazy ACKs, NACK persistent sequence gaps with
+    /// exponential back-off, and re-ship unacknowledged tails past their
+    /// retransmit timeout. No-op when the layer is off.
+    fn service_integrity(&mut self) {
+        let Some(integ) = self.integrity.as_mut() else { return };
+        integ.tick += 1;
+        let tick = integ.tick;
+        let me = self.transport.rank();
+        // control plane first: ACKs free buffer space, NACKs are urgent
+        while let Some((peer, ctrl)) = integ.control.try_recv() {
+            match ctrl {
+                Control::Ack(hi) => {
+                    let sb = &mut integ.sends[peer];
+                    let before = sb.unacked.len();
+                    sb.unacked = sb.unacked.split_off(&hi);
+                    if sb.unacked.len() != before {
+                        // progress: the tail timer restarts from scratch
+                        sb.rto_backoff = 0;
+                        sb.rto_attempts = 0;
+                        sb.rto_due = (!sb.unacked.is_empty()).then(|| tick + RTO_TICKS);
+                    }
+                }
+                Control::Nack(seq) => {
+                    // a stale NACK (number already pruned by a later ACK)
+                    // is ignored — the receiver got a copy after all
+                    if let Some(buf) = integ.sends[peer].unacked.get(&seq) {
+                        self.transport.send_retransmit(peer, seq, Frame { buf: buf.clone() });
+                    }
+                }
+            }
+        }
+        for (src, win) in integ.windows.iter_mut().enumerate() {
+            if win.ack_due.is_some_and(|due| tick >= due) {
+                win.ack_due = None;
+                if win.hi > win.acked_hi {
+                    integ.control.send(src, Control::Ack(win.note_acked()));
+                }
+            }
+            if !integ.repair || !win.gap() {
+                continue;
+            }
+            match win.nack_due {
+                None => win.nack_due = Some(tick + NACK_GRACE_TICKS),
+                Some(due) if tick >= due => {
+                    assert!(
+                        win.nack_attempts < MAX_REPAIR_ATTEMPTS,
+                        "rank {me}: frame seq {} from rank {src} unrecoverable after {} NACKs",
+                        win.hi,
+                        win.nack_attempts,
+                    );
+                    integ.control.send(src, Control::Nack(win.hi));
+                    self.transport.stats().record_nack(src, me);
+                    win.nack_attempts += 1;
+                    win.nack_backoff =
+                        (win.nack_backoff.max(NACK_GRACE_TICKS) * 2).min(BACKOFF_CAP_TICKS);
+                    win.nack_due = Some(tick + win.nack_backoff);
+                }
+                _ => {}
+            }
+        }
+        if integ.repair {
+            for (dst, sb) in integ.sends.iter_mut().enumerate() {
+                if sb.unacked.is_empty() {
+                    continue;
+                }
+                match sb.rto_due {
+                    None => sb.rto_due = Some(tick + RTO_TICKS),
+                    Some(due) if tick >= due => {
+                        assert!(
+                            sb.rto_attempts < MAX_REPAIR_ATTEMPTS,
+                            "rank {me}: frame to rank {dst} unacknowledged after {} timeouts",
+                            sb.rto_attempts,
+                        );
+                        let (&seq, buf) = sb.unacked.iter().next().unwrap();
+                        self.transport.send_retransmit(dst, seq, Frame { buf: buf.clone() });
+                        sb.rto_attempts += 1;
+                        sb.rto_backoff = (sb.rto_backoff.max(RTO_TICKS) * 2).min(BACKOFF_CAP_TICKS);
+                        sb.rto_due = Some(tick + sb.rto_backoff);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
     /// Unpack one received frame: deliver records addressed here, re-buffer
     /// transit records, recycle the buffer.
     fn process_frame(&mut self, buf: Vec<u8>, out: &mut Vec<M>) -> usize {
         self.frames_received += 1;
-        self.bytes_received += buf.len() as u64;
+        // the CRC trailer was verified and stripped on receive; count it
+        // here so wire-volume conservation (bytes sent == bytes received)
+        // still holds
+        let crc = if self.integrity.is_some() { FRAME_CRC_BYTES as u64 } else { 0 };
+        self.bytes_received += buf.len() as u64 + crc;
         debug_assert_eq!(frame_record_size(&buf) as usize, self.record_size);
         let count = frame_record_count(&buf) as usize;
         let me = self.rank() as u32;
@@ -531,7 +901,17 @@ mod tests {
         cfg: MailboxConfig,
         msgs_each: usize,
     ) -> Vec<(MailboxStatsSnapshot, crate::stats::ChannelStatsSnapshot, u64)> {
-        CommWorld::run(p, |ctx| {
+        all_to_all_faulted(p, cfg, msgs_each, None)
+    }
+
+    /// Like [`all_to_all_exercise`] but under an optional fault plan.
+    fn all_to_all_faulted(
+        p: usize,
+        cfg: MailboxConfig,
+        msgs_each: usize,
+        faults: Option<crate::fault::FaultConfig>,
+    ) -> Vec<(MailboxStatsSnapshot, crate::stats::ChannelStatsSnapshot, u64)> {
+        CommWorld::run_with_faults(p, faults, |ctx| {
             let mut mb = Mailbox::<u64>::open(ctx, 1, cfg);
             let mut q = crate::termination::Quiescence::new(ctx, 1);
             for dst in 0..p {
@@ -663,14 +1043,15 @@ mod tests {
             ..MailboxConfig::default()
         };
         let record = 4 + 8; // dst prefix + u64 payload
+        let overhead = (FRAME_HEADER_BYTES + FRAME_CRC_BYTES) as u64; // integrity is on by default
         let res = all_to_all_exercise(p, cfg, msgs);
         for (me, (st, tr, _)) in res.iter().enumerate() {
             // per remote destination: 2 full frames of 4 + 1 frame of 2
             let frames_per_dst = msgs.div_ceil(batch) as u64;
             assert_eq!(st.frames_sent, frames_per_dst * (p as u64 - 1), "rank {me}");
             assert_eq!(st.records_sent, (msgs * (p - 1)) as u64);
-            let expect_bytes = (p as u64 - 1)
-                * (frames_per_dst * FRAME_HEADER_BYTES as u64 + (msgs * record) as u64);
+            let expect_bytes =
+                (p as u64 - 1) * (frames_per_dst * overhead + (msgs * record) as u64);
             assert_eq!(st.bytes_sent, expect_bytes, "rank {me}");
             assert_eq!(st.bytes_received, expect_bytes, "symmetric all-to-all");
             for dst in 0..p {
@@ -678,7 +1059,7 @@ mod tests {
                     assert_eq!(tr.msgs_between(me, dst), frames_per_dst);
                     assert_eq!(
                         tr.bytes_between(me, dst),
-                        frames_per_dst * FRAME_HEADER_BYTES as u64 + (msgs * record) as u64
+                        frames_per_dst * overhead + (msgs * record) as u64
                     );
                 }
             }
@@ -832,6 +1213,104 @@ mod tests {
             assert_eq!(st.received, (p * 50) as u64);
             assert_eq!(*sum, expected_checksum(p, me, 50));
         }
+    }
+
+    #[test]
+    fn integrity_off_uses_legacy_frame_math() {
+        // the CRC-off baseline row: no trailer on the wire, byte counters
+        // match the pre-integrity frame grammar exactly
+        let p = 3;
+        let msgs = 10usize;
+        let batch = 4usize;
+        let cfg = MailboxConfig {
+            topology: TopologyKind::Direct,
+            batch_size: batch,
+            ..MailboxConfig::default()
+        }
+        .with_integrity(false);
+        let record = 4 + 8;
+        let res = all_to_all_exercise(p, cfg, msgs);
+        for (me, (st, tr, _)) in res.iter().enumerate() {
+            let frames_per_dst = msgs.div_ceil(batch) as u64;
+            let expect_bytes = (p as u64 - 1)
+                * (frames_per_dst * FRAME_HEADER_BYTES as u64 + (msgs * record) as u64);
+            assert_eq!(st.bytes_sent, expect_bytes, "rank {me}");
+            assert_eq!(st.bytes_received, expect_bytes);
+            assert_eq!(tr.total_retransmits(), 0);
+            assert_eq!(tr.total_nacks(), 0);
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_detected_and_repaired() {
+        use crate::fault::FaultConfig;
+        let p = 2;
+        let cfg = MailboxConfig { batch_size: 4, ..MailboxConfig::default() };
+        let faults = FaultConfig::quiet(7).with_corrupt(300);
+        let res = all_to_all_faulted(p, cfg, 200, Some(faults));
+        for (me, (st, tr, sum)) in res.iter().enumerate() {
+            assert_eq!(st.received, (p * 200) as u64, "rank {me}");
+            assert_eq!(*sum, expected_checksum(p, me, 200));
+            assert!(tr.total_fault_corrupts() > 0, "30% corruption must fire");
+            assert_eq!(
+                tr.total_corrupt_detected(),
+                tr.total_fault_corrupts(),
+                "every injected flip must be caught by the CRC"
+            );
+            assert!(tr.total_nacks() > 0);
+            assert!(tr.total_retransmits() > 0, "corrupt frames must be re-shipped");
+        }
+    }
+
+    #[test]
+    fn dropped_frames_are_repaired() {
+        use crate::fault::FaultConfig;
+        let p = 2;
+        let cfg = MailboxConfig { batch_size: 4, ..MailboxConfig::default() };
+        let faults = FaultConfig::quiet(11).with_drop(300);
+        let res = all_to_all_faulted(p, cfg, 200, Some(faults));
+        for (me, (st, tr, sum)) in res.iter().enumerate() {
+            assert_eq!(st.received, (p * 200) as u64, "rank {me}");
+            assert_eq!(*sum, expected_checksum(p, me, 200));
+            assert!(tr.total_fault_drops() > 0, "30% loss must fire");
+            assert!(tr.total_retransmits() > 0, "lost frames must be re-shipped");
+            assert_eq!(tr.total_corrupt_detected(), 0, "pure loss corrupts nothing");
+        }
+    }
+
+    #[test]
+    fn lossy_chaos_delivers_exactly_once_through_routing() {
+        // the full gauntlet: delay + reorder + duplicate + stall + slow
+        // ranks + corruption + loss, through a routed topology where every
+        // rank is also a repairing router. Delivery must stay exactly-once.
+        use crate::fault::FaultConfig;
+        let p = 8;
+        let cfg = MailboxConfig {
+            topology: TopologyKind::Routed2D,
+            batch_size: 3,
+            ..MailboxConfig::default()
+        };
+        let res = all_to_all_faulted(p, cfg, 30, Some(FaultConfig::lossy(5)));
+        let mut corrupts = 0;
+        let mut drops = 0;
+        for (me, (st, tr, sum)) in res.iter().enumerate() {
+            assert_eq!(st.received, (p * 30) as u64, "rank {me}");
+            assert_eq!(*sum, expected_checksum(p, me, 30), "rank {me} payloads differ");
+            assert_eq!(tr.total_corrupt_detected(), tr.total_fault_corrupts());
+            corrupts = tr.total_fault_corrupts();
+            drops = tr.total_fault_drops();
+        }
+        assert!(corrupts + drops > 0, "lossy() must exercise the repair path");
+    }
+
+    #[test]
+    #[should_panic(expected = "integrity")]
+    fn loss_faults_require_integrity() {
+        use crate::fault::FaultConfig;
+        CommWorld::run_with_faults(1, Some(FaultConfig::lossy(3)), |ctx| {
+            let cfg = MailboxConfig::default().with_integrity(false);
+            let _mb = Mailbox::<u64>::open(ctx, 1, cfg);
+        });
     }
 
     #[test]

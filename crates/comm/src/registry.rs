@@ -142,6 +142,10 @@ pub const COLLECTIVE_TAG_BASE: u64 = RESERVED_TAG_BASE;
 /// Tag space for termination-detection control channels.
 pub const TERMINATION_TAG_BASE: u64 = RESERVED_TAG_BASE + (1 << 40);
 
+/// Tag space for the mailbox integrity layer's ACK/NACK control channels
+/// (one per mailbox, offset by the mailbox's own tag).
+pub const INTEGRITY_TAG_BASE: u64 = RESERVED_TAG_BASE + (2 << 40);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,6 +41,17 @@ pub struct ChannelStats {
     fault_dedups: Vec<AtomicU64>,
     fault_stalls: Vec<AtomicU64>,
     fault_throttles: Vec<AtomicU64>,
+    /// Injected integrity faults: frames whose bytes were flipped and
+    /// frames discarded before delivery, both observed at the receiver.
+    fault_corrupts: Vec<AtomicU64>,
+    fault_drops: Vec<AtomicU64>,
+    /// Integrity-layer recovery events: CRC failures detected at the
+    /// receiver, NACKs it sent back, and retransmissions the sender shipped
+    /// (NACK- or timeout-driven). Like duplicate copies, retransmitted
+    /// frames never appear in the `msgs`/`items`/`bytes` matrices.
+    corrupt_detected: Vec<AtomicU64>,
+    nacks: Vec<AtomicU64>,
+    retransmits: Vec<AtomicU64>,
     /// Checkpoint/restart events, indexed by rank (they are per-rank, not
     /// per-pair): complete checkpoint epochs written, torn writes from an
     /// injected crash, and restores performed.
@@ -65,6 +76,11 @@ impl ChannelStats {
             fault_dedups: zeros(),
             fault_stalls: zeros(),
             fault_throttles: zeros(),
+            fault_corrupts: zeros(),
+            fault_drops: zeros(),
+            corrupt_detected: zeros(),
+            nacks: zeros(),
+            retransmits: zeros(),
             checkpoints: per_rank(),
             crashes: per_rank(),
             restores: per_rank(),
@@ -120,6 +136,36 @@ impl ChannelStats {
         self.fault_throttles[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A frame src -> dst had a payload bit flipped by the fault layer.
+    #[inline]
+    pub fn record_fault_corrupt(&self, src: usize, dst: usize) {
+        self.fault_corrupts[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A frame src -> dst was discarded (lost) by the fault layer.
+    #[inline]
+    pub fn record_fault_drop(&self, src: usize, dst: usize) {
+        self.fault_drops[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Receiver `dst` detected a CRC mismatch on a frame from `src`.
+    #[inline]
+    pub fn record_corrupt_detected(&self, src: usize, dst: usize) {
+        self.corrupt_detected[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Receiver `dst` NACKed a frame back to sender `src`.
+    #[inline]
+    pub fn record_nack(&self, src: usize, dst: usize) {
+        self.nacks[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sender `src` retransmitted a buffered frame to `dst`.
+    #[inline]
+    pub fn record_retransmit(&self, src: usize, dst: usize) {
+        self.retransmits[src * self.ranks + dst].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Rank `rank` committed one complete checkpoint epoch.
     #[inline]
     pub fn record_checkpoint(&self, rank: usize) {
@@ -157,6 +203,11 @@ impl ChannelStats {
             fault_dedups: load(&self.fault_dedups),
             fault_stalls: load(&self.fault_stalls),
             fault_throttles: load(&self.fault_throttles),
+            fault_corrupts: load(&self.fault_corrupts),
+            fault_drops: load(&self.fault_drops),
+            corrupt_detected: load(&self.corrupt_detected),
+            nacks: load(&self.nacks),
+            retransmits: load(&self.retransmits),
             checkpoints: load(&self.checkpoints),
             crashes: load(&self.crashes),
             restores: load(&self.restores),
@@ -178,6 +229,14 @@ pub struct ChannelStatsSnapshot {
     pub fault_dedups: Vec<u64>,
     pub fault_stalls: Vec<u64>,
     pub fault_throttles: Vec<u64>,
+    /// Injected integrity faults (bit flips / frame losses) per pair.
+    pub fault_corrupts: Vec<u64>,
+    pub fault_drops: Vec<u64>,
+    /// Integrity recovery events per pair: CRC failures detected, NACKs
+    /// sent, retransmissions shipped.
+    pub corrupt_detected: Vec<u64>,
+    pub nacks: Vec<u64>,
+    pub retransmits: Vec<u64>,
     /// Per-rank (length `ranks`, not a matrix): complete checkpoint epochs
     /// written, injected mid-write crashes, and restores performed.
     pub checkpoints: Vec<u64>,
@@ -246,6 +305,26 @@ impl ChannelStatsSnapshot {
         self.fault_throttles.iter().sum()
     }
 
+    pub fn total_fault_corrupts(&self) -> u64 {
+        self.fault_corrupts.iter().sum()
+    }
+
+    pub fn total_fault_drops(&self) -> u64 {
+        self.fault_drops.iter().sum()
+    }
+
+    pub fn total_corrupt_detected(&self) -> u64 {
+        self.corrupt_detected.iter().sum()
+    }
+
+    pub fn total_nacks(&self) -> u64 {
+        self.nacks.iter().sum()
+    }
+
+    pub fn total_retransmits(&self) -> u64 {
+        self.retransmits.iter().sum()
+    }
+
     pub fn total_checkpoints(&self) -> u64 {
         self.checkpoints.iter().sum()
     }
@@ -259,7 +338,9 @@ impl ChannelStatsSnapshot {
     }
 
     /// Sum of all fault events of every type — nonzero iff the fault layer
-    /// perturbed at least one message on this channel set.
+    /// perturbed at least one message on this channel set. Recovery events
+    /// (detections, NACKs, retransmits) are consequences, not faults, and
+    /// are excluded.
     pub fn total_faults(&self) -> u64 {
         self.total_fault_delays()
             + self.total_fault_reorders()
@@ -267,6 +348,8 @@ impl ChannelStatsSnapshot {
             + self.total_fault_dedups()
             + self.total_fault_stalls()
             + self.total_fault_throttles()
+            + self.total_fault_corrupts()
+            + self.total_fault_drops()
     }
 
     /// Number of distinct destinations rank `src` ever sent to.
@@ -407,6 +490,8 @@ mod tests {
         s.record_fault_dedup(2, 0);
         s.record_fault_stall(0, 2);
         s.record_fault_throttle(1, 0);
+        s.record_fault_corrupt(0, 1);
+        s.record_fault_drop(1, 2);
         let snap = s.snapshot();
         assert_eq!(snap.fault_delays[1], 2);
         assert_eq!(snap.total_fault_delays(), 2);
@@ -415,8 +500,25 @@ mod tests {
         assert_eq!(snap.total_fault_dedups(), 1);
         assert_eq!(snap.total_fault_stalls(), 1);
         assert_eq!(snap.total_fault_throttles(), 1);
-        assert_eq!(snap.total_faults(), 7);
+        assert_eq!(snap.total_fault_corrupts(), 1);
+        assert_eq!(snap.total_fault_drops(), 1);
+        assert_eq!(snap.total_faults(), 9);
         assert_eq!(snap.total_msgs(), 0, "fault events are not messages");
+    }
+
+    #[test]
+    fn integrity_recovery_counters_are_not_faults() {
+        let s = ChannelStats::new(2);
+        s.record_corrupt_detected(0, 1);
+        s.record_corrupt_detected(0, 1);
+        s.record_nack(0, 1);
+        s.record_retransmit(0, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.total_corrupt_detected(), 2);
+        assert_eq!(snap.total_nacks(), 1);
+        assert_eq!(snap.total_retransmits(), 1);
+        assert_eq!(snap.total_faults(), 0, "recovery events are consequences, not faults");
+        assert_eq!(snap.total_msgs(), 0, "retransmits never count as messages");
     }
 
     #[test]

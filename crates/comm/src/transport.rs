@@ -87,6 +87,28 @@ impl<M: Send + 'static> Transport<M> {
         self.next_seq[dst].load(Ordering::Relaxed)
     }
 
+    /// The channel tag this endpoint was opened with.
+    #[inline]
+    pub(crate) fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The world's fault plan, when this endpoint injects faults.
+    #[inline]
+    pub(crate) fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref().map(|(p, _)| p)
+    }
+
+    /// Hand dedup responsibility to a higher layer (see
+    /// [`FaultState::disable_dedup`]): the mailbox's integrity window
+    /// dedups after CRC verification so corrupt copies never block their
+    /// retransmission.
+    pub(crate) fn disable_fault_dedup(&self) {
+        if let Some((_, state)) = &self.fault {
+            state.borrow_mut().disable_dedup();
+        }
+    }
+
     /// Claim the next sequence number for a send to `dst`.
     #[inline]
     fn claim_seq(&self, dst: usize) -> u64 {
@@ -176,6 +198,17 @@ impl<M: Send + 'static> Transport<M> {
         let _ = self.set.senders[dst].send(Wire { src: self.rank as u32, seq, msg });
     }
 
+    /// Re-ship a buffered copy of an earlier send to `dst`, reusing its
+    /// original sequence number so the receiver's integrity window absorbs
+    /// whichever copy is redundant. Like duplicates, retransmit traffic is
+    /// recorded in the recovery counters only — never in the message/byte
+    /// matrices — so conservation invariants still hold.
+    pub(crate) fn send_retransmit(&self, dst: usize, seq: u64, msg: M) {
+        debug_assert!(dst != self.rank, "loopback frames are never retransmitted");
+        self.set.stats.record_retransmit(self.rank, dst);
+        let _ = self.set.senders[dst].send(Wire { src: self.rank as u32, seq, msg });
+    }
+
     /// Non-blocking receive: `Some((source_rank, message))` if one is queued.
     ///
     /// Under fault injection each call is one tick of the fault clock: raw
@@ -183,8 +216,16 @@ impl<M: Send + 'static> Transport<M> {
     /// message (if any) is released.
     #[inline]
     pub fn try_recv(&self) -> Option<(usize, M)> {
+        self.try_recv_wire().map(|w| (w.src as usize, w.msg))
+    }
+
+    /// Non-blocking receive keeping the wire envelope — the mailbox's
+    /// integrity layer needs `(src, seq)` for its dedup window and ACK/NACK
+    /// bookkeeping.
+    #[inline]
+    pub(crate) fn try_recv_wire(&self) -> Option<Wire<M>> {
         match &self.fault {
-            None => self.receiver.try_recv().ok().map(|w| (w.src as usize, w.msg)),
+            None => self.receiver.try_recv().ok(),
             Some((_, state)) => state.borrow_mut().try_recv(&self.receiver, &self.set.stats),
         }
     }
@@ -209,8 +250,8 @@ impl<M: Send + 'static> Transport<M> {
             },
             Some((_, state)) => loop {
                 let mut st = state.borrow_mut();
-                if let Some(out) = st.try_recv(&self.receiver, &self.set.stats) {
-                    return out;
+                if let Some(w) = st.try_recv(&self.receiver, &self.set.stats) {
+                    return (w.src as usize, w.msg);
                 }
                 let pending = st.pending();
                 drop(st);

@@ -231,6 +231,8 @@ pub fn bfs(ctx: &RankCtx, g: &DistGraph, source: VertexId, cfg: &BfsConfig) -> B
     if let Some(cs) = g.csr().cache_stats() {
         stats.io_stall = cs.io_stall();
         stats.evict_stall = cs.evict_stall();
+        stats.page_checksum_failures = cs.page_checksum_failures;
+        stats.page_reread_retries = cs.page_reread_retries;
     }
     if let Some(io) = g.csr().io_stats() {
         stats.io_avg_queue_depth = io.avg_queue_depth();

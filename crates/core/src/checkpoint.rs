@@ -48,17 +48,37 @@ pub struct CheckpointSpec {
     /// blob write hands off to the background drain (the write-behind
     /// path PR 3 added) instead of stalling the traversal.
     pub io: IoConfig,
+    /// Storage-corruption injection: after `(rank, epoch)` commits its
+    /// blob (marker and all), one payload byte is flipped through the
+    /// cache — silent corruption only the blob's own checksum can catch.
+    /// A later restore walking past that epoch must fall back to the
+    /// next-oldest intact one and count it in
+    /// [`TraversalStats::restore_epoch_fallbacks`](crate::queue::TraversalStats).
+    pub corrupt_committed: Option<(usize, u64)>,
 }
 
 impl Default for CheckpointSpec {
     fn default() -> Self {
-        Self { every: 4096, page_size: 4096, cache_pages: 64, io: IoConfig::asynchronous() }
+        Self {
+            every: 4096,
+            page_size: 4096,
+            cache_pages: 64,
+            io: IoConfig::asynchronous(),
+            corrupt_committed: None,
+        }
     }
 }
 
 impl CheckpointSpec {
     pub fn with_every(mut self, every: u64) -> Self {
         self.every = every;
+        self
+    }
+
+    /// Corrupt the committed blob of `(rank, epoch)` right after its
+    /// commit marker lands (see `corrupt_committed`).
+    pub fn with_corrupt_committed(mut self, rank: usize, epoch: u64) -> Self {
+        self.corrupt_committed = Some((rank, epoch));
         self
     }
 

@@ -96,6 +96,18 @@ pub struct TraversalStats {
     pub fault_deduped: u64,
     pub fault_stalled: u64,
     pub fault_throttled: u64,
+    /// Frames arriving at this rank with an injected bit flip / injected
+    /// wire loss (all zero on fault-free runs).
+    pub fault_corrupted: u64,
+    pub frames_dropped_injected: u64,
+    /// Integrity-layer recovery observed by this rank: corrupt frames its
+    /// CRC check rejected, NACKs it sent for gaps/rejections, and
+    /// retransmissions it performed as a sender. On a lossy run every
+    /// injected corruption must show up in `corrupt_frames_detected` —
+    /// the sweep's zero-undetected-corruption invariant.
+    pub corrupt_frames_detected: u64,
+    pub nacks_sent: u64,
+    pub retransmits: u64,
     /// Wall-clock time inside `do_traversal`.
     pub elapsed: Duration,
     /// Time this rank spent blocked on demand page fills (semi-external
@@ -118,9 +130,19 @@ pub struct TraversalStats {
     pub crashes: u64,
     /// Times this rank rewound to an earlier checkpoint epoch.
     pub restores: u64,
+    /// Committed checkpoint epochs this rank skipped at restore because
+    /// their payload failed its checksum (silent storage corruption): the
+    /// blob is treated exactly like a torn write and the world agrees on
+    /// the next-oldest intact epoch.
+    pub restore_epoch_fallbacks: u64,
     /// Wall-clock spent serializing and writing checkpoints plus restoring
     /// from them — the numerator of the checkpoint overhead percentage.
     pub checkpoint_time: Duration,
+    /// Semi-external storage integrity (zero for in-memory runs): page
+    /// fills whose bytes mismatched the page's write-back checksum, and
+    /// the device re-reads issued to recover them.
+    pub page_checksum_failures: u64,
+    pub page_reread_retries: u64,
 }
 
 impl TraversalStats {
@@ -133,6 +155,8 @@ impl TraversalStats {
             + self.fault_deduped
             + self.fault_stalled
             + self.fault_throttled
+            + self.fault_corrupted
+            + self.frames_dropped_injected
     }
 }
 
@@ -281,6 +305,11 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
         s.fault_deduped = recv_col(&tr.fault_dedups);
         s.fault_stalled = recv_col(&tr.fault_stalls);
         s.fault_throttled = recv_col(&tr.fault_throttles);
+        s.fault_corrupted = recv_col(&tr.fault_corrupts);
+        s.frames_dropped_injected = recv_col(&tr.fault_drops);
+        s.corrupt_frames_detected = recv_col(&tr.corrupt_detected);
+        s.nacks_sent = recv_col(&tr.nacks);
+        s.retransmits = send_row(&tr.retransmits);
         s
     }
 
@@ -441,7 +470,7 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
                 ) {
                     Some(true) => break,
                     Some(false) => {
-                        self.checkpoint_cut(ctx, &mut store, &mut epoch, &mut incarnation);
+                        self.checkpoint_cut(ctx, spec, &mut store, &mut epoch, &mut incarnation);
                         executed_since = 0;
                     }
                     None => std::thread::yield_now(),
@@ -457,6 +486,7 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
     fn checkpoint_cut(
         &mut self,
         ctx: &RankCtx,
+        spec: &CheckpointSpec,
         store: &mut CheckpointStore,
         epoch: &mut u64,
         incarnation: &mut u64,
@@ -475,11 +505,19 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
             self.stats.checkpoints_written += 1;
             self.stats.checkpoint_bytes += blob.len() as u64;
             self.mailbox.channel_stats().record_checkpoint(self.rank);
+            if spec.corrupt_committed == Some((self.rank, *epoch)) && *incarnation == 0 {
+                let flipped = store.corrupt_committed_payload(*epoch);
+                debug_assert!(flipped, "corruption target epoch was just committed");
+            }
         }
         if victim.is_some() {
-            let local_latest = store
-                .latest_complete_epoch()
-                .expect("epoch 0 is never torn, so a complete epoch exists");
+            // Walk past torn *and* silently corrupt epochs: a committed
+            // blob failing its checksum is treated exactly like a torn
+            // one, but counted — the restore-fallback telemetry.
+            let (local_latest, fallbacks) = store.latest_complete_epoch_with_fallbacks();
+            let local_latest =
+                local_latest.expect("epoch 0 is never torn, so a complete epoch exists");
+            self.stats.restore_epoch_fallbacks += fallbacks;
             let target = ctx.all_reduce_min(local_latest);
             let bytes = store.read_epoch(target).expect("agreed restore epoch is complete");
             let ck = QueueCheckpoint::<V>::decode(&bytes, &self.decode_ctx)
@@ -908,6 +946,51 @@ mod tests {
             assert_eq!(marked, 64, "resumed flood reaches whole ring (p={p})");
             assert_eq!(crashes, 1, "exactly one torn epoch (p={p})");
             assert_eq!(restores, p as u64, "every rank rewinds together (p={p})");
+        }
+    }
+
+    #[test]
+    fn corrupt_committed_checkpoint_falls_back_one_epoch() {
+        // Rank 0 commits epoch 2 and then its blob is silently damaged
+        // (payload flip through the cache); rank p-1 tears epoch 2 as the
+        // forced crash victim. At restore rank 0 must skip its corrupt
+        // blob — exactly one counted fallback — and the world agrees on
+        // epoch 1; the rewound traversal still floods the whole ring.
+        let edges = ring_edges(64);
+        for p in [2usize, 4] {
+            let faults = havoq_comm::FaultConfig::quiet(7).with_forced_crash(p - 1, 2);
+            let out = CommWorld::run_with_faults(p, Some(faults), |ctx| {
+                let g = DistGraph::build_replicated(
+                    ctx,
+                    &edges,
+                    PartitionStrategy::EdgeList,
+                    GraphConfig::default(),
+                );
+                let mut q = VisitorQueue::<Flood>::new(ctx, &g, TraversalConfig::default());
+                if g.is_master(VertexId(0)) {
+                    q.push(Flood { vertex: VertexId(0) });
+                }
+                let spec = crate::checkpoint::CheckpointSpec::default()
+                    .with_every(8)
+                    .with_corrupt_committed(0, 2);
+                q.do_traversal_checkpointed(ctx, &spec);
+                let s = q.stats();
+                let marked: u64 = g
+                    .local_vertices()
+                    .filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].marked)
+                    .count() as u64;
+                (
+                    ctx.all_reduce_sum(marked),
+                    ctx.all_reduce_sum(s.crashes),
+                    ctx.all_reduce_sum(s.restores),
+                    ctx.all_reduce_sum(s.restore_epoch_fallbacks),
+                )
+            });
+            let (marked, crashes, restores, fallbacks) = out[0];
+            assert_eq!(marked, 64, "traversal completes from the earlier epoch (p={p})");
+            assert_eq!(crashes, 1, "p={p}");
+            assert_eq!(restores, p as u64, "p={p}");
+            assert_eq!(fallbacks, 1, "rank 0 skipped exactly its corrupt blob (p={p})");
         }
     }
 

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use havoq_util::crc::crc32;
 use havoq_util::FxHashMap;
 
 use crate::device::BlockDevice;
@@ -232,6 +233,8 @@ struct CacheCounters {
     dropped_prefetches: AtomicU64,
     io_stall_ns: AtomicU64,
     evict_stall_ns: AtomicU64,
+    page_checksum_failures: AtomicU64,
+    page_reread_retries: AtomicU64,
 }
 
 /// Outcome of reserving a frame for an incoming page.
@@ -248,6 +251,14 @@ enum Reserve {
 /// Pages per queued prefetch request when splitting a large advise window.
 const ADVISE_CHUNK_PAGES: usize = 32;
 
+/// Bound on re-reads of a page whose fill failed checksum verification.
+/// Transient device read errors (NAND read disturb, which
+/// [`crate::device::MemDevice::set_read_corruption`] models) redraw on
+/// every access, so a handful of retries recovers; a page that still
+/// mismatches after this many re-reads holds corrupt *stored* data and is
+/// quarantined (panic) rather than silently served.
+const MAX_PAGE_REREADS: u64 = 8;
+
 /// The shared cache state: everything except the worker pool handle.
 /// Submitting threads and I/O workers both operate on this through an
 /// `Arc`.
@@ -262,6 +273,14 @@ pub(crate) struct CacheCore {
     /// readahead together with `device.len()` so prefetch never reads
     /// past the data that exists.
     len_hint: AtomicU64,
+    /// CRC32 of the newest bytes this cache wrote back to the device, per
+    /// page, sharded like the frame table. Fills verify against it; pages
+    /// the cache never wrote (pre-populated devices) have no entry and
+    /// are unverifiable. Entries are recorded *inside* the write-back
+    /// registry's critical section, atomically with entry removal, so a
+    /// fill that misses the registry always sees the checksum of the
+    /// bytes that are actually durable.
+    page_crcs: Vec<Mutex<FxHashMap<u64, u32>>>,
 }
 
 impl CacheCore {
@@ -275,6 +294,7 @@ impl CacheCore {
             .collect();
         let depth = cfg.io.resolved_depth(&device);
         let workers = if cfg.io.mode == IoMode::Async { cfg.io.resolved_workers(depth) } else { 0 };
+        let page_crcs = (0..cfg.shards).map(|_| Mutex::new(FxHashMap::default())).collect();
         Self {
             device,
             cfg,
@@ -283,7 +303,19 @@ impl CacheCore {
             registry: WritebackRegistry::new(),
             io: IoShared::new(depth, workers),
             len_hint: AtomicU64::new(0),
+            page_crcs,
         }
+    }
+
+    /// Expected checksum for `page_no`, if the cache has written it back.
+    fn page_crc(&self, page_no: u64) -> Option<u32> {
+        let shard = &self.page_crcs[(page_no as usize) % self.page_crcs.len()];
+        shard.lock().unwrap().get(&page_no).copied()
+    }
+
+    fn record_page_crc(&self, page_no: u64, crc: u32) {
+        let shard = &self.page_crcs[(page_no as usize) % self.page_crcs.len()];
+        shard.lock().unwrap().insert(page_no, crc);
     }
 
     pub(crate) fn io_shared(&self) -> &IoShared {
@@ -377,7 +409,7 @@ impl CacheCore {
         if let Some(d) = self.registry.lookup(page_no) {
             buf.copy_from_slice(&d);
         } else {
-            self.device.read_at(page_no * self.cfg.page_size as u64, &mut buf);
+            self.read_page_verified(page_no, &mut buf);
         }
         self.stall(t);
         let mut shard = slot.lock();
@@ -385,6 +417,45 @@ impl CacheCore {
         slot.cv.notify_all();
         let frame = &mut shard.frames[idx];
         (f(&mut frame.data), true)
+    }
+
+    /// Read one page from the device, verifying it against the recorded
+    /// write-back checksum when one exists. A mismatch is retried with
+    /// bounded re-reads — transient read errors redraw per access and
+    /// recover — and as a last resort resolved from the write-back
+    /// registry; a page that survives all of that with a bad checksum
+    /// holds corrupt stored data and is quarantined (panic) instead of
+    /// being served to a traversal. Never called with a shard lock held.
+    fn read_page_verified(&self, page_no: u64, buf: &mut [u8]) {
+        let offset = page_no * self.cfg.page_size as u64;
+        self.device.read_at(offset, buf);
+        let Some(expected) = self.page_crc(page_no) else {
+            return; // never written back by this cache: unverifiable
+        };
+        if crc32(buf) == expected {
+            return;
+        }
+        self.counters.page_checksum_failures.fetch_add(1, Ordering::Relaxed);
+        for _ in 0..MAX_PAGE_REREADS {
+            self.counters.page_reread_retries.fetch_add(1, Ordering::Relaxed);
+            self.device.read_at(offset, buf);
+            if crc32(buf) == expected {
+                return;
+            }
+        }
+        // The checksum may describe a write-back that landed (and left the
+        // registry) between our first lookup and the reads above; if its
+        // bytes are back in flight, serve them.
+        if let Some(d) = self.registry.lookup(page_no) {
+            buf.copy_from_slice(&d);
+            return;
+        }
+        panic!(
+            "page {page_no} (offset {offset}) failed checksum verification after \
+             {MAX_PAGE_REREADS} re-reads: stored data is corrupt \
+             (expected crc32 {expected:#010x}, read {:#010x})",
+            crc32(buf)
+        );
     }
 
     /// Acquire a frame for an incoming page. Caller holds the shard lock.
@@ -536,6 +607,26 @@ impl CacheCore {
         if claims.iter().any(|c| matches!(c, Claim::Device)) {
             self.device.read_at(first * ps as u64, &mut bulk);
         }
+        // Verify device-sourced pages against their write-back checksums.
+        // A mismatching page (transient read error hitting the bulk read)
+        // releases its claim instead of installing garbage: the waiting or
+        // future demand fault re-reads it with the bounded-retry path.
+        for (i, claim) in claims.iter_mut().enumerate() {
+            if !matches!(claim, Claim::Device) {
+                continue;
+            }
+            let page_no = first + i as u64;
+            let Some(expected) = self.page_crc(page_no) else { continue };
+            if crc32(&bulk[i * ps..(i + 1) * ps]) == expected {
+                continue;
+            }
+            self.counters.page_checksum_failures.fetch_add(1, Ordering::Relaxed);
+            self.counters.dropped_prefetches.fetch_add(1, Ordering::Relaxed);
+            let slot = self.shard_of(page_no);
+            slot.lock().map.remove(&page_no);
+            slot.cv.notify_all();
+            *claim = Claim::Skip;
+        }
         for (i, claim) in claims.iter().enumerate() {
             let pinned = match claim {
                 Claim::Skip => continue,
@@ -585,10 +676,14 @@ impl CacheCore {
         }
     }
 
-    /// Resolve a write-back ticket now, on this thread.
+    /// Resolve a write-back ticket now, on this thread. The page's
+    /// checksum is recorded by the registry's durability callback —
+    /// atomically with the entry's removal — so fills that miss the
+    /// registry always verify against the bytes that actually landed.
     pub(crate) fn perform_writeback(&self, pw: &PendingWriteback) {
         debug_assert!(!shard_lock_held(), "write-back under a shard lock");
-        match self.registry.perform(pw, &self.device, self.cfg.page_size) {
+        let on_durable = |page_no: u64, data: &[u8]| self.record_page_crc(page_no, crc32(data));
+        match self.registry.perform(pw, &self.device, self.cfg.page_size, on_durable) {
             WbOutcome::Written => self.counters.writebacks.fetch_add(1, Ordering::Relaxed),
             WbOutcome::Coalesced => self.counters.wb_coalesced.fetch_add(1, Ordering::Relaxed),
         };
@@ -822,6 +917,8 @@ impl PageCache {
             dropped_prefetches: c.dropped_prefetches.load(Ordering::Relaxed),
             io_stall_ns: c.io_stall_ns.load(Ordering::Relaxed),
             evict_stall_ns: c.evict_stall_ns.load(Ordering::Relaxed),
+            page_checksum_failures: c.page_checksum_failures.load(Ordering::Relaxed),
+            page_reread_retries: c.page_reread_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -844,6 +941,8 @@ impl PageCache {
         c.dropped_prefetches.store(0, Ordering::Relaxed);
         c.io_stall_ns.store(0, Ordering::Relaxed);
         c.evict_stall_ns.store(0, Ordering::Relaxed);
+        c.page_checksum_failures.store(0, Ordering::Relaxed);
+        c.page_reread_retries.store(0, Ordering::Relaxed);
         self.core.io.reset_stats();
     }
 
@@ -904,6 +1003,12 @@ pub struct CacheStatsSnapshot {
     /// Time callers spent writing dirty victims inline — the eviction
     /// stall that write-behind exists to remove.
     pub evict_stall_ns: u64,
+    /// Fills whose bytes mismatched the page's write-back checksum.
+    /// Every detection triggered re-reads (or, for prefetch, a released
+    /// claim) — none of these pages was served corrupt.
+    pub page_checksum_failures: u64,
+    /// Device re-reads issued to recover checksum-failed fills.
+    pub page_reread_retries: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -1199,13 +1304,13 @@ mod tests {
         let dev = Arc::new(MemDevice::new());
         let violations = Arc::new(AtomicU64::new(0));
         let v1 = Arc::clone(&violations);
-        dev.set_read_hook(Arc::new(move |_, _| {
+        dev.add_read_hook(Arc::new(move |_, _| {
             if shard_lock_held() {
                 v1.fetch_add(1, Ordering::Relaxed);
             }
         }));
         let v2 = Arc::clone(&violations);
-        dev.set_write_hook(Arc::new(move |_, _| {
+        dev.add_write_hook(Arc::new(move |_, _| {
             if shard_lock_held() {
                 v2.fetch_add(1, Ordering::Relaxed);
             }
@@ -1516,7 +1621,7 @@ mod tests {
         let core = Arc::clone(&c.core);
         let dev = Arc::clone(&inner) as Arc<dyn BlockDevice>;
         *hooked.after_read.lock().unwrap() = Some(Box::new(move || {
-            let _ = core.registry.perform(&pw, &dev, 64);
+            let _ = core.registry.perform(&pw, &dev, 64, |_, _| ());
         }));
         c.core.do_prefetch(0, 2);
         let mut b = [0u8; 64];
@@ -1551,5 +1656,117 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.prefetches, 4, "{s:?}");
         assert_eq!(s.dropped_prefetches, 0, "{s:?}");
+    }
+
+    #[test]
+    fn transient_read_corruption_is_detected_and_retried() {
+        let (dev, c) = cache(8, 64);
+        let n = 64u64;
+        for i in 0..n {
+            c.write_at(i * 64, &[i as u8; 64]);
+        }
+        c.clear(); // flush (records per-page checksums) + drop every frame
+        assert_eq!(c.stats().page_checksum_failures, 0);
+        dev.set_read_corruption(400, 0x0BAD_5EED);
+        c.reset_stats();
+        for i in 0..n {
+            let mut b = [0u8; 64];
+            c.read_at(i * 64, &mut b);
+            assert_eq!(b, [i as u8; 64], "page {i} served corrupt bytes");
+        }
+        let s = c.stats();
+        assert!(s.page_checksum_failures > 0, "400permille must corrupt some fills: {s:?}");
+        assert!(s.page_reread_retries >= s.page_checksum_failures, "{s:?}");
+        assert!(dev.reads_corrupted() >= s.page_checksum_failures, "{s:?}");
+        dev.set_read_corruption(0, 0);
+        c.validate();
+    }
+
+    #[test]
+    fn prefetch_checksum_failure_falls_back_to_demand_fill() {
+        let dev = Arc::new(MemDevice::new());
+        let c = PageCache::new(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 16,
+                shards: 2,
+                readahead_pages: 4,
+                ..PageCacheConfig::default()
+            },
+        );
+        let n = 48u64;
+        for i in 0..n {
+            c.write_at(i * 64, &[(i + 1) as u8; 64]);
+        }
+        c.clear();
+        dev.set_read_corruption(300, 77);
+        c.reset_stats();
+        for i in 0..n {
+            let mut b = [0u8; 64];
+            c.read_at(i * 64, &mut b);
+            assert_eq!(b, [(i + 1) as u8; 64], "page {i} served corrupt bytes");
+        }
+        let s = c.stats();
+        assert!(s.page_checksum_failures > 0, "bulk reads must trip verification: {s:?}");
+        dev.set_read_corruption(0, 0);
+        c.validate();
+    }
+
+    #[test]
+    fn unwritten_pages_are_unverifiable_but_served() {
+        // Pages that never went through cache write-back (pre-populated
+        // device) carry no checksum; corruption there is out of the
+        // cache's contract and must not trip false quarantines.
+        let dev = Arc::new(MemDevice::new());
+        dev.write_at(0, &[9u8; 4 * 64]); // direct device write, no CRCs
+        let c = PageCache::new(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            PageCacheConfig {
+                page_size: 64,
+                capacity_pages: 8,
+                shards: 2,
+                ..PageCacheConfig::default()
+            },
+        );
+        dev.set_read_corruption(1000, 5); // every read flips a bit
+        let mut b = [0u8; 64];
+        c.read_at(0, &mut b); // must not panic
+        assert_eq!(c.stats().page_checksum_failures, 0);
+        dev.set_read_corruption(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stored data is corrupt")]
+    fn persistent_corruption_is_quarantined() {
+        // Corrupt the *stored* bytes behind the cache's back: re-reads
+        // cannot recover, so the fill must refuse to serve the page.
+        let (dev, c) = cache(8, 64);
+        c.write_at(0, &[1u8; 64]);
+        c.clear(); // checksum recorded, frame dropped
+        dev.write_at(0, &[2u8; 64]); // silent out-of-band overwrite
+        let mut b = [0u8; 64];
+        c.read_at(0, &mut b);
+    }
+
+    #[test]
+    fn checksums_track_latest_writeback_generation() {
+        // Rewrite the same page repeatedly through eviction cycles; the
+        // recorded checksum must always describe the newest durable bytes.
+        let (dev, c) = cache(2, 64);
+        for round in 0..8u8 {
+            c.write_at(0, &[round; 64]); // page 0
+            c.write_at(2 * 64, &[round; 64]); // page 2: same shard, evicts 0
+            c.write_at(4 * 64, &[round; 64]); // page 4: evicts 2
+        }
+        c.flush();
+        dev.set_read_corruption(400, 99);
+        for page in [0u64, 2, 4] {
+            let mut b = [0u8; 64];
+            c.read_at(page * 64, &mut b);
+            assert_eq!(b, [7u8; 64], "page {page}");
+        }
+        dev.set_read_corruption(0, 0);
+        c.validate();
     }
 }

@@ -217,7 +217,47 @@ impl CheckpointStore {
     /// the directory downward so torn or damaged tails are skipped — this
     /// is each rank's vote in the collective restore-point agreement.
     pub fn latest_complete_epoch(&self) -> Option<u64> {
-        self.dir.keys().rev().find(|&&e| self.read_epoch(e).is_ok()).copied()
+        self.latest_complete_epoch_with_fallbacks().0
+    }
+
+    /// Like [`Self::latest_complete_epoch`], also reporting how many
+    /// *committed but corrupt* epochs (commit marker present, payload
+    /// checksum failed) were skipped on the way down. Such a blob is
+    /// treated exactly like a torn one — skipped, and the world restores
+    /// from the next-oldest intact epoch — but it is counted separately:
+    /// torn blobs are expected debris of an injected crash, while a
+    /// checksum mismatch means silent storage corruption was caught.
+    pub fn latest_complete_epoch_with_fallbacks(&self) -> (Option<u64>, u64) {
+        let mut fallbacks = 0u64;
+        for &e in self.dir.keys().rev() {
+            match self.read_epoch(e) {
+                Ok(_) => return (Some(e), fallbacks),
+                Err(CheckpointError::ChecksumMismatch) => fallbacks += 1,
+                Err(_) => {}
+            }
+        }
+        (None, fallbacks)
+    }
+
+    /// Fault injection for tests: flip one payload byte of `epoch`'s
+    /// newest blob *through the cache*, so the page-level write-back
+    /// checksums stay consistent with the damaged bytes and only the
+    /// blob's own checksum can catch it — silent corruption of a
+    /// committed checkpoint. Returns `false` when the epoch is unknown or
+    /// its payload is empty.
+    pub fn corrupt_committed_payload(&self, epoch: u64) -> bool {
+        let Some(&base) = self.dir.get(&epoch) else { return false };
+        let mut header = [0u8; CHECKPOINT_HEADER_BYTES];
+        self.cache.read_at(base, &mut header);
+        let len = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        if len == 0 {
+            return false;
+        }
+        let off = base + CHECKPOINT_HEADER_BYTES as u64 + len / 2;
+        let mut b = [0u8; 1];
+        self.cache.read_at(off, &mut b);
+        self.cache.write_at(off, &[b[0] ^ 0x40]);
+        true
     }
 
     /// Drop every epoch above `epoch` from the directory. Recovery calls
@@ -303,6 +343,28 @@ mod tests {
         assert_eq!(st.read_epoch(2), Err(CheckpointError::UnknownEpoch));
         st.write_epoch_torn(2, &payload(2, 64));
         assert_eq!(st.latest_complete_epoch(), Some(1), "torn retry must not resurface");
+    }
+
+    #[test]
+    fn corrupt_committed_epoch_is_treated_like_torn() {
+        // The commit marker landed, then the payload bytes were damaged:
+        // the FNV checksum rejects the blob and recovery steps back to the
+        // next-oldest intact epoch, reporting one fallback.
+        let mut st = CheckpointStore::new(cache(8));
+        st.write_epoch(0, &payload(0, 300));
+        st.write_epoch(1, &payload(1, 300));
+        st.write_epoch(2, &payload(2, 300));
+        assert!(st.corrupt_committed_payload(2));
+        assert_eq!(st.read_epoch(2), Err(CheckpointError::ChecksumMismatch));
+        assert_eq!(st.latest_complete_epoch_with_fallbacks(), (Some(1), 1));
+        assert_eq!(st.read_epoch(1).unwrap(), payload(1, 300));
+        // a torn tail is expected crash debris, not a counted fallback
+        st.write_epoch_torn(3, &payload(3, 300));
+        assert_eq!(st.latest_complete_epoch_with_fallbacks(), (Some(1), 1));
+        // intact stores report zero fallbacks
+        let mut ok = CheckpointStore::new(cache(8));
+        ok.write_epoch(0, &payload(0, 64));
+        assert_eq!(ok.latest_complete_epoch_with_fallbacks(), (Some(0), 0));
     }
 
     #[test]

@@ -88,11 +88,24 @@ pub type AccessHook = std::sync::Arc<dyn Fn(u64, usize) + Send + Sync>;
 
 /// In-memory device: the DRAM tier of Figure 9 / Table II, and the backing
 /// store for most tests.
+///
+/// Supports seeded *transient* read corruption
+/// ([`MemDevice::set_read_corruption`]): a corrupting read flips one bit in
+/// the returned buffer while the stored bytes stay intact, modelling the
+/// dominant NAND failure mode (read-disturb / ECC-miss on the wire) — which
+/// is exactly what makes a bounded re-read retry a sound recovery policy.
 pub struct MemDevice {
     data: RwLock<Vec<u8>>,
     counters: DeviceCounters,
-    read_hook: Mutex<Option<AccessHook>>,
-    write_hook: Mutex<Option<AccessHook>>,
+    read_hooks: Mutex<Vec<AccessHook>>,
+    write_hooks: Mutex<Vec<AccessHook>>,
+    /// Per-mille of reads that return a single flipped bit.
+    corrupt_permille: AtomicU64,
+    corrupt_seed: AtomicU64,
+    /// Monotone read counter: the corruption draw's nonce, so a re-read of
+    /// the same offset draws a fresh verdict and retries converge.
+    read_index: AtomicU64,
+    reads_corrupted: AtomicU64,
 }
 
 impl MemDevice {
@@ -104,29 +117,73 @@ impl MemDevice {
         Self {
             data: RwLock::new(vec![0u8; bytes]),
             counters: DeviceCounters::default(),
-            read_hook: Mutex::new(None),
-            write_hook: Mutex::new(None),
+            read_hooks: Mutex::new(Vec::new()),
+            write_hooks: Mutex::new(Vec::new()),
+            corrupt_permille: AtomicU64::new(0),
+            corrupt_seed: AtomicU64::new(0),
+            read_index: AtomicU64::new(0),
+            reads_corrupted: AtomicU64::new(0),
         }
     }
 
-    /// Install a hook called (on the accessing thread, before the copy) for
-    /// every `read_at`. Tests use this to assert invariants about *where*
-    /// device I/O happens — e.g. that no read runs under a cache shard lock.
-    pub fn set_read_hook(&self, hook: AccessHook) {
-        *self.read_hook.lock().unwrap() = Some(hook);
+    /// Add a hook called (on the accessing thread, before the copy) for
+    /// every `read_at`. Hooks compose: each installed hook runs, in
+    /// installation order. Tests use this to assert invariants about
+    /// *where* device I/O happens — e.g. that no read runs under a cache
+    /// shard lock — alongside fault injection.
+    pub fn add_read_hook(&self, hook: AccessHook) {
+        self.read_hooks.lock().unwrap().push(hook);
     }
 
-    /// Install a hook called for every `write_at`; see [`Self::set_read_hook`].
-    pub fn set_write_hook(&self, hook: AccessHook) {
-        *self.write_hook.lock().unwrap() = Some(hook);
+    /// Add a hook called for every `write_at`; see [`Self::add_read_hook`].
+    pub fn add_write_hook(&self, hook: AccessHook) {
+        self.write_hooks.lock().unwrap().push(hook);
     }
 
-    fn run_hook(slot: &Mutex<Option<AccessHook>>, offset: u64, len: usize) {
-        // Clone the Arc out so the hook itself runs without the slot lock
-        // (hooks may re-enter the device).
-        let hook = slot.lock().unwrap().clone();
-        if let Some(h) = hook {
+    /// Make `permille`/1000 of subsequent reads return a buffer with one
+    /// seeded bit flipped. The stored bytes are untouched, so a re-read
+    /// draws a fresh verdict and usually returns clean data.
+    pub fn set_read_corruption(&self, permille: u64, seed: u64) {
+        self.corrupt_seed.store(seed, Ordering::Relaxed);
+        self.corrupt_permille.store(permille, Ordering::Relaxed);
+    }
+
+    /// Reads that returned corrupted data so far.
+    pub fn reads_corrupted(&self) -> u64 {
+        self.reads_corrupted.load(Ordering::Relaxed)
+    }
+
+    fn run_hooks(slot: &Mutex<Vec<AccessHook>>, offset: u64, len: usize) {
+        // Clone the Arcs out so the hooks themselves run without the slot
+        // lock (hooks may re-enter the device).
+        let hooks = slot.lock().unwrap().clone();
+        for h in hooks {
             h(offset, len);
+        }
+    }
+
+    /// SplitMix64-style avalanche for the corruption draw.
+    fn mix(seed: u64, a: u64, b: u64) -> u64 {
+        let mut z = seed
+            .wrapping_add(a.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Flip one seeded bit of `buf` when this read's draw hits.
+    fn maybe_corrupt(&self, offset: u64, buf: &mut [u8]) {
+        let permille = self.corrupt_permille.load(Ordering::Relaxed);
+        if permille == 0 || buf.is_empty() {
+            return;
+        }
+        let index = self.read_index.fetch_add(1, Ordering::Relaxed);
+        let h = Self::mix(self.corrupt_seed.load(Ordering::Relaxed), offset, index);
+        if h % 1000 < permille {
+            let bit = ((h >> 10) % (buf.len() as u64 * 8)) as usize;
+            buf[bit / 8] ^= 1 << (bit % 8);
+            self.reads_corrupted.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -139,19 +196,22 @@ impl Default for MemDevice {
 
 impl BlockDevice for MemDevice {
     fn read_at(&self, offset: u64, buf: &mut [u8]) {
-        Self::run_hook(&self.read_hook, offset, buf.len());
+        Self::run_hooks(&self.read_hooks, offset, buf.len());
         self.counters.record_read(buf.len());
-        let data = self.data.read().unwrap();
-        let off = offset as usize;
-        let have = data.len().saturating_sub(off).min(buf.len());
-        if have > 0 {
-            buf[..have].copy_from_slice(&data[off..off + have]);
+        {
+            let data = self.data.read().unwrap();
+            let off = offset as usize;
+            let have = data.len().saturating_sub(off).min(buf.len());
+            if have > 0 {
+                buf[..have].copy_from_slice(&data[off..off + have]);
+            }
+            buf[have..].fill(0);
         }
-        buf[have..].fill(0);
+        self.maybe_corrupt(offset, buf);
     }
 
     fn write_at(&self, offset: u64, buf: &[u8]) {
-        Self::run_hook(&self.write_hook, offset, buf.len());
+        Self::run_hooks(&self.write_hooks, offset, buf.len());
         self.counters.record_write(buf.len());
         let mut data = self.data.write().unwrap();
         let end = offset as usize + buf.len();
@@ -407,6 +467,51 @@ mod tests {
         assert_eq!(s.reads, 2);
         assert_eq!(s.bytes_written, 100);
         assert_eq!(s.bytes_read, 80);
+    }
+
+    #[test]
+    fn read_corruption_is_transient_and_seeded() {
+        let dev = MemDevice::new();
+        dev.write_at(0, &[0xAAu8; 256]);
+        dev.set_read_corruption(500, 42);
+        let mut corrupted = 0;
+        for _ in 0..200 {
+            let mut buf = [0u8; 256];
+            dev.read_at(0, &mut buf);
+            if buf != [0xAAu8; 256] {
+                corrupted += 1;
+                // exactly one bit differs
+                let flipped: u32 = buf.iter().map(|&b| (b ^ 0xAA).count_ones()).sum();
+                assert_eq!(flipped, 1, "corruption must flip exactly one bit");
+            }
+        }
+        assert!(corrupted > 50, "50% rate must fire often, got {corrupted}");
+        assert_eq!(dev.reads_corrupted(), corrupted);
+        // the stored bytes were never harmed
+        dev.set_read_corruption(0, 0);
+        let mut buf = [0u8; 256];
+        dev.read_at(0, &mut buf);
+        assert_eq!(buf, [0xAAu8; 256], "corruption must be transient");
+    }
+
+    #[test]
+    fn hooks_compose() {
+        use std::sync::atomic::AtomicU64;
+        let dev = MemDevice::new();
+        let a = std::sync::Arc::new(AtomicU64::new(0));
+        let b = std::sync::Arc::new(AtomicU64::new(0));
+        let (ac, bc) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+        dev.add_read_hook(std::sync::Arc::new(move |_, _| {
+            ac.fetch_add(1, Ordering::Relaxed);
+        }));
+        dev.add_read_hook(std::sync::Arc::new(move |_, _| {
+            bc.fetch_add(1, Ordering::Relaxed);
+        }));
+        let mut buf = [0u8; 4];
+        dev.read_at(0, &mut buf);
+        dev.read_at(8, &mut buf);
+        assert_eq!(a.load(Ordering::Relaxed), 2, "first hook still fires");
+        assert_eq!(b.load(Ordering::Relaxed), 2, "second hook composes");
     }
 
     #[test]

@@ -320,11 +320,19 @@ impl WritebackRegistry {
     /// Resolve one ticket: write the page's newest bytes to the device, or
     /// coalesce if a newer generation superseded this ticket. Must not be
     /// called while holding a cache shard lock (it performs device I/O).
+    ///
+    /// `on_durable` runs under the registry lock, immediately before the
+    /// entry is removed, and only when this ticket's bytes are the ones
+    /// that became durable (no newer generation pending). The cache hangs
+    /// its per-page checksum recording here: because record and removal
+    /// share one critical section, a fault that misses the registry can
+    /// never observe new device bytes with a stale checksum.
     pub(crate) fn perform(
         &self,
         pw: &PendingWriteback,
         device: &Arc<dyn BlockDevice>,
         page_size: usize,
+        on_durable: impl FnOnce(u64, &[u8]),
     ) -> WbOutcome {
         let mut m = self.m.lock().unwrap();
         let data = loop {
@@ -351,6 +359,7 @@ impl WritebackRegistry {
         if let Some(e) = m.get_mut(&pw.page_no) {
             e.writing = false;
             if e.gen == pw.gen {
+                on_durable(pw.page_no, &data);
                 m.remove(&pw.page_no);
             }
         }
@@ -478,7 +487,7 @@ mod tests {
         let d = dev();
         let pw = reg.register(3, &[7u8; 64]);
         assert_eq!(reg.lookup(3).as_deref(), Some(&[7u8; 64][..]));
-        assert_eq!(reg.perform(&pw, &d, 64), WbOutcome::Written);
+        assert_eq!(reg.perform(&pw, &d, 64, |_, _| ()), WbOutcome::Written);
         assert!(reg.is_empty());
         let mut buf = [0u8; 64];
         d.read_at(3 * 64, &mut buf);
@@ -492,10 +501,10 @@ mod tests {
         let old = reg.register(5, &[1u8; 32]);
         let new = reg.register(5, &[2u8; 32]);
         // old ticket: superseded, nothing written
-        assert_eq!(reg.perform(&old, &d, 32), WbOutcome::Coalesced);
+        assert_eq!(reg.perform(&old, &d, 32, |_, _| ()), WbOutcome::Coalesced);
         assert_eq!(d.stats().writes, 0);
         // new ticket writes the newest bytes and clears the entry
-        assert_eq!(reg.perform(&new, &d, 32), WbOutcome::Written);
+        assert_eq!(reg.perform(&new, &d, 32, |_, _| ()), WbOutcome::Written);
         assert!(reg.is_empty());
         let mut buf = [0u8; 32];
         d.read_at(5 * 32, &mut buf);
@@ -508,8 +517,8 @@ mod tests {
         let d = dev();
         let a = reg.register(9, &[3u8; 16]);
         let b = reg.register(9, &[4u8; 16]);
-        assert_eq!(reg.perform(&b, &d, 16), WbOutcome::Written);
-        assert_eq!(reg.perform(&a, &d, 16), WbOutcome::Coalesced);
+        assert_eq!(reg.perform(&b, &d, 16, |_, _| ()), WbOutcome::Written);
+        assert_eq!(reg.perform(&a, &d, 16, |_, _| ()), WbOutcome::Coalesced);
         assert_eq!(d.stats().writes, 1);
     }
 
@@ -531,7 +540,7 @@ mod tests {
         let d2 = Arc::clone(&d);
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
-            r2.perform(&pw, &d2, 32)
+            r2.perform(&pw, &d2, 32, |_, _| ())
         });
         reg.drain(); // blocks until the performer removes the entry
         assert!(reg.is_empty());

@@ -1,0 +1,61 @@
+//! In-tree CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), table-driven.
+//!
+//! Shared by the comm layer (frame trailers on the wire) and the NVRAM
+//! layer (per-page write-back checksums), so both planes of the
+//! end-to-end integrity story detect corruption with the same code. The
+//! build environment has no registry access, so this replaces the usual
+//! `crc32fast` dependency.
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+/// CRC-32 of `bytes`. Detects any single-bit error and any error burst up
+/// to 32 bits long; random multi-bit corruption slips through with
+/// probability 2^-32.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // the canonical CRC-32/IEEE check value
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flips_always_detected() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        let clean = crc32(&data);
+        let mut flipped = data.clone();
+        for bit in [0usize, 7, 8, 1000, 1024 * 8 - 1] {
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&flipped), clean, "bit {bit} undetected");
+            flipped[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert_eq!(crc32(&flipped), clean);
+    }
+}

@@ -11,7 +11,10 @@
 //!   (I/O queue depths, frame fills) with exact mean/max tracking.
 //! - [`testing`]: a deterministic property-test harness (seeded cases +
 //!   a small PRNG) replacing proptest for the invariant suites.
+//! - [`crc`]: table-driven CRC-32 shared by the wire frames and the page
+//!   cache's per-page write-back checksums.
 
+pub mod crc;
 pub mod testing;
 
 use std::collections::{HashMap, HashSet};

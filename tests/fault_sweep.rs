@@ -20,6 +20,11 @@
 //! fixpoint unconverged (fingerprint mismatch), and the global
 //! sent == received conservation check would fail.
 //!
+//! The integrity sweep stacks seeded frame corruption and loss on the same
+//! adversary: every injected bit-flip must be caught by the frame CRC
+//! (injected == detected, i.e. zero undetected corruptions), every loss
+//! repaired by NACK/retransmit, and results must stay bit-identical.
+//!
 //! Reproduce a failing seed locally:
 //! `run_suite(4, &edges, n, Some(FaultConfig::chaos(SEED)))`.
 
@@ -57,6 +62,14 @@ struct FaultTotals {
     deduped: u64,
     stalled: u64,
     throttled: u64,
+    /// Injected bit-flips (an injection implies the CRC must catch it).
+    corrupted: u64,
+    /// Injected frame losses (repair must resupply every one).
+    dropped: u64,
+    /// CRC mismatches caught at receivers.
+    detected: u64,
+    nacks: u64,
+    retransmits: u64,
 }
 
 impl FaultTotals {
@@ -67,6 +80,11 @@ impl FaultTotals {
         self.deduped += ctx.all_reduce_sum(s.fault_deduped);
         self.stalled += ctx.all_reduce_sum(s.fault_stalled);
         self.throttled += ctx.all_reduce_sum(s.fault_throttled);
+        self.corrupted += ctx.all_reduce_sum(s.fault_corrupted);
+        self.dropped += ctx.all_reduce_sum(s.frames_dropped_injected);
+        self.detected += ctx.all_reduce_sum(s.corrupt_frames_detected);
+        self.nacks += ctx.all_reduce_sum(s.nacks_sent);
+        self.retransmits += ctx.all_reduce_sum(s.retransmits);
     }
 
     fn merge(&mut self, o: FaultTotals) {
@@ -76,6 +94,11 @@ impl FaultTotals {
         self.deduped += o.deduped;
         self.stalled += o.stalled;
         self.throttled += o.throttled;
+        self.corrupted += o.corrupted;
+        self.dropped += o.dropped;
+        self.detected += o.detected;
+        self.nacks += o.nacks;
+        self.retransmits += o.retransmits;
     }
 }
 
@@ -192,7 +215,12 @@ fn fault_sweep_32_seeds_matches_baseline() {
             + quiet_totals.duplicated
             + quiet_totals.deduped
             + quiet_totals.stalled
-            + quiet_totals.throttled,
+            + quiet_totals.throttled
+            + quiet_totals.corrupted
+            + quiet_totals.dropped
+            + quiet_totals.detected
+            + quiet_totals.nacks
+            + quiet_totals.retransmits,
         0,
         "fault-free baseline must observe zero fault events"
     );
@@ -217,6 +245,51 @@ fn fault_sweep_32_seeds_matches_baseline() {
     assert!(t.deduped <= t.duplicated, "more drops than duplicates: {t:?}");
 }
 
+/// The end-to-end integrity sweep: seeded frame corruption and loss
+/// stacked on the full chaos adversary (delay + reorder + duplicate +
+/// stall + slow-rank). Three guarantees per seed:
+///
+/// - **bit-identical results** — CRC detection plus NACK/retransmit repair
+///   must make corruption and loss invisible to every algorithm;
+/// - **zero undetected corruptions** — every injected flip is caught by
+///   the frame CRC (`injected == detected`; a dropped frame is never also
+///   corrupted, it simply vanishes and is resupplied);
+/// - **conservation** — `assert_conserved` inside `run_suite` proves
+///   quiescence never fired while a repair was still owed.
+///
+/// p = 1 rides along to pin the degenerate case: all traffic is loopback
+/// (never framed, so never corruptible) and the plan must be fully inert.
+#[test]
+fn corruption_drop_sweep_matches_baseline() {
+    let (edges, n) = sweep_edges();
+    for p in [1usize, 2] {
+        let (baseline, _) = run_suite(p, &edges, n, None);
+        let totals = std::sync::Mutex::new(FaultTotals::default());
+        sweep_seeds(sweep_seed_set(32), |seed| {
+            let (fp, t) = run_suite(p, &edges, n, Some(FaultConfig::lossy(seed)));
+            assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result at p={p}");
+            assert_eq!(
+                t.corrupted, t.detected,
+                "seed {seed:#x} at p={p}: an injected flip escaped the frame CRC"
+            );
+            totals.lock().unwrap().merge(t);
+        });
+        let t = totals.into_inner().unwrap();
+        if p == 1 {
+            assert_eq!(
+                t.corrupted + t.dropped,
+                0,
+                "loopback-only world must see no wire faults: {t:?}"
+            );
+        } else {
+            assert!(t.corrupted > 0, "sweep never corrupted a frame: {t:?}");
+            assert!(t.dropped > 0, "sweep never dropped a frame: {t:?}");
+            assert!(t.nacks > 0, "repair never NACKed: {t:?}");
+            assert!(t.retransmits > 0, "repair never retransmitted: {t:?}");
+        }
+    }
+}
+
 /// Focused single-fault plans: each fault type alone must also leave
 /// results untouched (catches bugs a combined plan could mask).
 #[test]
@@ -230,6 +303,9 @@ fn fault_single_knob_plans_match_baseline() {
         ("duplicate", FaultConfig::quiet(7).with_duplicate(300)),
         ("stall", FaultConfig::quiet(7).with_stall(60, 40)),
         ("slow-rank", FaultConfig::quiet(7).with_slow_ranks(600, 3)),
+        ("corrupt", FaultConfig::quiet(7).with_corrupt(60)),
+        ("drop", FaultConfig::quiet(7).with_drop(60)),
+        ("corrupt+drop", FaultConfig::quiet(7).with_corrupt(40).with_drop(40)),
     ];
     for (name, cfg) in plans {
         let (fp, _) = run_suite(p, &edges, n, Some(cfg));
@@ -282,4 +358,30 @@ fn fault_sweep_heavy_seven_ranks() {
         let (fp, _) = run_suite(p, &edges, n, Some(FaultConfig::chaos(seed)));
         assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result at p={p}");
     });
+}
+
+/// The heavyweight integrity sweep for the CI integrity-chaos job
+/// (`--include-ignored`, release): 32 lossy seeds at a deliberately
+/// awkward rank count on a larger graph, zero undetected corruptions.
+#[test]
+#[ignore = "heavy: run via the CI integrity-chaos job or --include-ignored"]
+fn corruption_sweep_heavy_seven_ranks() {
+    let gen = RmatGenerator::graph500(8);
+    let edges = gen.symmetric_edges(1234);
+    let n = gen.num_vertices();
+    let p = 7;
+    let (baseline, _) = run_suite(p, &edges, n, None);
+    let totals = std::sync::Mutex::new(FaultTotals::default());
+    sweep_seeds(sweep_seed_set(32), |seed| {
+        let (fp, t) = run_suite(p, &edges, n, Some(FaultConfig::lossy(seed)));
+        assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result at p={p}");
+        assert_eq!(
+            t.corrupted, t.detected,
+            "seed {seed:#x} at p={p}: an injected flip escaped the frame CRC"
+        );
+        totals.lock().unwrap().merge(t);
+    });
+    let t = totals.into_inner().unwrap();
+    assert!(t.corrupted > 0 && t.dropped > 0, "heavy sweep never exercised loss: {t:?}");
+    assert!(t.nacks > 0 && t.retransmits > 0, "heavy sweep never repaired: {t:?}");
 }

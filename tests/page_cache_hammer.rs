@@ -117,6 +117,113 @@ fn hammer(threads: usize, io: IoConfig, rounds: usize) {
     cache.validate();
 }
 
+/// The hammer under seeded transient read-corruption: `permille`/1000 of
+/// device reads return one flipped bit, so cache fills and prefetch bulk
+/// reads keep observing corrupted buffers. The per-page write-back
+/// checksums must catch every one (a verified page can only be served
+/// clean), and the shadow-copy assert inside the worker loop *is* the
+/// integrity oracle: a single undetected flip surfaces as a lost update.
+///
+/// A seed pass writes every slot through the cache and flushes first, so
+/// the whole working set has recorded write-back checksums before
+/// corruption starts — pages the cache never wrote back are unverifiable
+/// by design and would let injected flips through.
+fn hammer_with_corruption(threads: usize, io: IoConfig, rounds: usize, permille: u64) {
+    let mem = Arc::new(MemDevice::new());
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&mem) as Arc<dyn BlockDevice>;
+    let cache = Arc::new(PageCache::new(
+        dev,
+        PageCacheConfig {
+            page_size: PAGE,
+            capacity_pages: threads * 4 + 1,
+            shards: 4,
+            readahead_pages: 4,
+            io,
+            ..PageCacheConfig::default()
+        },
+    ));
+
+    // seed pass: give every page a write-back checksum
+    let mut seeds = vec![0u64; threads * WORDS_PER_THREAD];
+    let mut x = 0x00dd_ba11u64;
+    for (i, s) in seeds.iter_mut().enumerate() {
+        *s = next(&mut x);
+        cache.write_at((i * 8) as u64, &s.to_le_bytes());
+    }
+    cache.flush();
+    let seeded_accesses = seeds.len() as u64;
+    mem.set_read_corruption(permille, 0x00C0_FFEE ^ threads as u64);
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let c = Arc::clone(&cache);
+            let mut shadow = seeds[t * WORDS_PER_THREAD..(t + 1) * WORDS_PER_THREAD].to_vec();
+            thread::spawn(move || {
+                let region = (WORDS_PER_THREAD * 8) as u64;
+                let base = t as u64 * region;
+                let mut x = 0x9e3779b97f4a7c15u64 ^ (t as u64);
+                let mut accesses = 0u64;
+                for r in 0..rounds {
+                    for (i, slot) in shadow.iter_mut().enumerate() {
+                        let off = base + (i * 8) as u64;
+                        match next(&mut x) % 4 {
+                            0 | 1 => {
+                                let v = x;
+                                *slot = v;
+                                c.write_at(off, &v.to_le_bytes());
+                                accesses += 1;
+                            }
+                            2 => {
+                                let mut b = [0u8; 8];
+                                c.read_at(off, &mut b);
+                                accesses += 1;
+                                assert_eq!(
+                                    u64::from_le_bytes(b),
+                                    *slot,
+                                    "corrupted read served: thread {t} slot {i} round {r}"
+                                );
+                            }
+                            _ => {
+                                c.advise(off, region - (i * 8) as u64);
+                            }
+                        }
+                    }
+                }
+                (base, shadow, accesses)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let issued: u64 = results.iter().map(|r| r.2).sum();
+    let s = cache.stats();
+    assert_eq!(
+        s.hits + s.misses,
+        issued + seeded_accesses,
+        "every access must resolve to exactly one hit or miss: {s:?}"
+    );
+    assert!(
+        s.page_checksum_failures > 0,
+        "corruption at {permille} permille never hit a verified fill: {s:?}"
+    );
+    cache.validate();
+
+    // the final device-vs-shadow audit reads the raw device, which has no
+    // CRC protection — stop injecting first
+    mem.set_read_corruption(0, 0);
+    cache.flush();
+    let dev = cache.device();
+    for (base, shadow, _) in &results {
+        for (i, &want) in shadow.iter().enumerate() {
+            let mut b = [0u8; 8];
+            dev.read_at(base + (i * 8) as u64, &mut b);
+            assert_eq!(u64::from_le_bytes(b), want, "flush lost a write at slot {i}");
+        }
+    }
+    cache.validate();
+    assert!(mem.reads_corrupted() > 0, "the plan never actually corrupted a read");
+}
+
 #[test]
 fn hammer_sync_8() {
     hammer(8, IoConfig::default(), 4);
@@ -127,9 +234,27 @@ fn hammer_async_8() {
     hammer(8, IoConfig::asynchronous(), 4);
 }
 
+#[test]
+fn hammer_sync_8_with_read_corruption() {
+    hammer_with_corruption(8, IoConfig::default(), 3, 100);
+}
+
+#[test]
+fn hammer_async_8_with_read_corruption() {
+    hammer_with_corruption(8, IoConfig::asynchronous(), 3, 100);
+}
+
 /// Heavier variant for the dedicated CI job (`--include-ignored`).
 #[test]
 #[ignore = "heavier sweep; run explicitly or via the CI hammer job"]
 fn hammer_async_32() {
     hammer(32, IoConfig::asynchronous(), 6);
+}
+
+/// Heavier corruption variant for the CI integrity-chaos job
+/// (`--include-ignored`).
+#[test]
+#[ignore = "heavier sweep; run explicitly or via the CI integrity-chaos job"]
+fn hammer_async_32_with_read_corruption() {
+    hammer_with_corruption(32, IoConfig::asynchronous(), 4, 100);
 }

@@ -15,6 +15,9 @@
 //! to 32 bits) passes every small-graph integration test; it only fails at
 //! the extremes, which is exactly what these properties pin down.
 
+use havoq_comm::codec::{
+    frame_init, frame_seal, frame_set_count, frame_verify_and_strip, FRAME_CRC_BYTES,
+};
 use havoq_comm::WireCodec;
 use havoq_core::algorithms::bfs::BfsVisitor;
 use havoq_core::algorithms::cc::CcVisitor;
@@ -135,6 +138,45 @@ fn subset_triangle_visitor_byte_roundtrips() {
             "subset table must not widen the wire record"
         );
         assert_eq!(encode_exact(&d), buf);
+    });
+}
+
+/// The integrity guarantee the retransmission protocol leans on: a single
+/// bit-flip *anywhere* in a sealed frame — header, records, or the CRC
+/// trailer itself — is always detected, and the rejected frame is left
+/// byte-for-byte untouched so the receiver can account for it and NACK.
+/// This is the frame-level face of the fault plan's one-bit corruption:
+/// CRC-32 detects every single-bit error, so "injected == detected" holds
+/// by construction, never by luck.
+#[test]
+fn sealed_frame_single_bit_flip_is_always_detected() {
+    run_cases(512, |rng: &mut TestRng| {
+        // synthesize a frame of random records (empty frames included)
+        let record_size = rng.range_usize(1, 64);
+        let count = rng.range_usize(0, 16);
+        let mut buf = Vec::new();
+        frame_init(&mut buf, record_size as u32);
+        for _ in 0..record_size * count {
+            buf.push(rng.u8());
+        }
+        frame_set_count(&mut buf, count as u32);
+        frame_seal(&mut buf);
+
+        // sanity: the intact frame verifies and the trailer strips cleanly
+        let mut intact = buf.clone();
+        assert!(frame_verify_and_strip(&mut intact), "intact frame rejected");
+        assert_eq!(intact.len(), buf.len() - FRAME_CRC_BYTES);
+
+        let bit = rng.range_usize(0, buf.len() * 8);
+        let mut flipped = buf.clone();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        let before = flipped.clone();
+        assert!(
+            !frame_verify_and_strip(&mut flipped),
+            "bit {bit} of {} escaped the CRC",
+            buf.len() * 8
+        );
+        assert_eq!(flipped, before, "rejected frame must be left untouched");
     });
 }
 

@@ -47,6 +47,8 @@ struct RestartTotals {
     checkpoints: u64,
     crashes: u64,
     restores: u64,
+    /// Committed epochs skipped at restore because their checksum failed.
+    fallbacks: u64,
     crashes_by_rank: Vec<u64>,
 }
 
@@ -55,6 +57,7 @@ impl RestartTotals {
         self.checkpoints += ctx.all_reduce_sum(s.checkpoints_written);
         self.crashes += ctx.all_reduce_sum(s.crashes);
         self.restores += ctx.all_reduce_sum(s.restores);
+        self.fallbacks += ctx.all_reduce_sum(s.restore_epoch_fallbacks);
         let per_rank = ctx.all_gather(s.crashes);
         if self.crashes_by_rank.is_empty() {
             self.crashes_by_rank = per_rank;
@@ -69,6 +72,7 @@ impl RestartTotals {
         self.checkpoints += o.checkpoints;
         self.crashes += o.crashes;
         self.restores += o.restores;
+        self.fallbacks += o.fallbacks;
         if self.crashes_by_rank.is_empty() {
             self.crashes_by_rank = o.crashes_by_rank.clone();
         } else {
@@ -201,8 +205,63 @@ fn restart_sweep_32_seeds_matches_baseline() {
     let t = totals.into_inner().unwrap();
     assert!(t.checkpoints > 0, "sweep never wrote a checkpoint: {t:?}");
     assert!(t.crashes > 0, "sweep never exercised a crash: {t:?}");
+    // crash debris is *torn*, and torn epochs are expected — they must
+    // never be misclassified as checksum fallbacks
+    assert_eq!(t.fallbacks, 0, "a torn epoch was counted as a checksum fallback: {t:?}");
     for (rank, c) in t.crashes_by_rank.iter().enumerate() {
         assert!(*c > 0, "rank {rank} was never a crash victim across the sweep: {t:?}");
+    }
+}
+
+/// Checkpoint-store corruption end to end: rank 0's committed epoch-2 blob
+/// is bit-flipped in place (through the page cache, so only the blob's own
+/// checksum can catch it), then the last rank crashes while cutting that
+/// same epoch. At restore, rank 0 must detect the mismatch, treat the
+/// epoch like a torn one, and the world must agree on epoch 1 via the
+/// existing `all_reduce_min` — exactly one fallback, no panic, and final
+/// results bit-identical to the fault-free uncheckpointed baseline.
+#[test]
+fn corrupted_committed_epoch_falls_back_and_recovers() {
+    let (edges, n) = sweep_edges();
+    for p in [2usize, 4] {
+        let (baseline, _) = run_ck_suite(p, &edges, n, None, None);
+
+        let faults = FaultConfig::quiet(0xC0DE).with_forced_crash(p - 1, 2);
+        let mut out = CommWorld::run_with_faults(p, Some(faults), |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            let spec = CheckpointSpec::default().with_every(8).with_corrupt_committed(0, 2);
+            let bcfg = BfsConfig { checkpoint: Some(spec), ..BfsConfig::default() };
+            let b = bfs(ctx, &g, VertexId(0), &bcfg);
+            assert_conserved(ctx, "bfs", &b.stats);
+            let report = validate_bfs(ctx, &g, VertexId(0), &b.local_state);
+            assert!(report.is_valid(), "bfs parents/levels invalid: {report:?}");
+            let fp = (
+                b.visited_count,
+                b.max_level,
+                gather_state(ctx, &g, |li| b.local_state[li].length),
+            );
+            let crashes = ctx.all_reduce_sum(b.stats.crashes);
+            let restores = ctx.all_reduce_sum(b.stats.restores);
+            let fallbacks = ctx.all_reduce_sum(b.stats.restore_epoch_fallbacks);
+            (fp, crashes, restores, fallbacks)
+        });
+        let (fp, crashes, restores, fallbacks) = out.remove(0);
+        assert_eq!(
+            (fp.0, fp.1, &fp.2),
+            (baseline.bfs_visited, baseline.bfs_max_level, &baseline.bfs_levels),
+            "corrupted-epoch recovery perturbed the BFS result at p={p}"
+        );
+        assert_eq!(crashes, 1, "forced crash at epoch 2 never fired at p={p}");
+        assert_eq!(restores, p as u64, "every rank must rewind exactly once at p={p}");
+        assert_eq!(
+            fallbacks, 1,
+            "the corrupted committed epoch must be skipped exactly once at p={p}"
+        );
     }
 }
 
