@@ -11,13 +11,23 @@
 //! completeness, along with the byte-level wire columns the framed mailbox
 //! exposes: wire KiB per rank, mean frame fill, and backpressure stalls.
 
-use havoq_bench::{csv_row, pick, Experiment};
+use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::{CommWorld, TopologyKind};
-use havoq_core::algorithms::bfs::{bfs, BfsConfig};
+use havoq_core::algorithms::bfs::{bfs, BfsConfig, UNREACHED};
 use havoq_graph::csr::GraphConfig;
 use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::rmat::RmatGenerator;
 use havoq_graph::types::VertexId;
+use havoq_nvram::cache::PageCacheConfig;
+use havoq_nvram::device::DeviceProfile;
+
+/// splitmix64 finalizer — mixes one (vertex, level) pair into the
+/// order-independent traversal fingerprint.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
 
 fn main() {
     let per_rank_log2: u32 = pick(10, 12);
@@ -120,5 +130,117 @@ fn main() {
         "wire columns show what the framed mailbox actually shipped: bytes per",
         "rank track payload per rank, and the mean frame fill stays high while",
         "batch_size (not frame_bytes) is the binding flush trigger.",
+    ]);
+
+    threads_speedup_table(pick(10, 12));
+}
+
+/// Companion table: intra-rank worker-pool speedup (DESIGN.md §11) on the
+/// p=2 RMAT workload. The graph is held semi-externally on the simulated
+/// Fusion-io device at *real* (unscaled) page latency with a tight cache
+/// budget, so every `visit` pays demand-paged adjacency reads that block
+/// like real I/O — the latency the worker pool exists to overlap, exactly
+/// the paper's use of multithreading to keep NAND busy. The BFS level
+/// fingerprint must be bit-identical at every thread count, and a
+/// fault-free run must keep every integrity counter at zero.
+fn threads_speedup_table(scale: u32) {
+    let p = 2usize;
+    let thread_counts = [1usize, 2, 4];
+    let gen = RmatGenerator::graph500(scale);
+    // tight DRAM:data ratio so demand paging dominates per-visit cost
+    let per_rank_bytes = (gen.num_edges() as usize * 2 * 8) / p;
+    let cache_pages = (per_rank_bytes / 4096 / 4).max(16);
+
+    let mut exp = Experiment::begin(
+        &[
+            "Figure 5 companion — intra-rank parallel visitor execution",
+            &format!("(p={p}, 2^{scale} vertices, semi-external adjacency on simulated Fusion-io)"),
+        ],
+        "fig05_bfs_threads.csv",
+        &["threads", "MTEPS", "speedup", "io_stall_ms", "time_ms"],
+        &["threads", "mteps", "speedup", "io_stall_ms", "time_ms"],
+    );
+
+    let mut baseline = None;
+    let mut fingerprints = Vec::new();
+    for &threads in &thread_counts {
+        let cfg = GraphConfig::external(
+            DeviceProfile::fusion_io_realtime(),
+            PageCacheConfig {
+                page_size: 4096,
+                capacity_pages: cache_pages,
+                shards: 8,
+                // demand paging only: readahead would serialize fills into
+                // long single-worker bursts, which is exactly the latency
+                // the worker pool is supposed to overlap instead
+                readahead_pages: 0,
+                ..PageCacheConfig::default()
+            },
+        );
+        let mut bcfg = BfsConfig::default();
+        bcfg.traversal.threads = threads;
+        let out = CommWorld::run(p, |ctx| {
+            let mut local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
+            local.extend(local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()));
+            let g = DistGraph::build(ctx, local, PartitionStrategy::EdgeList, cfg);
+            let r = bfs(ctx, &g, VertexId(0), &bcfg);
+            let mut fp = 0u64;
+            for v in g.local_vertices().filter(|&v| g.is_master(v)) {
+                let l = r.local_state[g.local_index(v)].length;
+                if l != UNREACHED {
+                    fp = fp.wrapping_add(mix(v.0 ^ mix(l.wrapping_add(1))));
+                }
+            }
+            (r, fp)
+        });
+        let elapsed = out.iter().map(|(r, _)| r.elapsed).max().unwrap();
+        let io_stall = out.iter().map(|(r, _)| r.stats.io_stall).max().unwrap();
+        let traversed = out[0].0.traversed_edges;
+        for (r, _) in &out {
+            assert_eq!(
+                (r.stats.corrupt_frames_detected, r.stats.nacks_sent, r.stats.retransmits),
+                (0, 0, 0),
+                "fault-free run must not touch the recovery path (threads={threads})"
+            );
+        }
+        fingerprints.push(out.iter().fold(0u64, |acc, (_, fp)| acc.wrapping_add(*fp)));
+        let base = *baseline.get_or_insert(elapsed);
+        let speedup = base.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+        exp.row2(
+            &csv_row![
+                threads,
+                havoq_bench::mteps(traversed, elapsed),
+                format!("{speedup:.2}x"),
+                ms(io_stall),
+                ms(elapsed)
+            ],
+            &csv_row![
+                threads,
+                traversed as f64 / elapsed.as_secs_f64() / 1e6,
+                speedup,
+                io_stall.as_secs_f64() * 1e3,
+                elapsed.as_secs_f64() * 1e3
+            ],
+        );
+        if threads == *thread_counts.last().unwrap() && speedup < 1.5 {
+            eprintln!(
+                "WARNING: threads={threads} speedup {speedup:.2}x below the 1.5x target \
+                 (oversubscribed or low-core host?)"
+            );
+        }
+    }
+    for (i, fp) in fingerprints.iter().enumerate() {
+        assert_eq!(
+            *fp, fingerprints[0],
+            "threads={} changed the BFS level assignment",
+            thread_counts[i]
+        );
+    }
+    exp.finish(&[
+        "The worker pool overlaps demand page fills across visitors inside",
+        "each rank, so wall clock drops as threads grow while the traversal",
+        "result (the level fingerprint) and the wire integrity counters are",
+        "untouched: parallelism lives strictly between the coordinator's",
+        "mailbox interactions.",
     ]);
 }

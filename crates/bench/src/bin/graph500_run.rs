@@ -3,6 +3,13 @@
 //! distributed data structure (timed), run BFS from a sample of random
 //! search keys with nonzero degree, *validate every BFS tree*, and report
 //! the TEPS statistics (min/harmonic-mean/max) the benchmark defines.
+//!
+//! The graph is constructed once and reused for every (search key ×
+//! thread count) BFS: each key runs at every intra-rank worker-pool size
+//! in the sweep (default 1/2/4; `--threads N` pins a single size), and a
+//! per-thread-count TEPS summary table reports the worker-pool speedup at
+//! the end. Every tree is validated at every thread count, and the
+//! traversed-edge count per key must not depend on the thread count.
 
 use havoq_bench::{csv_row, overhead_pct, pick, Experiment};
 use havoq_comm::{CommWorld, FaultConfig};
@@ -20,8 +27,13 @@ fn main() {
     let num_keys: usize = pick(4, 16); // official runs use 64
     let ckpt_every = havoq_bench::checkpoint_every();
     let fault_seed = havoq_bench::faults();
+    let thread_counts: Vec<usize> = match havoq_bench::threads() {
+        Some(n) => vec![n.max(1)],
+        None => vec![1, 2, 4],
+    };
 
     println!("Graph500-style run: RMAT scale {scale}, {ranks} ranks, {num_keys} search keys");
+    println!("intra-rank worker threads swept over {thread_counts:?} (same graph, same keys)");
     if let Some(e) = ckpt_every {
         println!("checkpointing every {e} visitors/rank into the NVRAM store");
     }
@@ -32,6 +44,7 @@ fn main() {
         );
     }
     let gen = RmatGenerator::graph500(scale);
+    let tcs = thread_counts.clone();
 
     let results = CommWorld::run_with_faults(ranks, fault_seed.map(FaultConfig::lossy), |ctx| {
         let t0 = std::time::Instant::now();
@@ -46,7 +59,8 @@ fn main() {
         let mut runs = Vec::new();
         let mut key_state = 0x9E3779B97F4A7C15u64;
         let mut tried = 0;
-        while runs.len() < num_keys && tried < num_keys * 4 {
+        let mut keys_used = 0;
+        while keys_used < num_keys && tried < num_keys * 4 {
             key_state ^= key_state << 13;
             key_state ^= key_state >> 7;
             key_state ^= key_state << 17;
@@ -57,41 +71,49 @@ fn main() {
             if ctx.all_reduce_max(deg) == 0 {
                 continue;
             }
-            let mut bcfg = BfsConfig::default();
-            if let Some(every) = ckpt_every {
-                bcfg = bcfg.with_checkpoint(CheckpointSpec::default().with_every(every));
+            keys_used += 1;
+            // the built graph is shared by every thread count for this key
+            for &threads in &tcs {
+                let mut bcfg = BfsConfig::default();
+                bcfg.traversal.threads = threads;
+                if let Some(every) = ckpt_every {
+                    bcfg = bcfg.with_checkpoint(CheckpointSpec::default().with_every(every));
+                }
+                let r = bfs(ctx, &g, key, &bcfg);
+                let report = validate_bfs(ctx, &g, key, &r.local_state);
+                let wire_bytes = ctx.all_reduce_sum(r.stats.bytes_sent);
+                // world totals of the integrity machinery for this run:
+                // injected corruption/loss and the repair traffic that
+                // healed it
+                let integrity = [
+                    ctx.all_reduce_sum(r.stats.corrupt_frames_detected),
+                    ctx.all_reduce_sum(r.stats.frames_dropped_injected),
+                    ctx.all_reduce_sum(r.stats.retransmits),
+                    ctx.all_reduce_sum(r.stats.nacks_sent),
+                ];
+                runs.push((
+                    key.0,
+                    threads,
+                    r.traversed_edges,
+                    r.elapsed,
+                    report.is_valid(),
+                    wire_bytes,
+                    r.stats.checkpoint_time,
+                    integrity,
+                ));
             }
-            let r = bfs(ctx, &g, key, &bcfg);
-            let report = validate_bfs(ctx, &g, key, &r.local_state);
-            let wire_bytes = ctx.all_reduce_sum(r.stats.bytes_sent);
-            // world totals of the integrity machinery for this key: injected
-            // corruption/loss and the repair traffic that healed it
-            let integrity = [
-                ctx.all_reduce_sum(r.stats.corrupt_frames_detected),
-                ctx.all_reduce_sum(r.stats.frames_dropped_injected),
-                ctx.all_reduce_sum(r.stats.retransmits),
-                ctx.all_reduce_sum(r.stats.nacks_sent),
-            ];
-            runs.push((
-                key.0,
-                r.traversed_edges,
-                r.elapsed,
-                report.is_valid(),
-                wire_bytes,
-                r.stats.checkpoint_time,
-                integrity,
-            ));
         }
         (construction, runs)
     });
 
     let (construction, runs) = &results[0];
     let mut exp = Experiment::begin(
-        &[&format!("construction time: {construction:?}")],
+        &[&format!("construction time: {construction:?} (built once, reused for every BFS)")],
         "graph500_run.csv",
-        &["key", "traversed", "time_ms", "MTEPS", "valid", "wire_KiB", "ckpt_ovh%"],
+        &["key", "threads", "traversed", "time_ms", "MTEPS", "valid", "wire_KiB", "ckpt_ovh%"],
         &[
             "key",
+            "threads",
             "traversed_edges",
             "time_ms",
             "mteps",
@@ -100,29 +122,38 @@ fn main() {
             "checkpoint_overhead_pct",
         ],
     );
-    let mut teps: Vec<f64> = Vec::new();
+    // per-thread-count TEPS populations for the summary table
+    let mut teps_by_tc: Vec<Vec<f64>> = vec![Vec::new(); tcs.len()];
     let mut all_valid = true;
     let mut total_ck = std::time::Duration::ZERO;
     let mut total_elapsed = std::time::Duration::ZERO;
     let mut integ = [0u64; 4];
-    for (i, (key, traversed, _elapsed, valid, wire_bytes, _ck, key_integ)) in
+    let mut traversed_by_key: std::collections::HashMap<u64, u64> =
+        std::collections::HashMap::new();
+    for (i, (key, threads, traversed, _elapsed, valid, wire_bytes, _ck, run_integ)) in
         runs.iter().enumerate()
     {
-        for (t, v) in integ.iter_mut().zip(key_integ) {
+        for (t, v) in integ.iter_mut().zip(run_integ) {
             *t += v;
         }
-        // use the slowest rank's elapsed (and checkpoint time) for this key
-        let elapsed = results.iter().map(|(_, rs)| rs[i].2).max().unwrap();
-        let ck_time = results.iter().map(|(_, rs)| rs[i].5).max().unwrap();
+        // the BFS tree may differ across thread counts (ties), but the
+        // traversed-edge count is part of the traversal fingerprint and
+        // must not
+        let prev = traversed_by_key.entry(*key).or_insert(*traversed);
+        assert_eq!(*prev, *traversed, "traversed edges for key {key} changed at threads={threads}");
+        // use the slowest rank's elapsed (and checkpoint time) for this run
+        let elapsed = results.iter().map(|(_, rs)| rs[i].3).max().unwrap();
+        let ck_time = results.iter().map(|(_, rs)| rs[i].6).max().unwrap();
         let ck_ovh = overhead_pct(ck_time, elapsed);
         total_ck += ck_time;
         total_elapsed += elapsed;
         let t = *traversed as f64 / elapsed.as_secs_f64();
-        teps.push(t);
+        teps_by_tc[tcs.iter().position(|tc| tc == threads).unwrap()].push(t);
         all_valid &= *valid;
         exp.row2(
             &csv_row![
                 key,
+                threads,
                 traversed,
                 havoq_bench::ms(elapsed),
                 format!("{:.2}", t / 1e6),
@@ -132,6 +163,7 @@ fn main() {
             ],
             &csv_row![
                 key,
+                threads,
                 traversed,
                 elapsed.as_secs_f64() * 1e3,
                 t / 1e6,
@@ -142,26 +174,49 @@ fn main() {
         );
     }
 
-    let min = teps.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = teps.iter().cloned().fold(0.0, f64::max);
-    let harmonic = teps.len() as f64 / teps.iter().map(|t| 1.0 / t).sum::<f64>();
-    exp.finish(&[
-        &format!(
-            "TEPS min / harmonic mean / max: {:.2} / {:.2} / {:.2} MTEPS",
+    // per-thread-count TEPS summary: the Graph500 statistics at every
+    // worker-pool size, plus harmonic-mean speedup over the serial rows
+    println!();
+    havoq_bench::print_header(&["threads", "min_MTEPS", "harm_MTEPS", "max_MTEPS", "speedup"]);
+    let harm = |ts: &[f64]| ts.len() as f64 / ts.iter().map(|t| 1.0 / t).sum::<f64>();
+    let base_harm = harm(&teps_by_tc[0]);
+    let mut summary_lines = Vec::new();
+    for (tc, ts) in tcs.iter().zip(&teps_by_tc) {
+        let min = ts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ts.iter().cloned().fold(0.0, f64::max);
+        let h = harm(ts);
+        havoq_bench::print_row(&csv_row![
+            tc,
+            format!("{:.2}", min / 1e6),
+            format!("{:.2}", h / 1e6),
+            format!("{:.2}", max / 1e6),
+            format!("{:.2}x", h / base_harm)
+        ]);
+        summary_lines.push(format!(
+            "threads={tc}: TEPS min/harm/max {:.2}/{:.2}/{:.2} MTEPS ({:.2}x)",
             min / 1e6,
-            harmonic / 1e6,
-            max / 1e6
-        ),
-        &format!(
-            "checkpoint overhead over all keys: {:.2}%",
-            overhead_pct(total_ck, total_elapsed)
-        ),
-        &format!(
-            "integrity over all keys: {} corrupt frames detected, {} injected drops, \
-             {} retransmits, {} NACKs (all repaired; trees validated below)",
-            integ[0], integ[1], integ[2], integ[3]
-        ),
-        &format!("all trees valid: {all_valid}"),
-    ]);
+            h / 1e6,
+            max / 1e6,
+            h / base_harm
+        ));
+    }
+
+    let notes: Vec<String> = summary_lines
+        .into_iter()
+        .chain([
+            format!(
+                "checkpoint overhead over all runs: {:.2}%",
+                overhead_pct(total_ck, total_elapsed)
+            ),
+            format!(
+                "integrity over all runs: {} corrupt frames detected, {} injected drops, \
+                 {} retransmits, {} NACKs (all repaired; trees validated below)",
+                integ[0], integ[1], integ[2], integ[3]
+            ),
+            format!("all trees valid: {all_valid}"),
+        ])
+        .collect();
+    let note_refs: Vec<&str> = notes.iter().map(String::as_str).collect();
+    exp.finish(&note_refs);
     assert!(all_valid, "Graph500 validation failed");
 }

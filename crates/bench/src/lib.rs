@@ -70,6 +70,23 @@ pub fn faults() -> Option<u64> {
     std::env::var("HAVOQ_FAULTS").ok().as_deref().and_then(parse_seed)
 }
 
+/// Intra-rank worker threads for the traversal binaries: `--threads N` on
+/// the command line (or `HAVOQ_THREADS=N` in the environment) runs every
+/// visitor queue with an `N`-thread worker pool per rank (DESIGN.md §11).
+/// `None` (the default) leaves the queue on its serial single-thread path.
+pub fn threads() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().ok();
+        }
+    }
+    std::env::var("HAVOQ_THREADS").ok().and_then(|v| v.parse().ok())
+}
+
 /// Fault seeds accept decimal or `0x`-prefixed hex.
 fn parse_seed(v: &str) -> Option<u64> {
     match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {

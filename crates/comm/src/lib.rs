@@ -37,7 +37,9 @@ pub mod transport;
 
 pub use codec::{Frame, FramePool, WireCodec, FRAME_HEADER_BYTES, RECORD_DST_BYTES};
 pub use fault::{FaultConfig, FaultPlan};
-pub use mailbox::{Mailbox, MailboxConfig, MailboxStatsSnapshot, DEFAULT_CHANNEL_CAPACITY};
+pub use mailbox::{
+    Mailbox, MailboxConfig, MailboxStatsSnapshot, SendShard, DEFAULT_CHANNEL_CAPACITY,
+};
 pub use runtime::{CommWorld, RankCtx};
 pub use stats::{ChannelStats, ChannelStatsSnapshot};
 pub use termination::Quiescence;

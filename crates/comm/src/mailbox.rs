@@ -426,6 +426,22 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
         self.end_record(hop);
     }
 
+    /// A fresh per-worker staging shard for this mailbox (see
+    /// [`SendShard`]).
+    pub fn make_shard(&self) -> SendShard<M> {
+        SendShard { buf: Vec::new() }
+    }
+
+    /// Drain a worker's staged sends through the normal [`Mailbox::send`]
+    /// path, in staging order. Every framing, CRC, sequencing, loopback and
+    /// counter behavior is exactly that of the equivalent direct `send`
+    /// calls — shards only *defer* sends, they never bypass the wire path.
+    pub fn absorb(&mut self, shard: &mut SendShard<M>) {
+        for (dst, msg) in shard.buf.drain(..) {
+            self.send(dst as usize, msg);
+        }
+    }
+
     /// Re-buffer a transit record toward `dst` by raw byte copy — transit
     /// hops never decode payloads.
     fn buffer_raw(&mut self, dst: usize, payload: &[u8]) {
@@ -823,6 +839,50 @@ impl<M: Send + WireCodec + 'static> Mailbox<M> {
     /// own channel (see [`crate::stats::ChannelStats::record_checkpoint`]).
     pub fn channel_stats(&self) -> &crate::stats::ChannelStats {
         self.transport.stats()
+    }
+}
+
+/// A per-worker staging buffer for messages produced off the mailbox's
+/// owning thread.
+///
+/// The mailbox itself is single-threaded by design — its framing, CRC
+/// sealing, sequence numbering and retransmit buffers all assume one
+/// writer. When a rank fans work out to a worker pool (DESIGN.md §11),
+/// each worker stages its `(dst, msg)` pairs in its own `SendShard` and
+/// the coordinator later drains them through [`Mailbox::absorb`] (or a
+/// caller-side filter over [`SendShard::drain`]), preserving the exact
+/// wire path and counter semantics of direct sends.
+pub struct SendShard<M> {
+    buf: Vec<(u32, M)>,
+}
+
+impl<M> Default for SendShard<M> {
+    fn default() -> Self {
+        SendShard { buf: Vec::new() }
+    }
+}
+
+impl<M> SendShard<M> {
+    /// Stage `msg` for later delivery to `dst`.
+    #[inline]
+    pub fn send(&mut self, dst: usize, msg: M) {
+        self.buf.push((dst as u32, msg));
+    }
+
+    /// Number of staged messages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drain the staged `(dst, msg)` pairs in staging order.
+    pub fn drain(&mut self) -> impl Iterator<Item = (usize, M)> + '_ {
+        self.buf.drain(..).map(|(d, m)| (d as usize, m))
     }
 }
 
@@ -1311,6 +1371,57 @@ mod tests {
             let cfg = MailboxConfig::default().with_integrity(false);
             let _mb = Mailbox::<u64>::open(ctx, 1, cfg);
         });
+    }
+
+    /// A shard-staged all-to-all must be indistinguishable from direct
+    /// sends: same deliveries, same end-to-end counters, same frame and
+    /// byte totals (the absorb path reuses `send` verbatim, so framing and
+    /// CRC behavior cannot drift).
+    #[test]
+    fn shard_absorb_matches_direct_sends() {
+        let p = 4;
+        let msgs_each = 25;
+        let run = |staged: bool| {
+            CommWorld::run(p, move |ctx| {
+                let mut mb = Mailbox::<u64>::open(ctx, 1, MailboxConfig::default());
+                let mut q = crate::termination::Quiescence::new(ctx, 1);
+                let mut shard = mb.make_shard();
+                for dst in 0..p {
+                    for i in 0..msgs_each {
+                        let msg = (ctx.rank() * 1_000_000 + dst * 1000 + i) as u64;
+                        if staged {
+                            shard.send(dst, msg);
+                        } else {
+                            mb.send(dst, msg);
+                        }
+                    }
+                }
+                mb.absorb(&mut shard);
+                assert!(shard.is_empty());
+                let mut got = Vec::new();
+                loop {
+                    if mb.poll(&mut got) == 0 {
+                        mb.flush();
+                        let idle = mb.pending_out() == 0;
+                        if q.poll(mb.sent_count(), mb.received_count(), idle) {
+                            break;
+                        }
+                    }
+                }
+                got.sort_unstable();
+                (mb.stats(), got)
+            })
+        };
+        let direct = run(false);
+        let staged = run(true);
+        for (rank, ((ds, dg), (ss, sg))) in direct.iter().zip(staged.iter()).enumerate() {
+            assert_eq!(dg, sg, "rank {rank}: staged delivery differs");
+            assert_eq!(ds.sent, ss.sent, "rank {rank}");
+            assert_eq!(ds.received, ss.received, "rank {rank}");
+            assert_eq!(ds.frames_sent, ss.frames_sent, "rank {rank}");
+            assert_eq!(ds.bytes_sent, ss.bytes_sent, "rank {rank}");
+            assert_eq!(ds.records_sent, ss.records_sent, "rank {rank}");
+        }
     }
 
     #[test]

@@ -119,6 +119,15 @@ impl Visitor for BfsVisitor {
     fn priority(&self, other: &Self) -> Ordering {
         self.length.cmp(&other.length)
     }
+
+    /// Keep the minimum length (with its parent) — the same monotone
+    /// update as `pre_visit`, so merging a stale worker seed is a no-op.
+    #[inline]
+    fn merge(into: &mut BfsData, update: &BfsData) {
+        if update.length < into.length {
+            *into = *update;
+        }
+    }
 }
 
 /// BFS configuration.

@@ -98,6 +98,12 @@ impl Visitor for CcVisitor {
         // lower labels first: they win anyway, so spread them early
         self.label.cmp(&other.label)
     }
+
+    /// Keep the minimum label — same monotone update as `pre_visit`.
+    #[inline]
+    fn merge(into: &mut CcData, update: &CcData) {
+        into.component = into.component.min(update.component);
+    }
 }
 
 /// Connected-components configuration.

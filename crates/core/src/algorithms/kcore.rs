@@ -120,6 +120,15 @@ impl Visitor for KCoreVisitor {
     fn priority(&self, _other: &Self) -> Ordering {
         Ordering::Equal // no algorithm order (Alg. 4); framework uses vertex id
     }
+
+    /// `visit` never touches state (all mutation happens in `pre_visit` on
+    /// the coordinator), so this only needs to absorb a stale seed without
+    /// regressing: death and the degree budget are both monotone.
+    #[inline]
+    fn merge(into: &mut KCoreData, update: &KCoreData) {
+        into.alive &= update.alive;
+        into.kcore = into.kcore.min(update.kcore);
+    }
 }
 
 /// K-core configuration.

@@ -131,6 +131,15 @@ impl Visitor for SsspVisitor {
     fn priority(&self, other: &Self) -> Ordering {
         self.distance.cmp(&other.distance) // Dijkstra-like local order
     }
+
+    /// Keep the minimum distance (with its parent) — same monotone update
+    /// as `pre_visit`.
+    #[inline]
+    fn merge(into: &mut SsspData, update: &SsspData) {
+        if update.distance < into.distance {
+            *into = *update;
+        }
+    }
 }
 
 /// SSSP configuration.

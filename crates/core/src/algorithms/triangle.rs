@@ -126,6 +126,19 @@ impl Visitor for TriangleVisitor {
     fn priority(&self, _other: &Self) -> Ordering {
         Ordering::Equal // no algorithm order (Alg. 6)
     }
+
+    /// Counters sum: each worker's seed starts at zero (see `visit_seed`)
+    /// and carries only the triangles its own executions closed.
+    #[inline]
+    fn merge(into: &mut TriangleData, update: &TriangleData) {
+        into.num_triangles += update.num_triangles;
+    }
+
+    /// Zeroed accumulator so concurrent closings on one vertex sum exactly.
+    #[inline]
+    fn visit_seed(_data: &TriangleData) -> TriangleData {
+        TriangleData::default()
+    }
 }
 
 /// Triangle-count configuration.
@@ -272,6 +285,16 @@ impl Visitor for SubsetTriangleVisitor {
 
     fn priority(&self, _other: &Self) -> Ordering {
         Ordering::Equal
+    }
+
+    #[inline]
+    fn merge(into: &mut TriangleData, update: &TriangleData) {
+        into.num_triangles += update.num_triangles;
+    }
+
+    #[inline]
+    fn visit_seed(_data: &TriangleData) -> TriangleData {
+        TriangleData::default()
     }
 }
 

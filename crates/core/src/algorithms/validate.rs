@@ -114,6 +114,21 @@ impl Visitor for ParentCheckVisitor {
     fn priority(&self, _other: &Self) -> Ordering {
         Ordering::Equal
     }
+
+    /// Sum the verification counters; `level` is read-only during the
+    /// traversal (it carries the BFS result under check), so the slot's
+    /// copy is authoritative and the seed's is discarded.
+    #[inline]
+    fn merge(into: &mut ValidateData, update: &ValidateData) {
+        into.verified += update.verified;
+        into.violations += update.violations;
+    }
+
+    /// Zeroed counters, carrying the read-only `level` across.
+    #[inline]
+    fn visit_seed(data: &ValidateData) -> ValidateData {
+        ValidateData { level: data.level, violations: 0, verified: 0 }
+    }
 }
 
 /// Visitor for the edge-span rule: sent to each neighbor `v` of a reached
@@ -166,6 +181,19 @@ impl Visitor for EdgeSpanVisitor {
 
     fn priority(&self, _other: &Self) -> Ordering {
         Ordering::Equal
+    }
+
+    /// All mutation happens in `pre_visit` (coordinator-side); `visit` is
+    /// empty, so merging only needs to sum the (always-zero) seed deltas.
+    #[inline]
+    fn merge(into: &mut ValidateData, update: &ValidateData) {
+        into.verified += update.verified;
+        into.violations += update.violations;
+    }
+
+    #[inline]
+    fn visit_seed(data: &ValidateData) -> ValidateData {
+        ValidateData { level: data.level, violations: 0, verified: 0 }
     }
 }
 

@@ -122,6 +122,19 @@ impl Visitor for WedgeVisitor {
     fn priority(&self, _other: &Self) -> Ordering {
         Ordering::Equal
     }
+
+    /// Both fields are pure counters: sum the per-execution deltas.
+    #[inline]
+    fn merge(into: &mut WedgeData, update: &WedgeData) {
+        into.dispatched += update.dispatched;
+        into.closed += update.closed;
+    }
+
+    /// Zeroed accumulator so concurrent duties on one vertex sum exactly.
+    #[inline]
+    fn visit_seed(_data: &WedgeData) -> WedgeData {
+        WedgeData::default()
+    }
 }
 
 /// Result of a wedge-sampling estimation (identical on every rank).

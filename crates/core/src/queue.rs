@@ -18,12 +18,14 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as MemOrdering};
 use std::time::{Duration, Instant};
 
-use havoq_comm::{Mailbox, MailboxConfig, Quiescence, RankCtx, WireCodec};
+use havoq_comm::{Mailbox, MailboxConfig, Quiescence, RankCtx, SendShard, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 use havoq_nvram::checkpoint::CheckpointStore;
+use havoq_util::parallel::{AtomicBitVec, PerWorker, SharedSlots, WorkerPool};
 
 use crate::checkpoint::{CheckpointSpec, QueueCheckpoint, QueueCounters};
 use crate::ghost::GhostTable;
@@ -44,6 +46,13 @@ pub struct TraversalConfig {
     /// run in arrival order — the ablation baseline, which scatters
     /// semi-external adjacency reads across pages.
     pub locality_order: bool,
+    /// Worker threads executing `visit` inside this rank. `1` (the
+    /// default) keeps the historical fully serial loop, bit for bit. With
+    /// `threads > 1` each rank pops frontier chunks from its heap and fans
+    /// the `visit` calls out to a worker pool (DESIGN.md §11); the
+    /// mailbox, quiescence and checkpoint paths stay on the coordinator
+    /// thread, so the wire format and integrity counters are unchanged.
+    pub threads: usize,
 }
 
 impl Default for TraversalConfig {
@@ -53,7 +62,16 @@ impl Default for TraversalConfig {
             mailbox: MailboxConfig::default(),
             poll_batch: 128,
             locality_order: true,
+            threads: 1,
         }
+    }
+}
+
+impl TraversalConfig {
+    /// Builder: set the intra-rank worker thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -365,6 +383,10 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
     /// Run the asynchronous traversal to completion (Algorithm 1,
     /// `do_traversal`). Initial visitors must already have been pushed.
     pub fn do_traversal(&mut self) {
+        if self.cfg.threads > 1 {
+            self.do_traversal_parallel();
+            return;
+        }
         let start = Instant::now();
         let mut scratch: Vec<V> = Vec::new();
         loop {
@@ -399,6 +421,121 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
         self.stats.elapsed += start.elapsed();
     }
 
+    /// Multi-threaded `do_traversal` body (`cfg.threads > 1`): pop frontier
+    /// chunks from the heap and execute their `visit` calls on the worker
+    /// pool, keeping every mailbox/quiescence interaction on this
+    /// (coordinator) thread. See DESIGN.md §11 for the execution protocol.
+    fn do_traversal_parallel(&mut self) {
+        let start = Instant::now();
+        let pool = WorkerPool::new(self.cfg.threads);
+        let locks = AtomicBitVec::new(self.state.len());
+        let mut ledgers: PerWorker<WorkerLedger<V>> =
+            PerWorker::new_with(pool.size(), |_| WorkerLedger::default());
+        let chunk_cap = self.cfg.poll_batch.saturating_mul(pool.size()).max(1);
+        let mut chunk: Vec<V> = Vec::new();
+        let mut scratch: Vec<V> = Vec::new();
+        loop {
+            let delivered = self.check_mailbox(&mut scratch);
+            let executed = self.run_chunk(&pool, &locks, &mut ledgers, &mut chunk, chunk_cap);
+            if delivered == 0 && executed == 0 && self.heap.is_empty() {
+                self.mailbox.flush();
+                let idle = self.mailbox.pending_out() == 0;
+                if self.quiescence.poll(
+                    self.mailbox.sent_count(),
+                    self.mailbox.received_count(),
+                    idle,
+                ) {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        self.stats.elapsed += start.elapsed();
+    }
+
+    /// Pop up to `limit` visitors from the heap and execute them on the
+    /// worker pool; returns the number executed. Workers claim blocks of
+    /// the chunk from a shared cursor, guard each per-vertex state slot
+    /// with a bit lock only while copying the `visit_seed` out and while
+    /// `merge`-ing the result back (never across the `visit` call itself,
+    /// which may block on semi-external page fills), and stage every push
+    /// in a per-worker [`SendShard`]. After the pool quiesces the
+    /// coordinator absorbs the shards in worker order through the exact
+    /// ghost-filter + mailbox path a serial push takes, so wire traffic,
+    /// ghost counters and termination accounting are identical in kind to
+    /// the serial loop's.
+    fn run_chunk(
+        &mut self,
+        pool: &WorkerPool,
+        locks: &AtomicBitVec,
+        ledgers: &mut PerWorker<WorkerLedger<V>>,
+        chunk: &mut Vec<V>,
+        limit: usize,
+    ) -> usize {
+        chunk.clear();
+        while chunk.len() < limit {
+            let Some(HeapEntry(vis, _)) = self.heap.pop() else { break };
+            chunk.push(vis);
+        }
+        if chunk.is_empty() {
+            return 0;
+        }
+        let executed = chunk.len();
+        {
+            let g = self.g;
+            let slots = SharedSlots::new(self.state.as_mut_slice());
+            let cursor = AtomicUsize::new(0);
+            let chunk_ref: &[V] = chunk;
+            let ledgers_ref: &PerWorker<WorkerLedger<V>> = &*ledgers;
+            // Small blocks keep load balance when per-visitor cost varies
+            // (page faults, skewed degrees) without cursor contention.
+            const BLOCK: usize = 16;
+            let job = move |w: usize| {
+                // safety: worker `w` is the only thread touching cell `w`
+                let ledger = unsafe { ledgers_ref.cell(w) };
+                loop {
+                    let begin = cursor.fetch_add(BLOCK, MemOrdering::Relaxed);
+                    if begin >= chunk_ref.len() {
+                        break;
+                    }
+                    let end = (begin + BLOCK).min(chunk_ref.len());
+                    for vis in &chunk_ref[begin..end] {
+                        let li = g.local_index(vis.vertex());
+                        locks.lock(li);
+                        // safety: the bit lock serializes slot `li`
+                        let mut seed = V::visit_seed(unsafe { slots.slot(li) });
+                        locks.unlock(li);
+                        let mut pusher =
+                            ShardPusher { g, shard: &mut ledger.shard, pushed: &mut ledger.pushed };
+                        vis.visit(g, &mut seed, &mut pusher);
+                        locks.lock(li);
+                        // safety: as above — lock held for the merge only
+                        V::merge(unsafe { slots.slot(li) }, &seed);
+                        locks.unlock(li);
+                        ledger.executed += 1;
+                    }
+                }
+            };
+            pool.broadcast(&job);
+        }
+        // Absorb in fixed worker order: visitor-level interleaving inside a
+        // chunk is scheduling-dependent, but everything that reaches the
+        // wire does so from this single-threaded, deterministic drain.
+        let Self { mailbox, ghosts, stats, .. } = self;
+        for ledger in ledgers.iter_mut() {
+            stats.visitors_executed += ledger.executed;
+            stats.visitors_pushed += ledger.pushed;
+            ledger.executed = 0;
+            ledger.pushed = 0;
+            for (dst, visitor) in ledger.shard.drain() {
+                if ghost_pass::<V>(ghosts, stats, &visitor) {
+                    mailbox.send(dst, visitor);
+                }
+            }
+        }
+        executed
+    }
+
     /// Run the traversal with periodic checkpoints and (fault-injected)
     /// crash/restore. Collective; every rank must call it with the same
     /// `spec`.
@@ -429,6 +566,10 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
     where
         V::Data: WireCodec<DecodeCtx = ()>,
     {
+        if self.cfg.threads > 1 {
+            self.do_traversal_checkpointed_parallel(ctx, spec);
+            return;
+        }
         let start = Instant::now();
         let every = spec.every.max(1);
         let mut store = spec.build_store();
@@ -461,6 +602,63 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
                 let drained = self.mailbox.pending_out() == 0;
                 // `due` stays out of the flag: when every rank runs dry the
                 // cut reads as termination even if thresholds were pending.
+                let flag = no_work && drained;
+                match self.quiescence.poll_cut(
+                    self.mailbox.sent_count(),
+                    self.mailbox.received_count(),
+                    drained,
+                    flag,
+                ) {
+                    Some(true) => break,
+                    Some(false) => {
+                        self.checkpoint_cut(ctx, spec, &mut store, &mut epoch, &mut incarnation);
+                        executed_since = 0;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        }
+        self.stats.elapsed += start.elapsed();
+    }
+
+    /// Multi-threaded checkpointed traversal (`cfg.threads > 1`). Chunks
+    /// are additionally bounded by the remaining checkpoint budget, so a
+    /// cut can only happen *between* chunks — i.e. with the worker pool
+    /// quiesced (every `broadcast` joins before returning) and every
+    /// staged shard absorbed. The snapshot a cut exports is therefore
+    /// exactly the coordinator's single-threaded view: same state vector,
+    /// same heap, same counters, same wire sequence numbers as a serial
+    /// rank parked at the same cut.
+    fn do_traversal_checkpointed_parallel(&mut self, ctx: &RankCtx, spec: &CheckpointSpec)
+    where
+        V::Data: WireCodec<DecodeCtx = ()>,
+    {
+        let start = Instant::now();
+        let every = spec.every.max(1);
+        let mut store = spec.build_store();
+        let pool = WorkerPool::new(self.cfg.threads);
+        let locks = AtomicBitVec::new(self.state.len());
+        let mut ledgers: PerWorker<WorkerLedger<V>> =
+            PerWorker::new_with(pool.size(), |_| WorkerLedger::default());
+        let chunk_cap = self.cfg.poll_batch.saturating_mul(pool.size()).max(1);
+        let mut chunk: Vec<V> = Vec::new();
+        let mut scratch: Vec<V> = Vec::new();
+        let mut epoch: u64 = 0;
+        let mut incarnation: u64 = 0;
+        let mut executed_since = every;
+        loop {
+            let delivered = self.check_mailbox(&mut scratch);
+            let mut executed = 0;
+            if executed_since < every {
+                let limit = chunk_cap.min((every - executed_since) as usize);
+                executed = self.run_chunk(&pool, &locks, &mut ledgers, &mut chunk, limit);
+                executed_since += executed as u64;
+            }
+            let due = executed_since >= every;
+            let no_work = delivered == 0 && executed == 0 && self.heap.is_empty();
+            if due || no_work {
+                self.mailbox.flush();
+                let drained = self.mailbox.pending_out() == 0;
                 let flag = no_work && drained;
                 match self.quiescence.poll_cut(
                     self.mailbox.sent_count(),
@@ -595,6 +793,27 @@ impl<'g, V: Visitor + WireCodec> VisitorPush<V> for VisitorQueue<'g, V> {
     }
 }
 
+/// The ghost-filter stage of the push path: check the visitor against a
+/// local ghost slot if one exists, counting checks and suppressions.
+/// Returns whether the push should proceed to the mailbox. Runs only on
+/// the coordinator thread (the ghost table is not synchronized).
+fn ghost_pass<V: Visitor + WireCodec>(
+    ghosts: &mut GhostTable<V::Data>,
+    stats: &mut TraversalStats,
+    visitor: &V,
+) -> bool {
+    if V::GHOSTS_ALLOWED {
+        if let Some(gdata) = ghosts.get_mut(visitor.vertex()) {
+            stats.ghost_checked += 1;
+            if !visitor.pre_visit(gdata, Role::Ghost) {
+                stats.ghost_filtered += 1;
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// The push path, shared between the queue itself and the in-`visit` pusher.
 fn push_impl<V: Visitor + WireCodec>(
     g: &DistGraph,
@@ -604,17 +823,9 @@ fn push_impl<V: Visitor + WireCodec>(
     visitor: V,
 ) {
     stats.visitors_pushed += 1;
-    let v = visitor.vertex();
-    if V::GHOSTS_ALLOWED {
-        if let Some(gdata) = ghosts.get_mut(v) {
-            stats.ghost_checked += 1;
-            if !visitor.pre_visit(gdata, Role::Ghost) {
-                stats.ghost_filtered += 1;
-                return;
-            }
-        }
+    if ghost_pass::<V>(ghosts, stats, &visitor) {
+        mailbox.send(g.min_owner(visitor.vertex()), visitor);
     }
-    mailbox.send(g.min_owner(v), visitor);
 }
 
 struct Pusher<'a, V: Visitor + WireCodec> {
@@ -627,6 +838,38 @@ struct Pusher<'a, V: Visitor + WireCodec> {
 impl<'a, V: Visitor + WireCodec> VisitorPush<V> for Pusher<'a, V> {
     fn push(&mut self, visitor: V) {
         push_impl(self.g, self.mailbox, self.ghosts, self.stats, visitor);
+    }
+}
+
+/// Per-worker scratch for one parallel traversal: the staged outgoing
+/// pushes plus the worker's share of the execution counters, merged into
+/// [`TraversalStats`] by the coordinator when it absorbs the shard.
+struct WorkerLedger<V: Visitor + WireCodec> {
+    shard: SendShard<V>,
+    executed: u64,
+    pushed: u64,
+}
+
+impl<V: Visitor + WireCodec> Default for WorkerLedger<V> {
+    fn default() -> Self {
+        WorkerLedger { shard: SendShard::default(), executed: 0, pushed: 0 }
+    }
+}
+
+/// Worker-side pusher: resolves the destination rank immediately (the
+/// graph's ownership map is immutable and thread-safe) but defers the
+/// ghost filter and the mailbox — both single-threaded — to the
+/// coordinator's absorb pass.
+struct ShardPusher<'a, V: Visitor + WireCodec> {
+    g: &'a DistGraph,
+    shard: &'a mut SendShard<V>,
+    pushed: &'a mut u64,
+}
+
+impl<'a, V: Visitor + WireCodec> VisitorPush<V> for ShardPusher<'a, V> {
+    fn push(&mut self, visitor: V) {
+        *self.pushed += 1;
+        self.shard.send(self.g.min_owner(visitor.vertex()), visitor);
     }
 }
 
@@ -704,6 +947,10 @@ mod tests {
 
         fn priority(&self, _other: &Self) -> Ordering {
             Ordering::Equal
+        }
+
+        fn merge(into: &mut FloodData, update: &FloodData) {
+            into.marked |= update.marked;
         }
     }
 
@@ -991,6 +1238,93 @@ mod tests {
             assert_eq!(crashes, 1, "p={p}");
             assert_eq!(restores, p as u64, "p={p}");
             assert_eq!(fallbacks, 1, "rank 0 skipped exactly its corrupt blob (p={p})");
+        }
+    }
+
+    /// Satellite check for the intra-rank worker pool: the Flood visitor's
+    /// traversal counters are fully deterministic (marking is idempotent
+    /// and ghost slots converge to "marked" regardless of interleaving),
+    /// so the merged per-worker stat cells must reproduce the serial
+    /// counts exactly at every thread count.
+    #[test]
+    fn parallel_stats_match_serial_exactly() {
+        let gen = RmatGenerator::graph500(8);
+        let edges = gen.symmetric_edges(21);
+        let run = |threads: usize| {
+            let out = CommWorld::run(2, |ctx| {
+                let g = DistGraph::build_replicated(
+                    ctx,
+                    &edges,
+                    PartitionStrategy::EdgeList,
+                    GraphConfig::default(),
+                );
+                let cfg = TraversalConfig::default().with_threads(threads);
+                let mut q = VisitorQueue::<Flood>::new(ctx, &g, cfg);
+                if g.is_master(VertexId(0)) {
+                    q.push(Flood { vertex: VertexId(0) });
+                }
+                q.do_traversal();
+                let s = q.stats();
+                let marked: u64 = g
+                    .local_vertices()
+                    .filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].marked)
+                    .count() as u64;
+                (
+                    ctx.all_reduce_sum(marked),
+                    ctx.all_reduce_sum(s.visitors_executed),
+                    ctx.all_reduce_sum(s.visitors_pushed),
+                    ctx.all_reduce_sum(s.ghost_checked),
+                    ctx.all_reduce_sum(s.ghost_filtered),
+                    ctx.all_reduce_sum(s.replica_forwards),
+                    ctx.all_reduce_sum(s.payload_sent),
+                    ctx.all_reduce_sum(s.payload_received),
+                )
+            });
+            out[0]
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_checkpointed_flood_converges_through_crash() {
+        let edges = ring_edges(64);
+        for p in [2usize, 4] {
+            let out = CommWorld::run_with_faults(
+                p,
+                Some(havoq_comm::FaultConfig::quiet(7).with_forced_crash(p - 1, 2)),
+                |ctx| {
+                    let g = DistGraph::build_replicated(
+                        ctx,
+                        &edges,
+                        PartitionStrategy::EdgeList,
+                        GraphConfig::default(),
+                    );
+                    let cfg = TraversalConfig::default().with_threads(4);
+                    let mut q = VisitorQueue::<Flood>::new(ctx, &g, cfg);
+                    if g.is_master(VertexId(0)) {
+                        q.push(Flood { vertex: VertexId(0) });
+                    }
+                    let spec = crate::checkpoint::CheckpointSpec::default().with_every(8);
+                    q.do_traversal_checkpointed(ctx, &spec);
+                    let s = q.stats();
+                    let marked: u64 = g
+                        .local_vertices()
+                        .filter(|&v| g.is_master(v) && q.state()[g.local_index(v)].marked)
+                        .count() as u64;
+                    (
+                        ctx.all_reduce_sum(marked),
+                        ctx.all_reduce_sum(s.crashes),
+                        ctx.all_reduce_sum(s.restores),
+                    )
+                },
+            );
+            let (marked, crashes, restores) = out[0];
+            assert_eq!(marked, 64, "threads=4 resumed flood reaches whole ring (p={p})");
+            assert_eq!(crashes, 1, "p={p}");
+            assert_eq!(restores, p as u64, "p={p}");
         }
     }
 

@@ -28,8 +28,11 @@ pub enum Role {
 /// forwardable state (paper Table I).
 ///
 /// Implementations are plain-data values shipped between ranks through the
-/// mailbox; they must be cheap to clone.
-pub trait Visitor: Clone + Send + 'static {
+/// mailbox; they must be cheap to clone. The `Sync` bound exists for the
+/// intra-rank worker pool (DESIGN.md §11), which shares a popped chunk of
+/// visitors across worker threads by reference; plain-data visitors (and
+/// `Arc`-held lookup tables) satisfy it for free.
+pub trait Visitor: Clone + Send + Sync + 'static {
     /// Per-vertex algorithm state (e.g. BFS level + parent). One instance
     /// per vertex per partition holding it; replicated for split vertices;
     /// also used as ghost state.
@@ -58,6 +61,32 @@ pub trait Visitor: Clone + Send + 'static {
     /// order; the framework then orders by vertex id for page-level
     /// locality (Section V-A).
     fn priority(&self, other: &Self) -> std::cmp::Ordering;
+
+    /// Fold one `visit` execution's state update back into the canonical
+    /// per-vertex slot (DESIGN.md §11).
+    ///
+    /// When visitors execute on a worker pool, each `visit` runs against a
+    /// private seed copy (see [`Visitor::visit_seed`]) instead of the slot
+    /// itself; `merge` then combines the seed back under the slot's lock.
+    /// The operation **must be commutative and associative** — merges from
+    /// concurrent workers land in arbitrary order — and must subsume the
+    /// serial semantics: monotone algorithms declare their min/and here
+    /// (making a stale seed's merge a no-op), counting algorithms declare
+    /// the sum of their deltas.
+    fn merge(into: &mut Self::Data, update: &Self::Data);
+
+    /// The private state copy handed to a worker-side `visit`.
+    ///
+    /// Defaults to a full clone, which is correct for algorithms whose
+    /// `visit` only *reads* state (BFS, CC, SSSP, k-core: mutation happens
+    /// in `pre_visit` on the coordinator). Delta-counting algorithms
+    /// (triangle, wedge, validation) override this to return a zeroed
+    /// accumulator — carrying any read-only fields across — so concurrent
+    /// executions on the same vertex sum exactly instead of double
+    /// counting.
+    fn visit_seed(data: &Self::Data) -> Self::Data {
+        data.clone()
+    }
 }
 
 /// Sink for dynamically created visitors (the `visitor_queue.push` half of

@@ -311,6 +311,20 @@ impl DeviceProfile {
     pub const fn sata_ssd() -> Self {
         Self { name: "sata-ssd", read_latency_ns: 6_000, write_latency_ns: 12_000, concurrency: 8 }
     }
+
+    /// Enterprise PCIe NAND at *real* (unscaled) latency: ~100 us/page
+    /// read. Coarse enough that simulated waits sleep — blocking the
+    /// calling thread like real I/O — so experiments about overlapping
+    /// device latency (the intra-rank worker-pool speedup table) measure
+    /// genuine overlap even on a low-core host.
+    pub const fn fusion_io_realtime() -> Self {
+        Self {
+            name: "fusion-io-rt",
+            read_latency_ns: 100_000,
+            write_latency_ns: 200_000,
+            concurrency: 32,
+        }
+    }
 }
 
 /// Counting semaphore bounding in-flight accesses.
@@ -367,12 +381,20 @@ impl<D: BlockDevice> SimNvram<D> {
             return;
         }
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
-        // Busy-wait: sleep granularity on Linux (~50 us min) is far coarser
-        // than NAND-scale latencies, so spin against a monotonic clock.
-        let start = Instant::now();
         let target = Duration::from_nanos(ns);
-        while start.elapsed() < target {
-            std::hint::spin_loop();
+        // Waits at or above OS sleep granularity block like real I/O does
+        // — yielding the core, so concurrent accessors overlap their
+        // simulated latency even on a single-core host. Sub-granularity
+        // NAND-scale waits spin against a monotonic clock instead (Linux
+        // sleep granularity, ~50 us min, would distort them badly).
+        const SLEEP_GRANULARITY: Duration = Duration::from_micros(100);
+        if target >= SLEEP_GRANULARITY {
+            std::thread::sleep(target);
+        } else {
+            let start = Instant::now();
+            while start.elapsed() < target {
+                std::hint::spin_loop();
+            }
         }
     }
 }

@@ -13,8 +13,11 @@
 //!   a small PRNG) replacing proptest for the invariant suites.
 //! - [`crc`]: table-driven CRC-32 shared by the wire frames and the page
 //!   cache's per-page write-back checksums.
+//! - [`parallel`]: a scoped worker pool, atomic bitmap, and per-worker
+//!   cells backing the intra-rank parallel traversal (DESIGN.md §11).
 
 pub mod crc;
+pub mod parallel;
 pub mod testing;
 
 use std::collections::{HashMap, HashSet};

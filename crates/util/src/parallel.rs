@@ -1,0 +1,473 @@
+//! Dependency-free intra-rank parallelism primitives.
+//!
+//! The traversal core runs each simulated rank on one OS thread; the
+//! worker-pool refactor (DESIGN.md §11) adds a small set of primitives so
+//! a rank can fan visitor execution out to a pool of worker threads
+//! without pulling in rayon/crossbeam (the build environment has no
+//! registry access):
+//!
+//! - [`WorkerPool`]: a persistent pool with a scoped `broadcast` — every
+//!   worker runs the same closure (borrowing from the caller's stack) and
+//!   `broadcast` does not return until all of them finish, so plain
+//!   references into the coordinator's frame are sound to share.
+//! - [`AtomicBitVec`]: a bit-per-index atomic bitmap, usable both as a
+//!   visited/dirty set (`test_and_set`) and as an array of one-bit
+//!   spinlocks (`lock`/`unlock`) guarding per-vertex state slots.
+//! - [`SharedSlots`]: an unsafe-interior view of a `Vec<T>` letting
+//!   workers mutate *disjoint* (caller-locked) slots concurrently.
+//! - [`PerWorker`]: cache-padded per-worker cells (send shards, stat
+//!   counters) written race-free by index and drained by the coordinator.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Pads (and aligns) a value to a cache line so per-worker cells never
+/// false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+/// A bit-per-index atomic bitmap.
+///
+/// Two usage patterns, both lock-free on the word level:
+///
+/// - visited/dirty set: [`AtomicBitVec::test_and_set`] returns whether the
+///   bit was already set, so "first caller wins" races resolve atomically;
+/// - one-bit spinlocks: [`AtomicBitVec::lock`] spins until it wins the
+///   bit, [`AtomicBitVec::unlock`] releases it. Critical sections guarded
+///   this way must be short (a slot copy or merge), never I/O.
+pub struct AtomicBitVec {
+    words: Vec<AtomicU64>,
+    bits: usize,
+}
+
+impl AtomicBitVec {
+    /// An all-zero bitmap over `bits` indices.
+    pub fn new(bits: usize) -> Self {
+        let words = (0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self { words, bits }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        self.words[i / 64].load(Ordering::Acquire) & (1 << (i % 64)) != 0
+    }
+
+    /// Atomically set bit `i`, returning whether it was already set.
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].fetch_or(mask, Ordering::AcqRel) & mask != 0
+    }
+
+    /// Atomically clear bit `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64].fetch_and(!(1u64 << (i % 64)), Ordering::Release);
+    }
+
+    /// Spin until bit `i` is acquired (treats the bit as a spinlock).
+    #[inline]
+    pub fn lock(&self, i: usize) {
+        while self.test_and_set(i) {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Release the bit-spinlock `i`. Must pair with a prior [`Self::lock`].
+    #[inline]
+    pub fn unlock(&self, i: usize) {
+        self.clear(i);
+    }
+}
+
+/// A shared mutable view over the slots of a `Vec<T>`.
+///
+/// Workers holding the matching per-slot lock (an [`AtomicBitVec`] bit)
+/// may mutate "their" slot concurrently with other workers mutating other
+/// slots. The view borrows the vec mutably, so the coordinator cannot
+/// touch the storage while any `SharedSlots` is alive.
+pub struct SharedSlots<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// Safety: access discipline is delegated to the caller (each slot must be
+// reached by at most one thread at a time, enforced by the bit-locks), so
+// sharing the view only requires the element type to cross threads.
+unsafe impl<T: Send> Sync for SharedSlots<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlots<'_, T> {}
+
+impl<'a, T> SharedSlots<'a, T> {
+    pub fn new(slots: &'a mut [T]) -> Self {
+        Self { ptr: slots.as_mut_ptr(), len: slots.len(), _marker: std::marker::PhantomData }
+    }
+
+    /// Mutable access to slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee exclusive access to slot `i` for the
+    /// lifetime of the returned borrow (hold the slot's bit-lock, or be
+    /// the only thread running).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slot(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// One cache-padded cell per worker, written by index from worker threads
+/// and drained by the coordinator.
+///
+/// The unsafe shared access ([`PerWorker::cell`]) is race-free by the same
+/// convention the pool enforces: worker `w` is the only thread that ever
+/// touches cell `w` while a broadcast is running, and the coordinator only
+/// drains after the broadcast returns.
+pub struct PerWorker<T> {
+    cells: Vec<CachePadded<std::cell::UnsafeCell<T>>>,
+}
+
+// Safety: per-index exclusivity is the caller's contract (see above).
+unsafe impl<T: Send> Sync for PerWorker<T> {}
+
+impl<T> PerWorker<T> {
+    pub fn new_with(n: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        Self { cells: (0..n).map(|i| CachePadded(std::cell::UnsafeCell::new(init(i)))).collect() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Mutable access to cell `w` from worker `w`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the only thread accessing cell `w` for the
+    /// lifetime of the returned borrow.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn cell(&self, w: usize) -> &mut T {
+        &mut *self.cells[w].0.get()
+    }
+
+    /// Exclusive (coordinator-side) access to cell `w`.
+    #[inline]
+    pub fn cell_mut(&mut self, w: usize) -> &mut T {
+        self.cells[w].0.get_mut()
+    }
+
+    /// Exclusive (coordinator-side) iteration over all cells.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.cells.iter_mut().map(|c| c.0.get_mut())
+    }
+}
+
+/// The type-erased job a broadcast distributes: a raw fat pointer to the
+/// caller's closure. Only alive while `broadcast` blocks, which is what
+/// makes the lifetime erasure sound.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// Safety: the pointee is `Sync` (the closure is shared by reference across
+// workers) and outlives every worker's use of it (broadcast blocks).
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Bumped once per broadcast; workers run the job when they observe a
+    /// newer epoch than the last one they executed.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers still running the current epoch's job.
+    remaining: usize,
+    shutdown: bool,
+    /// First worker panic of the current epoch, re-raised by `broadcast`.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch (or shutdown).
+    work_cv: Condvar,
+    /// The coordinator waits here for `remaining == 0`.
+    done_cv: Condvar,
+}
+
+/// A persistent scoped worker pool.
+///
+/// Threads are spawned once and parked between jobs; [`WorkerPool::broadcast`]
+/// hands every worker the same `Fn(worker_index)` closure and blocks until
+/// all of them return, so the closure may borrow freely from the caller's
+/// stack. A worker panic is captured and re-raised on the caller's thread
+/// after the remaining workers finish. Dropping the pool joins the threads.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` workers (`threads >= 1`).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a worker pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+                panic: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("havoq-worker-{w}"))
+                    .spawn(move || Self::worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn worker_loop(shared: &PoolShared, w: usize) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch > seen_epoch {
+                        break;
+                    }
+                    st = shared.work_cv.wait(st).unwrap();
+                }
+                seen_epoch = st.epoch;
+                st.job.expect("job set for the live epoch")
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(w) }));
+            let mut st = shared.state.lock().unwrap();
+            if let Err(e) = outcome {
+                if st.panic.is_none() {
+                    st.panic = Some(e);
+                }
+            }
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Run `f(worker_index)` on every worker concurrently; blocks until
+    /// all workers have returned. Re-raises the first worker panic.
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        // Erase the closure's lifetime into a raw fat pointer; sound
+        // because this function does not return until every worker is done
+        // with it.
+        let job = Job(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        });
+        let mut st = self.shared.state.lock().unwrap();
+        debug_assert_eq!(st.remaining, 0, "overlapping broadcasts");
+        st.job = Some(job);
+        st.remaining = self.handles.len();
+        st.epoch += 1;
+        self.shared.work_cv.notify_all();
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        if let Some(p) = st.panic.take() {
+            drop(st);
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            // a worker that panicked mid-broadcast already reported through
+            // `broadcast`; ignore the poisoned join here
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn bitvec_set_get_clear() {
+        let b = AtomicBitVec::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.get(0) && !b.get(64) && !b.get(129));
+        assert!(!b.test_and_set(64));
+        assert!(b.test_and_set(64));
+        assert!(b.get(64));
+        b.clear(64);
+        assert!(!b.get(64));
+    }
+
+    #[test]
+    fn bitvec_spinlock_excludes() {
+        let bits = AtomicBitVec::new(8);
+        let mut count = 0u64;
+        {
+            let slots = SharedSlots::new(std::slice::from_mut(&mut count));
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..10_000 {
+                            bits.lock(3);
+                            unsafe { *slots.slot(0) += 1 };
+                            bits.unlock(3);
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(count, 40_000);
+    }
+
+    #[test]
+    fn pool_broadcast_runs_every_worker_and_borrows_stack() {
+        let pool = WorkerPool::new(4);
+        let hits = AtomicUsize::new(0);
+        let seen = Mutex::new(Vec::new());
+        pool.broadcast(&|w| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            seen.lock().unwrap().push(w);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+        let mut s = seen.into_inner().unwrap();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_broadcasts() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.broadcast(&|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let pool = WorkerPool::new(2);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w == 1 {
+                    panic!("deliberate worker failure");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // the pool must survive a panicked broadcast
+        let ok = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn shared_slots_disjoint_writes_land() {
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0u64; 64];
+        {
+            let slots = SharedSlots::new(&mut data);
+            pool.broadcast(&|w| {
+                for i in (w..64).step_by(4) {
+                    // disjoint by construction: worker w owns i ≡ w (mod 4)
+                    unsafe { *slots.slot(i) = i as u64 * 10 };
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn shared_slots_locked_increments_are_exact() {
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0u64; 8];
+        let locks = AtomicBitVec::new(8);
+        {
+            let slots = SharedSlots::new(&mut data);
+            pool.broadcast(&|_| {
+                for _ in 0..5_000 {
+                    for i in 0..8 {
+                        locks.lock(i);
+                        unsafe { *slots.slot(i) += 1 };
+                        locks.unlock(i);
+                    }
+                }
+            });
+        }
+        assert_eq!(data, vec![20_000u64; 8]);
+    }
+
+    #[test]
+    fn per_worker_cells_drain_to_coordinator() {
+        let pool = WorkerPool::new(4);
+        let cells: PerWorker<u64> = PerWorker::new_with(4, |_| 0);
+        pool.broadcast(&|w| {
+            for _ in 0..1000 {
+                unsafe { *cells.cell(w) += 1 };
+            }
+        });
+        let mut cells = cells;
+        assert_eq!(cells.iter_mut().map(|c| *c).sum::<u64>(), 4000);
+    }
+}
