@@ -10,18 +10,233 @@
 //! per-thread-count TEPS summary table reports the worker-pool speedup at
 //! the end. Every tree is validated at every thread count, and the
 //! traversed-edge count per key must not depend on the thread count.
+//!
+//! Search keys come from [`havoq_bench::select_search_keys`]: distinct,
+//! nonzero-degree, agreed on by every rank, and *loudly* failing (instead
+//! of silently shrinking the key set) when the graph cannot supply them.
+//!
+//! `--batch K` switches to the batched multi-source mode (DESIGN.md §12):
+//! the same keys run first through the sequential per-key loop and then
+//! through [`QueryBatch`] in chunks of K sharing one traversal each. The
+//! per-key results must be bit-identical (visited count, traversed edges,
+//! max level, and the full level array fingerprint — asserted), and the
+//! aggregate key throughput speedup of the batched pass is reported.
 
 use havoq_bench::{csv_row, overhead_pct, pick, Experiment};
-use havoq_comm::{CommWorld, FaultConfig};
+use havoq_comm::{CommWorld, FaultConfig, RankCtx};
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_core::algorithms::validate::validate_bfs;
+use havoq_core::batch::{BatchConfig, QueryBatch, MAX_BATCH};
 use havoq_core::CheckpointSpec;
 use havoq_graph::csr::GraphConfig;
 use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::rmat::RmatGenerator;
-use havoq_graph::types::VertexId;
 
 fn main() {
+    match havoq_bench::batch() {
+        Some(k) => run_batched(k),
+        None => run_thread_sweep(),
+    }
+}
+
+/// splitmix64 finalizer: the per-vertex mixer for the level fingerprint.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Order-independent global digest of a BFS level array: every master
+/// vertex contributes `mix(vertex ⊕ mix(level))` into a wrapping sum, then
+/// the sum is all-reduced. Identical level arrays (the schedule-invariant
+/// part of a BFS — parents are not) yield identical digests on every rank.
+fn level_fingerprint(ctx: &RankCtx, g: &DistGraph, length_of: impl Fn(usize) -> u64) -> u64 {
+    let mut acc = 0u64;
+    for v in g.local_vertices() {
+        if g.is_master(v) {
+            acc = acc.wrapping_add(mix(v.0 ^ mix(length_of(g.local_index(v)))));
+        }
+    }
+    ctx.all_reduce_sum(acc)
+}
+
+/// The slowest rank's elapsed time, in seconds — the number the aggregate
+/// key-throughput comparison is honest about.
+fn world_elapsed(ctx: &RankCtx, local: std::time::Duration) -> f64 {
+    ctx.all_reduce_max(local.as_nanos() as u64) as f64 / 1e9
+}
+
+/// The `--batch K` mode: sequential per-key pass, then the batched
+/// multi-source pass over the same keys, bit-identical results asserted,
+/// aggregate speedup reported.
+fn run_batched(k: usize) {
+    let k = k.clamp(1, MAX_BATCH);
+    let scale: u32 = pick(9, 12);
+    let ranks: usize = pick(2, 4);
+    let num_keys: usize = pick(8, 64);
+    let threads = havoq_bench::threads().unwrap_or(1).max(1);
+    let ckpt_every = havoq_bench::checkpoint_every();
+    let fault_seed = havoq_bench::faults();
+
+    println!(
+        "Graph500 batched mode: RMAT scale {scale}, {ranks} ranks, {num_keys} keys, \
+         batch width {k}, {threads} worker thread(s)/rank"
+    );
+    if let Some(e) = ckpt_every {
+        println!("checkpointing every {e} visitors/rank into the NVRAM store");
+    }
+    if let Some(s) = fault_seed {
+        println!("fault injection: lossy chaos plan, seed {s:#x}");
+    }
+    let gen = RmatGenerator::graph500(scale);
+
+    let results = CommWorld::run_with_faults(ranks, fault_seed.map(FaultConfig::lossy), |ctx| {
+        let mut local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
+        local.extend(local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()));
+        let g = DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default());
+        ctx.barrier();
+
+        let keys = havoq_bench::select_search_keys(ctx, &g, num_keys, havoq_bench::SEARCH_KEY_SEED);
+
+        let spec = ckpt_every.map(|e| CheckpointSpec::default().with_every(e));
+
+        // --- sequential reference pass: one traversal per key ---
+        // only the traversals are timed; validation and fingerprinting are
+        // equivalence checks, not part of either pass's served throughput
+        let mut integ = [0u64; 4];
+        let mut serial_local = std::time::Duration::ZERO;
+        let mut serial = Vec::new(); // (visited, traversed, max_level, level_fp)
+        for &key in &keys {
+            let mut bcfg = BfsConfig::default();
+            bcfg.traversal.threads = threads;
+            if let Some(s) = spec {
+                bcfg = bcfg.with_checkpoint(s);
+            }
+            let t = std::time::Instant::now();
+            let r = bfs(ctx, &g, key, &bcfg);
+            serial_local += t.elapsed();
+            let report = validate_bfs(ctx, &g, key, &r.local_state);
+            assert!(report.is_valid(), "sequential tree for key {key:?} invalid: {report:?}");
+            let fp = level_fingerprint(ctx, &g, |li| r.local_state[li].length);
+            serial.push((r.visited_count, r.traversed_edges, r.max_level, fp));
+            integ[0] += r.stats.corrupt_frames_detected;
+            integ[1] += r.stats.frames_dropped_injected;
+            integ[2] += r.stats.retransmits;
+            integ[3] += r.stats.nacks_sent;
+        }
+        let serial_secs = world_elapsed(ctx, serial_local);
+
+        // --- batched pass: chunks of up to K keys share one traversal ---
+        let mut batched_local = std::time::Duration::ZERO;
+        let mut batched = Vec::new();
+        let mut chunk_rows = Vec::new(); // (width, secs, traversed_sum)
+        for chunk in keys.chunks(k) {
+            let mut qb = QueryBatch::new(k);
+            for &s in chunk {
+                qb.try_admit(s).expect("chunk cannot exceed batch capacity");
+            }
+            let mut bc = BatchConfig::default().with_threads(threads);
+            if let Some(s) = spec {
+                bc = bc.with_checkpoint(s);
+            }
+            let tc = std::time::Instant::now();
+            let res = qb.run_bfs(ctx, &g, &bc);
+            let chunk_elapsed = tc.elapsed();
+            batched_local += chunk_elapsed;
+            let chunk_secs = world_elapsed(ctx, chunk_elapsed);
+            res.ledger.check(chunk.len()).expect("per-query ledger must sum to batch totals");
+            let mut traversed_sum = 0u64;
+            for (qi, &key) in chunk.iter().enumerate() {
+                let agg = &res.per_query[qi];
+                let report = validate_bfs(ctx, &g, key, &res.local_state[qi]);
+                assert!(report.is_valid(), "batched tree for key {key:?} invalid: {report:?}");
+                let fp = level_fingerprint(ctx, &g, |li| res.local_state[qi][li].length);
+                batched.push((agg.visited_count, agg.traversed_edges, agg.max_level, fp));
+                traversed_sum += agg.traversed_edges;
+            }
+            chunk_rows.push((chunk.len(), chunk_secs, traversed_sum));
+            integ[0] += res.stats.corrupt_frames_detected;
+            integ[1] += res.stats.frames_dropped_injected;
+            integ[2] += res.stats.retransmits;
+            integ[3] += res.stats.nacks_sent;
+        }
+        let batched_secs = world_elapsed(ctx, batched_local);
+
+        let integ = [
+            ctx.all_reduce_sum(integ[0]),
+            ctx.all_reduce_sum(integ[1]),
+            ctx.all_reduce_sum(integ[2]),
+            ctx.all_reduce_sum(integ[3]),
+        ];
+        (keys, serial, batched, serial_secs, batched_secs, chunk_rows, integ)
+    });
+
+    let (keys, serial, batched, serial_secs, batched_secs, chunk_rows, integ) = &results[0];
+
+    // bit-identical equivalence, the acceptance gate: every per-key
+    // aggregate and the full level-array digest must match the sequential
+    // reference exactly
+    for (i, (s, b)) in serial.iter().zip(batched).enumerate() {
+        assert_eq!(
+            s, b,
+            "key {:?}: batched (visited, traversed, max_level, level_fp) diverged from sequential",
+            keys[i]
+        );
+    }
+
+    let mut exp = Experiment::begin(
+        &[&format!(
+            "batched equivalence: {} keys bit-identical to the sequential reference",
+            keys.len()
+        )],
+        "graph500_batch.csv",
+        &["chunk", "width", "time_ms", "agg_MTEPS"],
+        &["chunk", "width", "time_ms", "agg_mteps"],
+    );
+    for (i, (width, secs, traversed)) in chunk_rows.iter().enumerate() {
+        let mteps = *traversed as f64 / secs.max(1e-12) / 1e6;
+        exp.row2(
+            &csv_row![i, width, format!("{:.2}", secs * 1e3), format!("{mteps:.2}")],
+            &csv_row![i, width, secs * 1e3, mteps],
+        );
+    }
+
+    // aggregate key throughput: keys per second over the whole pass
+    let serial_kps = keys.len() as f64 / serial_secs.max(1e-12);
+    let batched_kps = keys.len() as f64 / batched_secs.max(1e-12);
+    let speedup = batched_kps / serial_kps;
+    let notes = [
+        format!(
+            "sequential pass: {} keys in {:.2} ms ({serial_kps:.1} keys/s)",
+            keys.len(),
+            serial_secs * 1e3
+        ),
+        format!(
+            "batched pass (width {k}): {} keys in {:.2} ms ({batched_kps:.1} keys/s)",
+            keys.len(),
+            batched_secs * 1e3
+        ),
+        format!("aggregate key-throughput speedup: {speedup:.2}x"),
+        format!(
+            "integrity over both passes: {} corrupt frames detected, {} injected drops, \
+             {} retransmits, {} NACKs (all repaired; every tree validated)",
+            integ[0], integ[1], integ[2], integ[3]
+        ),
+    ];
+    let note_refs: Vec<&str> = notes.iter().map(String::as_str).collect();
+    exp.finish(&note_refs);
+    if speedup < 2.0 {
+        println!(
+            "WARNING: batched speedup {speedup:.2}x below the 2x target \
+             (expected on tiny quick-mode graphs where per-traversal setup dominates)"
+        );
+    }
+}
+
+/// The classic mode: per-key sequential BFS swept over worker-pool sizes.
+fn run_thread_sweep() {
     let scale: u32 = pick(10, 14);
     let ranks: usize = pick(2, 8);
     let num_keys: usize = pick(4, 16); // official runs use 64
@@ -54,24 +269,12 @@ fn main() {
         ctx.barrier();
         let construction = t0.elapsed();
 
-        // search keys: deterministic pseudo-random vertices; skip keys with
-        // no edges (benchmark rule), detected by a degree probe
+        // distinct nonzero-degree search keys, agreed on by every rank;
+        // fails loudly if the graph cannot supply `num_keys` of them
+        let keys = havoq_bench::select_search_keys(ctx, &g, num_keys, havoq_bench::SEARCH_KEY_SEED);
+
         let mut runs = Vec::new();
-        let mut key_state = 0x9E3779B97F4A7C15u64;
-        let mut tried = 0;
-        let mut keys_used = 0;
-        while keys_used < num_keys && tried < num_keys * 4 {
-            key_state ^= key_state << 13;
-            key_state ^= key_state >> 7;
-            key_state ^= key_state << 17;
-            tried += 1;
-            let key = VertexId(key_state % g.num_vertices());
-            // degree probe: the master broadcasts whether the key has edges
-            let deg = if g.is_master(key) { g.total_degree(key) } else { 0 };
-            if ctx.all_reduce_max(deg) == 0 {
-                continue;
-            }
-            keys_used += 1;
+        for &key in &keys {
             // the built graph is shared by every thread count for this key
             for &threads in &tcs {
                 let mut bcfg = BfsConfig::default();

@@ -87,6 +87,102 @@ pub fn threads() -> Option<usize> {
     std::env::var("HAVOQ_THREADS").ok().and_then(|v| v.parse().ok())
 }
 
+/// Batched query width for the traversal binaries: `--batch K` on the
+/// command line (or `HAVOQ_BATCH=K` in the environment) runs search keys
+/// through the multi-source batching layer, `K` queries per shared
+/// traversal (DESIGN.md §12). `None` (the default) runs keys sequentially.
+pub fn batch() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--batch" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--batch=") {
+            return v.parse().ok();
+        }
+    }
+    std::env::var("HAVOQ_BATCH").ok().and_then(|v| v.parse().ok())
+}
+
+/// The Graph500 search-key seed the benchmark binaries share.
+pub const SEARCH_KEY_SEED: u64 = 0x9E3779B97F4A7C15;
+
+/// Select `num_keys` *distinct* search keys with nonzero degree (the
+/// Graph500 rule), deterministically and collectively: every rank runs the
+/// same xorshift probe sequence and the same degree-probe collectives, so
+/// all ranks agree on the key set.
+///
+/// Panics (loudly, with counts) when the graph does not contain enough
+/// usable keys — see [`select_search_keys_checked`]. The old in-bin
+/// selection loop silently *under-filled* when its `4 × num_keys` random
+/// probes ran out on a small or sparse graph, quietly shrinking the
+/// benchmark; now the probe phase falls back to a deterministic rescan of
+/// the whole vertex range, and failure is only declared when the graph
+/// genuinely has fewer usable vertices than requested.
+pub fn select_search_keys(
+    ctx: &havoq_comm::RankCtx,
+    g: &havoq_graph::dist::DistGraph,
+    num_keys: usize,
+    seed: u64,
+) -> Vec<havoq_graph::types::VertexId> {
+    match select_search_keys_checked(ctx, g, num_keys, seed) {
+        Ok(keys) => keys,
+        Err(e) => panic!("search-key selection failed: {e}"),
+    }
+}
+
+/// Fallible core of [`select_search_keys`]: `Err` reports how many usable
+/// keys exist when the request cannot be met.
+pub fn select_search_keys_checked(
+    ctx: &havoq_comm::RankCtx,
+    g: &havoq_graph::dist::DistGraph,
+    num_keys: usize,
+    seed: u64,
+) -> Result<Vec<havoq_graph::types::VertexId>, String> {
+    use havoq_graph::types::VertexId;
+    let n = g.num_vertices();
+    // degree probe: the key's master broadcasts whether it has edges
+    let has_edges = |key: VertexId| {
+        let deg = if g.is_master(key) { g.total_degree(key) } else { 0 };
+        ctx.all_reduce_max(deg) > 0
+    };
+    let mut keys: Vec<VertexId> = Vec::new();
+    let mut used = std::collections::HashSet::new();
+    // phase 1: pseudo-random probes, 4 tries per requested key
+    let mut state = seed;
+    let mut tried = 0;
+    while keys.len() < num_keys && tried < num_keys * 4 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        tried += 1;
+        let key = VertexId(state % n);
+        if used.contains(&key.0) || !has_edges(key) {
+            continue;
+        }
+        used.insert(key.0);
+        keys.push(key);
+    }
+    // phase 2: deterministic rescan of the whole vertex range, so a small
+    // graph yields every usable key instead of a silently short list
+    let mut v = 0u64;
+    while keys.len() < num_keys && v < n {
+        if !used.contains(&v) && has_edges(VertexId(v)) {
+            used.insert(v);
+            keys.push(VertexId(v));
+        }
+        v += 1;
+    }
+    if keys.len() < num_keys {
+        return Err(format!(
+            "requested {num_keys} search keys but the graph has only {} distinct \
+             vertices with edges (of {n} vertices)",
+            keys.len()
+        ));
+    }
+    Ok(keys)
+}
+
 /// Fault seeds accept decimal or `0x`-prefixed hex.
 fn parse_seed(v: &str) -> Option<u64> {
     match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
@@ -374,5 +470,80 @@ mod tests {
         assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
         assert_eq!(mteps(2_000_000, Duration::from_secs(1)), "2.00");
         assert_eq!(mteps(1, Duration::ZERO), "inf");
+    }
+
+    #[test]
+    fn batch_parses_from_env() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var("HAVOQ_BATCH");
+        assert_eq!(batch(), None);
+        std::env::set_var("HAVOQ_BATCH", "32");
+        assert_eq!(batch(), Some(32));
+        std::env::set_var("HAVOQ_BATCH", "junk");
+        assert_eq!(batch(), None);
+        std::env::remove_var("HAVOQ_BATCH");
+    }
+
+    /// The key-selection regression: a graph with only two non-isolated
+    /// vertices must yield exactly those two when two keys are requested
+    /// (the deterministic rescan fills what the random probes miss), and
+    /// must fail *loudly* — not return a silently short list — when three
+    /// are requested.
+    #[test]
+    fn search_key_selection_rescans_and_fails_loudly() {
+        use havoq_graph::csr::GraphConfig;
+        use havoq_graph::dist::{DistGraph, PartitionStrategy};
+        use havoq_graph::types::Edge;
+
+        // vertices 0 and 1 are connected; 2 and 3 are isolated
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 0)];
+        let out = havoq_comm::CommWorld::run(2, move |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(4),
+            );
+            let ok = select_search_keys_checked(ctx, &g, 2, SEARCH_KEY_SEED);
+            let err = select_search_keys_checked(ctx, &g, 3, SEARCH_KEY_SEED);
+            (ok, err)
+        });
+        for (ok, err) in out {
+            let mut keys: Vec<u64> = ok.expect("2 usable keys exist").iter().map(|k| k.0).collect();
+            keys.sort_unstable();
+            assert_eq!(keys, vec![0, 1], "rescan must find exactly the non-isolated vertices");
+            let msg = err.expect_err("3 keys cannot exist on a 2-usable-vertex graph");
+            assert!(msg.contains("only 2"), "error must report the usable count: {msg}");
+        }
+    }
+
+    /// Key selection is collective and deterministic: every rank computes
+    /// the identical key list, keys are distinct, and all have edges.
+    #[test]
+    fn search_key_selection_is_deterministic_across_ranks() {
+        use havoq_graph::csr::GraphConfig;
+        use havoq_graph::dist::{DistGraph, PartitionStrategy};
+        use havoq_graph::gen::rmat::RmatGenerator;
+
+        let gen = RmatGenerator::graph500(4);
+        let edges = gen.symmetric_edges(42);
+        let n = gen.num_vertices();
+        let out = havoq_comm::CommWorld::run(3, move |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            select_search_keys(ctx, &g, 8, SEARCH_KEY_SEED)
+        });
+        assert_eq!(out[0].len(), 8);
+        for rank in &out {
+            assert_eq!(rank, &out[0], "ranks disagree on the key set");
+        }
+        let mut uniq: Vec<u64> = out[0].iter().map(|k| k.0).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8, "selected keys must be distinct");
     }
 }

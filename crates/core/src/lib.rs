@@ -20,8 +20,13 @@
 //! - [`rounds`] — the Section VI-D "parallel rounds" analysis model: an
 //!   idealized round-synchronous executor for validating the asymptotic
 //!   visitor bounds empirically.
+//! - [`batch`] — the multi-source batching layer (MS-BFS style): up to 64
+//!   concurrent queries multiplexed through one shared traversal via a
+//!   per-visitor `active_mask`, plus the admission scheduler behind the
+//!   query-serving bench (DESIGN.md §12).
 
 pub mod algorithms;
+pub mod batch;
 pub mod checkpoint;
 pub mod ghost;
 pub mod queue;

@@ -45,6 +45,8 @@ pub use havoq_core as core;
 pub use havoq_graph as graph;
 pub use havoq_nvram as nvram;
 
+pub mod testing;
+
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use havoq_comm::{CommWorld, Mailbox, MailboxConfig, Quiescence, RankCtx, TopologyKind};
@@ -57,6 +59,10 @@ pub mod prelude {
     pub use havoq_core::algorithms::triangle::{triangle_count, TriangleConfig, TriangleResult};
     pub use havoq_core::algorithms::validate::{validate_bfs, ValidationReport};
     pub use havoq_core::algorithms::wedge::{approx_clustering, WedgeSampleResult};
+    pub use havoq_core::batch::{
+        bfs_batch, reach_batch, AdmissionQueue, Arrival, BatchBfsResult, BatchConfig, BatchLedger,
+        QueryBatch, MAX_BATCH,
+    };
     pub use havoq_core::queue::{TraversalConfig, TraversalStats};
     pub use havoq_graph::csr::{CsrStorage, GraphConfig};
     pub use havoq_graph::dist::{DistGraph, PartitionStrategy};

@@ -9,12 +9,9 @@
 //! (delay + reorder + duplicate + stall + slow-rank) and asserts the
 //! results are bit-identical to the fault-free baseline.
 //!
-//! BFS/SSSP *parents* are deliberately excluded from the fingerprint: the
-//! first visitor to claim a vertex at its final level wins the parent
-//! slot, so parents are schedule-dependent even on fault-free runs (they
-//! already differ across rank counts and topologies). Parent correctness
-//! is instead checked structurally with the paper's validation visitors
-//! (`validate_bfs`), which is exactly what they exist for.
+//! The suite runner, fingerprint (parents deliberately excluded — see
+//! `havoq::testing`), conservation check and fault-counter totals are the
+//! shared sweep scaffolding in `havoq::testing`.
 //!
 //! Early termination is caught two ways: a lost payload would leave the
 //! fixpoint unconverged (fingerprint mismatch), and the global
@@ -26,180 +23,11 @@
 //! repaired by NACK/retransmit, and results must stay bit-identical.
 //!
 //! Reproduce a failing seed locally:
-//! `run_suite(4, &edges, n, Some(FaultConfig::chaos(SEED)))`.
+//! `run_suite(4, &edges, n, Some(FaultConfig::chaos(SEED)), SuiteOptions::default())`.
 
-use havoq::prelude::*;
-use havoq_comm::FaultConfig;
-use havoq_core::algorithms::cc::{connected_components, CcConfig};
-use havoq_core::algorithms::kcore::{kcore, KCoreConfig};
-use havoq_core::algorithms::sssp::{sssp, SsspConfig};
+use havoq::testing::{heavy_sweep_edges, run_suite, sweep_edges, FaultTotals, SuiteOptions};
+use havoq_comm::{CommWorld, FaultConfig};
 use havoq_util::testing::{sweep_seed_set, sweep_seeds};
-
-/// Schedule-independent results of the whole algorithm suite, with vertex
-/// state in canonical (vertex-id) order.
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Fingerprint {
-    bfs_visited: u64,
-    bfs_traversed_edges: u64,
-    bfs_max_level: u64,
-    bfs_levels: Vec<(u64, u64)>,
-    cc_components: u64,
-    cc_labels: Vec<(u64, u64)>,
-    kcore_alive: u64,
-    kcore_state: Vec<(u64, bool, u64)>,
-    sssp_visited: u64,
-    sssp_max_distance: u64,
-    sssp_distances: Vec<(u64, u64)>,
-    triangles: u64,
-}
-
-/// World totals of every fault counter, summed over the suite's traversals.
-#[derive(Clone, Copy, Debug, Default)]
-struct FaultTotals {
-    delayed: u64,
-    reordered: u64,
-    duplicated: u64,
-    deduped: u64,
-    stalled: u64,
-    throttled: u64,
-    /// Injected bit-flips (an injection implies the CRC must catch it).
-    corrupted: u64,
-    /// Injected frame losses (repair must resupply every one).
-    dropped: u64,
-    /// CRC mismatches caught at receivers.
-    detected: u64,
-    nacks: u64,
-    retransmits: u64,
-}
-
-impl FaultTotals {
-    fn accumulate(&mut self, ctx: &havoq_comm::RankCtx, s: &TraversalStats) {
-        self.delayed += ctx.all_reduce_sum(s.fault_delayed);
-        self.reordered += ctx.all_reduce_sum(s.fault_reordered);
-        self.duplicated += ctx.all_reduce_sum(s.fault_duplicated);
-        self.deduped += ctx.all_reduce_sum(s.fault_deduped);
-        self.stalled += ctx.all_reduce_sum(s.fault_stalled);
-        self.throttled += ctx.all_reduce_sum(s.fault_throttled);
-        self.corrupted += ctx.all_reduce_sum(s.fault_corrupted);
-        self.dropped += ctx.all_reduce_sum(s.frames_dropped_injected);
-        self.detected += ctx.all_reduce_sum(s.corrupt_frames_detected);
-        self.nacks += ctx.all_reduce_sum(s.nacks_sent);
-        self.retransmits += ctx.all_reduce_sum(s.retransmits);
-    }
-
-    fn merge(&mut self, o: FaultTotals) {
-        self.delayed += o.delayed;
-        self.reordered += o.reordered;
-        self.duplicated += o.duplicated;
-        self.deduped += o.deduped;
-        self.stalled += o.stalled;
-        self.throttled += o.throttled;
-        self.corrupted += o.corrupted;
-        self.dropped += o.dropped;
-        self.detected += o.detected;
-        self.nacks += o.nacks;
-        self.retransmits += o.retransmits;
-    }
-}
-
-/// Gather one `u64` of state per master vertex into canonical order.
-fn gather_state(
-    ctx: &havoq_comm::RankCtx,
-    g: &DistGraph,
-    mut f: impl FnMut(usize) -> u64,
-) -> Vec<(u64, u64)> {
-    let local: Vec<(u64, u64)> = g
-        .local_vertices()
-        .filter(|&v| g.is_master(v))
-        .map(|v| (v.0, f(g.local_index(v))))
-        .collect();
-    let mut all: Vec<(u64, u64)> = ctx.all_gather(local).into_iter().flatten().collect();
-    all.sort_unstable();
-    all
-}
-
-/// Global sent == received for one traversal: quiescence fired only after
-/// every counted payload was delivered, and nothing was lost or double
-/// delivered.
-fn assert_conserved(ctx: &havoq_comm::RankCtx, what: &str, s: &TraversalStats) {
-    let sent = ctx.all_reduce_sum(s.payload_sent);
-    let recv = ctx.all_reduce_sum(s.payload_received);
-    assert_eq!(sent, recv, "{what}: quiescence fired with {sent} sent != {recv} received");
-}
-
-/// Run the full suite on `p` ranks, returning the fingerprint and the
-/// summed fault counters. Panics if BFS validation or payload conservation
-/// fails on any traversal.
-fn run_suite(
-    p: usize,
-    edges: &[Edge],
-    n: u64,
-    faults: Option<FaultConfig>,
-) -> (Fingerprint, FaultTotals) {
-    let mut out = CommWorld::run_with_faults(p, faults, |ctx| {
-        let g = DistGraph::build_replicated(
-            ctx,
-            edges,
-            PartitionStrategy::EdgeList,
-            GraphConfig::default().with_num_vertices(n),
-        );
-        let mut totals = FaultTotals::default();
-
-        let b = bfs(ctx, &g, VertexId(0), &BfsConfig::default());
-        assert_conserved(ctx, "bfs", &b.stats);
-        totals.accumulate(ctx, &b.stats);
-        let report = validate_bfs(ctx, &g, VertexId(0), &b.local_state);
-        assert!(report.is_valid(), "bfs parents/levels invalid: {report:?}");
-
-        let c = connected_components(ctx, &g, &CcConfig::default());
-        assert_conserved(ctx, "cc", &c.stats);
-        totals.accumulate(ctx, &c.stats);
-
-        let k = kcore(ctx, &g, 3, &KCoreConfig::default());
-        assert_conserved(ctx, "kcore", &k.stats);
-        totals.accumulate(ctx, &k.stats);
-
-        let s = sssp(ctx, &g, VertexId(0), &SsspConfig::default());
-        assert_conserved(ctx, "sssp", &s.stats);
-        totals.accumulate(ctx, &s.stats);
-
-        let t = triangle_count(ctx, &g, &TriangleConfig::default());
-        assert_conserved(ctx, "triangle", &t.stats);
-        totals.accumulate(ctx, &t.stats);
-
-        let fp = Fingerprint {
-            bfs_visited: b.visited_count,
-            bfs_traversed_edges: b.traversed_edges,
-            bfs_max_level: b.max_level,
-            bfs_levels: gather_state(ctx, &g, |li| b.local_state[li].length),
-            cc_components: c.num_components,
-            cc_labels: gather_state(ctx, &g, |li| c.local_state[li].component),
-            kcore_alive: k.alive_count,
-            kcore_state: {
-                let alive = gather_state(ctx, &g, |li| k.local_state[li].alive as u64);
-                let budget = gather_state(ctx, &g, |li| k.local_state[li].kcore);
-                alive.into_iter().zip(budget).map(|((v, a), (_, b))| (v, a == 1, b)).collect()
-            },
-            sssp_visited: s.visited_count,
-            sssp_max_distance: s.max_distance,
-            sssp_distances: gather_state(ctx, &g, |li| s.local_state[li].distance),
-            triangles: t.triangles,
-        };
-        (fp, totals)
-    });
-    // all ranks computed the same world-gathered fingerprint; the totals
-    // are world sums (all_reduce), identical on every rank
-    let (fp0, totals) = out.remove(0);
-    for (fp, _) in &out {
-        assert_eq!(*fp, fp0, "ranks disagree on the gathered fingerprint");
-    }
-    (fp0, totals)
-}
-
-fn sweep_edges() -> (Vec<Edge>, u64) {
-    let gen = RmatGenerator::graph500(7);
-    (gen.symmetric_edges(42), gen.num_vertices())
-}
 
 /// The acceptance sweep: 32 seeded chaos plans, every algorithm, results
 /// bit-identical to the fault-free baseline, and every fault type
@@ -208,28 +36,21 @@ fn sweep_edges() -> (Vec<Edge>, u64) {
 fn fault_sweep_32_seeds_matches_baseline() {
     let (edges, n) = sweep_edges();
     let p = 4;
-    let (baseline, quiet_totals) = run_suite(p, &edges, n, None);
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
     assert_eq!(
-        quiet_totals.delayed
-            + quiet_totals.reordered
-            + quiet_totals.duplicated
-            + quiet_totals.deduped
-            + quiet_totals.stalled
-            + quiet_totals.throttled
-            + quiet_totals.corrupted
-            + quiet_totals.dropped
-            + quiet_totals.detected
-            + quiet_totals.nacks
-            + quiet_totals.retransmits,
+        baseline.faults.total_events(),
         0,
         "fault-free baseline must observe zero fault events"
     );
 
     let totals = std::sync::Mutex::new(FaultTotals::default());
     sweep_seeds(sweep_seed_set(32), |seed| {
-        let (fp, t) = run_suite(p, &edges, n, Some(FaultConfig::chaos(seed)));
-        assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result");
-        totals.lock().unwrap().merge(t);
+        let out = run_suite(p, &edges, n, Some(FaultConfig::chaos(seed)), SuiteOptions::default());
+        assert_eq!(
+            out.fingerprint, baseline.fingerprint,
+            "seed {seed:#x} perturbed a converged result"
+        );
+        totals.lock().unwrap().merge(out.faults);
     });
 
     let t = totals.into_inner().unwrap();
@@ -254,7 +75,7 @@ fn fault_sweep_32_seeds_matches_baseline() {
 /// - **zero undetected corruptions** — every injected flip is caught by
 ///   the frame CRC (`injected == detected`; a dropped frame is never also
 ///   corrupted, it simply vanishes and is resupplied);
-/// - **conservation** — `assert_conserved` inside `run_suite` proves
+/// - **conservation** — `assert_conserved` inside the suite runner proves
 ///   quiescence never fired while a repair was still owed.
 ///
 /// p = 1 rides along to pin the degenerate case: all traffic is loopback
@@ -263,16 +84,20 @@ fn fault_sweep_32_seeds_matches_baseline() {
 fn corruption_drop_sweep_matches_baseline() {
     let (edges, n) = sweep_edges();
     for p in [1usize, 2] {
-        let (baseline, _) = run_suite(p, &edges, n, None);
+        let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
         let totals = std::sync::Mutex::new(FaultTotals::default());
         sweep_seeds(sweep_seed_set(32), |seed| {
-            let (fp, t) = run_suite(p, &edges, n, Some(FaultConfig::lossy(seed)));
-            assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result at p={p}");
+            let out =
+                run_suite(p, &edges, n, Some(FaultConfig::lossy(seed)), SuiteOptions::default());
             assert_eq!(
-                t.corrupted, t.detected,
+                out.fingerprint, baseline.fingerprint,
+                "seed {seed:#x} perturbed a converged result at p={p}"
+            );
+            assert_eq!(
+                out.faults.corrupted, out.faults.detected,
                 "seed {seed:#x} at p={p}: an injected flip escaped the frame CRC"
             );
-            totals.lock().unwrap().merge(t);
+            totals.lock().unwrap().merge(out.faults);
         });
         let t = totals.into_inner().unwrap();
         if p == 1 {
@@ -296,7 +121,7 @@ fn corruption_drop_sweep_matches_baseline() {
 fn fault_single_knob_plans_match_baseline() {
     let (edges, n) = sweep_edges();
     let p = 3;
-    let (baseline, _) = run_suite(p, &edges, n, None);
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
     let plans = [
         ("delay", FaultConfig::quiet(7).with_delay(400, 16)),
         ("reorder", FaultConfig::quiet(7).with_reorder(400, 8)),
@@ -308,8 +133,11 @@ fn fault_single_knob_plans_match_baseline() {
         ("corrupt+drop", FaultConfig::quiet(7).with_corrupt(40).with_drop(40)),
     ];
     for (name, cfg) in plans {
-        let (fp, _) = run_suite(p, &edges, n, Some(cfg));
-        assert_eq!(fp, baseline, "single-knob plan '{name}' perturbed the result");
+        let out = run_suite(p, &edges, n, Some(cfg), SuiteOptions::default());
+        assert_eq!(
+            out.fingerprint, baseline.fingerprint,
+            "single-knob plan '{name}' perturbed the result"
+        );
     }
 }
 
@@ -349,14 +177,15 @@ fn fault_counters_are_reproducible_per_seed() {
 #[test]
 #[ignore = "heavy: run via the CI chaos job or --include-ignored"]
 fn fault_sweep_heavy_seven_ranks() {
-    let gen = RmatGenerator::graph500(8);
-    let edges = gen.symmetric_edges(1234);
-    let n = gen.num_vertices();
+    let (edges, n) = heavy_sweep_edges();
     let p = 7;
-    let (baseline, _) = run_suite(p, &edges, n, None);
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
     sweep_seeds(sweep_seed_set(8), |seed| {
-        let (fp, _) = run_suite(p, &edges, n, Some(FaultConfig::chaos(seed)));
-        assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result at p={p}");
+        let out = run_suite(p, &edges, n, Some(FaultConfig::chaos(seed)), SuiteOptions::default());
+        assert_eq!(
+            out.fingerprint, baseline.fingerprint,
+            "seed {seed:#x} perturbed a converged result at p={p}"
+        );
     });
 }
 
@@ -366,20 +195,21 @@ fn fault_sweep_heavy_seven_ranks() {
 #[test]
 #[ignore = "heavy: run via the CI integrity-chaos job or --include-ignored"]
 fn corruption_sweep_heavy_seven_ranks() {
-    let gen = RmatGenerator::graph500(8);
-    let edges = gen.symmetric_edges(1234);
-    let n = gen.num_vertices();
+    let (edges, n) = heavy_sweep_edges();
     let p = 7;
-    let (baseline, _) = run_suite(p, &edges, n, None);
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
     let totals = std::sync::Mutex::new(FaultTotals::default());
     sweep_seeds(sweep_seed_set(32), |seed| {
-        let (fp, t) = run_suite(p, &edges, n, Some(FaultConfig::lossy(seed)));
-        assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result at p={p}");
+        let out = run_suite(p, &edges, n, Some(FaultConfig::lossy(seed)), SuiteOptions::default());
         assert_eq!(
-            t.corrupted, t.detected,
+            out.fingerprint, baseline.fingerprint,
+            "seed {seed:#x} perturbed a converged result at p={p}"
+        );
+        assert_eq!(
+            out.faults.corrupted, out.faults.detected,
             "seed {seed:#x} at p={p}: an injected flip escaped the frame CRC"
         );
-        totals.lock().unwrap().merge(t);
+        totals.lock().unwrap().merge(out.faults);
     });
     let t = totals.into_inner().unwrap();
     assert!(t.corrupted > 0 && t.dropped > 0, "heavy sweep never exercised loss: {t:?}");

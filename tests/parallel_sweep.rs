@@ -12,132 +12,14 @@
 //! run — fault-free, under the chaos adversary, under frame corruption and
 //! loss, and across checkpoint/crash/restore cycles.
 //!
-//! As in `fault_sweep`, BFS/SSSP *parents* are excluded from the
-//! fingerprint (first-arrival-wins makes them schedule-dependent even
-//! serially) and are validated structurally with `validate_bfs` instead.
+//! The suite runner and fingerprint (parents excluded, validated
+//! structurally instead) are the shared sweep scaffolding in
+//! `havoq::testing`; this file only owns the thread-count crossings.
 
 use havoq::prelude::*;
+use havoq::testing::{heavy_sweep_edges, run_suite, sweep_edges, SuiteOptions};
 use havoq_comm::FaultConfig;
-use havoq_core::algorithms::cc::{connected_components, CcConfig};
-use havoq_core::algorithms::kcore::{kcore, KCoreConfig};
-use havoq_core::algorithms::sssp::{sssp, SsspConfig};
-use havoq_core::CheckpointSpec;
 use havoq_util::testing::{sweep_seed_set, sweep_seeds};
-
-/// Schedule- and thread-count-independent results of the whole algorithm
-/// suite, with vertex state in canonical (vertex-id) order.
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Fingerprint {
-    bfs_visited: u64,
-    bfs_traversed_edges: u64,
-    bfs_max_level: u64,
-    bfs_levels: Vec<(u64, u64)>,
-    cc_components: u64,
-    cc_labels: Vec<(u64, u64)>,
-    kcore_alive: u64,
-    kcore_state: Vec<(u64, bool, u64)>,
-    sssp_visited: u64,
-    sssp_max_distance: u64,
-    sssp_distances: Vec<(u64, u64)>,
-    triangles: u64,
-}
-
-/// Gather one `u64` of state per master vertex into canonical order.
-fn gather_state(
-    ctx: &havoq_comm::RankCtx,
-    g: &DistGraph,
-    mut f: impl FnMut(usize) -> u64,
-) -> Vec<(u64, u64)> {
-    let local: Vec<(u64, u64)> = g
-        .local_vertices()
-        .filter(|&v| g.is_master(v))
-        .map(|v| (v.0, f(g.local_index(v))))
-        .collect();
-    let mut all: Vec<(u64, u64)> = ctx.all_gather(local).into_iter().flatten().collect();
-    all.sort_unstable();
-    all
-}
-
-/// Global sent == received for one traversal: the coordinator's absorb
-/// pass must account for every worker-staged push before quiescence fires.
-fn assert_conserved(ctx: &havoq_comm::RankCtx, what: &str, s: &TraversalStats) {
-    let sent = ctx.all_reduce_sum(s.payload_sent);
-    let recv = ctx.all_reduce_sum(s.payload_received);
-    assert_eq!(sent, recv, "{what}: quiescence fired with {sent} sent != {recv} received");
-}
-
-/// Run the full suite on `p` ranks with `threads` workers per rank over
-/// the given graph storage, returning the fingerprint. Panics if BFS
-/// validation or payload conservation fails on any traversal.
-fn run_suite_with_storage(
-    p: usize,
-    threads: usize,
-    edges: &[Edge],
-    storage: GraphConfig,
-    faults: Option<FaultConfig>,
-) -> Fingerprint {
-    let traversal = TraversalConfig::default().with_threads(threads);
-    let mut out = CommWorld::run_with_faults(p, faults, |ctx| {
-        let g = DistGraph::build_replicated(ctx, edges, PartitionStrategy::EdgeList, storage);
-
-        let bcfg = BfsConfig { traversal, ..Default::default() };
-        let b = bfs(ctx, &g, VertexId(0), &bcfg);
-        assert_conserved(ctx, "bfs", &b.stats);
-        let report = validate_bfs(ctx, &g, VertexId(0), &b.local_state);
-        assert!(report.is_valid(), "bfs parents/levels invalid: {report:?}");
-
-        let c = connected_components(ctx, &g, &CcConfig { traversal, ..Default::default() });
-        assert_conserved(ctx, "cc", &c.stats);
-
-        let k = kcore(ctx, &g, 3, &KCoreConfig { traversal, ..Default::default() });
-        assert_conserved(ctx, "kcore", &k.stats);
-
-        let s = sssp(ctx, &g, VertexId(0), &SsspConfig { traversal, ..Default::default() });
-        assert_conserved(ctx, "sssp", &s.stats);
-
-        let t = triangle_count(ctx, &g, &TriangleConfig { traversal, ..Default::default() });
-        assert_conserved(ctx, "triangle", &t.stats);
-
-        Fingerprint {
-            bfs_visited: b.visited_count,
-            bfs_traversed_edges: b.traversed_edges,
-            bfs_max_level: b.max_level,
-            bfs_levels: gather_state(ctx, &g, |li| b.local_state[li].length),
-            cc_components: c.num_components,
-            cc_labels: gather_state(ctx, &g, |li| c.local_state[li].component),
-            kcore_alive: k.alive_count,
-            kcore_state: {
-                let alive = gather_state(ctx, &g, |li| k.local_state[li].alive as u64);
-                let budget = gather_state(ctx, &g, |li| k.local_state[li].kcore);
-                alive.into_iter().zip(budget).map(|((v, a), (_, b))| (v, a == 1, b)).collect()
-            },
-            sssp_visited: s.visited_count,
-            sssp_max_distance: s.max_distance,
-            sssp_distances: gather_state(ctx, &g, |li| s.local_state[li].distance),
-            triangles: t.triangles,
-        }
-    });
-    let fp0 = out.remove(0);
-    for fp in &out {
-        assert_eq!(*fp, fp0, "ranks disagree on the gathered fingerprint");
-    }
-    fp0
-}
-
-fn run_suite(
-    p: usize,
-    threads: usize,
-    edges: &[Edge],
-    n: u64,
-    faults: Option<FaultConfig>,
-) -> Fingerprint {
-    run_suite_with_storage(p, threads, edges, GraphConfig::default().with_num_vertices(n), faults)
-}
-
-fn sweep_edges() -> (Vec<Edge>, u64) {
-    let gen = RmatGenerator::graph500(7);
-    (gen.symmetric_edges(42), gen.num_vertices())
-}
 
 /// Fault-free thread invariance: the whole suite at 2 and 4 workers per
 /// rank is bit-identical to the serial run at every live rank count.
@@ -145,10 +27,13 @@ fn sweep_edges() -> (Vec<Edge>, u64) {
 fn parallel_suite_matches_serial_baseline() {
     let (edges, n) = sweep_edges();
     for p in [1usize, 2] {
-        let baseline = run_suite(p, 1, &edges, n, None);
+        let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
         for threads in [2usize, 4] {
-            let fp = run_suite(p, threads, &edges, n, None);
-            assert_eq!(fp, baseline, "p={p} threads={threads} diverged from serial");
+            let fp = run_suite(p, &edges, n, None, SuiteOptions::default().with_threads(threads));
+            assert_eq!(
+                fp.fingerprint, baseline.fingerprint,
+                "p={p} threads={threads} diverged from serial"
+            );
         }
     }
 }
@@ -161,12 +46,18 @@ fn parallel_suite_matches_serial_baseline() {
 fn parallel_chaos_sweep_16_seeds_matches_serial() {
     let (edges, n) = sweep_edges();
     for p in [1usize, 2] {
-        let baseline = run_suite(p, 1, &edges, n, None);
+        let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
         sweep_seeds(sweep_seed_set(16), |seed| {
             for threads in [2usize, 4] {
-                let fp = run_suite(p, threads, &edges, n, Some(FaultConfig::chaos(seed)));
+                let fp = run_suite(
+                    p,
+                    &edges,
+                    n,
+                    Some(FaultConfig::chaos(seed)),
+                    SuiteOptions::default().with_threads(threads),
+                );
                 assert_eq!(
-                    fp, baseline,
+                    fp.fingerprint, baseline.fingerprint,
                     "seed {seed:#x} p={p} threads={threads} perturbed a converged result"
                 );
             }
@@ -181,10 +72,19 @@ fn parallel_chaos_sweep_16_seeds_matches_serial() {
 fn parallel_lossy_sweep_matches_serial() {
     let (edges, n) = sweep_edges();
     let p = 2;
-    let baseline = run_suite(p, 1, &edges, n, None);
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
     sweep_seeds(sweep_seed_set(8), |seed| {
-        let fp = run_suite(p, 4, &edges, n, Some(FaultConfig::lossy(seed)));
-        assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result at threads=4");
+        let fp = run_suite(
+            p,
+            &edges,
+            n,
+            Some(FaultConfig::lossy(seed)),
+            SuiteOptions::default().with_threads(4),
+        );
+        assert_eq!(
+            fp.fingerprint, baseline.fingerprint,
+            "seed {seed:#x} perturbed a converged result at threads=4"
+        );
     });
 }
 
@@ -198,99 +98,34 @@ fn parallel_resume_equivalence_after_rank_crashes() {
     let gen = RmatGenerator::graph500(4);
     let edges = gen.symmetric_edges(7);
     let n = gen.num_vertices();
-    let golden = run_ck(2, 1, &edges, n, None, None);
-    assert_eq!((golden.1, golden.2), (0, 0), "fault-free golden must not crash");
+    let golden = run_suite(2, &edges, n, None, SuiteOptions::default());
+    assert_eq!(
+        (golden.restart.crashes, golden.restart.restores),
+        (0, 0),
+        "fault-free golden must not crash"
+    );
     let mut total_crashes = 0u64;
     let mut total_restores = 0u64;
     for victim in 0..2usize {
         for epoch in 1..=2u64 {
             let faults = FaultConfig::quiet(11).with_forced_crash(victim, epoch);
-            let got = run_ck(2, 4, &edges, n, Some(1), Some(faults));
+            let got = run_suite(
+                2,
+                &edges,
+                n,
+                Some(faults),
+                SuiteOptions::default().with_threads(4).with_checkpoint_every(1),
+            );
             assert_eq!(
-                got.0, golden.0,
+                got.fingerprint, golden.fingerprint,
                 "victim={victim} epoch={epoch}: resumed threads=4 run diverged"
             );
-            total_crashes += got.1;
-            total_restores += got.2;
+            total_crashes += got.restart.crashes;
+            total_restores += got.restart.restores;
         }
     }
     assert!(total_crashes > 0, "crash sweep never tore an epoch");
     assert!(total_restores >= total_crashes, "every crash must trigger a world-wide restore");
-}
-
-/// Checkpointed suite runner for the resume-equivalence test: returns
-/// (fingerprint, world crashes, world restores).
-fn run_ck(
-    p: usize,
-    threads: usize,
-    edges: &[Edge],
-    n: u64,
-    every: Option<u64>,
-    faults: Option<FaultConfig>,
-) -> (Fingerprint, u64, u64) {
-    let traversal = TraversalConfig::default().with_threads(threads);
-    let spec = every.map(|e| CheckpointSpec::default().with_every(e));
-    let mut out = CommWorld::run_with_faults(p, faults, |ctx| {
-        let g = DistGraph::build_replicated(
-            ctx,
-            edges,
-            PartitionStrategy::EdgeList,
-            GraphConfig::default().with_num_vertices(n),
-        );
-        let mut crashes = 0u64;
-        let mut restores = 0u64;
-        let mut track = |s: &TraversalStats| {
-            crashes += s.crashes;
-            restores += s.restores;
-        };
-
-        let b = bfs(ctx, &g, VertexId(0), &BfsConfig { traversal, checkpoint: spec });
-        track(&b.stats);
-        let report = validate_bfs(ctx, &g, VertexId(0), &b.local_state);
-        assert!(report.is_valid(), "bfs parents/levels invalid after restart: {report:?}");
-
-        let c = connected_components(ctx, &g, &CcConfig { traversal, checkpoint: spec });
-        track(&c.stats);
-
-        let k = kcore(ctx, &g, 3, &KCoreConfig { traversal, checkpoint: spec });
-        track(&k.stats);
-
-        let s = sssp(
-            ctx,
-            &g,
-            VertexId(0),
-            &SsspConfig { traversal, checkpoint: spec, ..Default::default() },
-        );
-        track(&s.stats);
-
-        let t = triangle_count(ctx, &g, &TriangleConfig { traversal, checkpoint: spec });
-        track(&t.stats);
-
-        let fp = Fingerprint {
-            bfs_visited: b.visited_count,
-            bfs_traversed_edges: b.traversed_edges,
-            bfs_max_level: b.max_level,
-            bfs_levels: gather_state(ctx, &g, |li| b.local_state[li].length),
-            cc_components: c.num_components,
-            cc_labels: gather_state(ctx, &g, |li| c.local_state[li].component),
-            kcore_alive: k.alive_count,
-            kcore_state: {
-                let alive = gather_state(ctx, &g, |li| k.local_state[li].alive as u64);
-                let budget = gather_state(ctx, &g, |li| k.local_state[li].kcore);
-                alive.into_iter().zip(budget).map(|((v, a), (_, b))| (v, a == 1, b)).collect()
-            },
-            sssp_visited: s.visited_count,
-            sssp_max_distance: s.max_distance,
-            sssp_distances: gather_state(ctx, &g, |li| s.local_state[li].distance),
-            triangles: t.triangles,
-        };
-        (fp, ctx.all_reduce_sum(crashes), ctx.all_reduce_sum(restores))
-    });
-    let first = out.remove(0);
-    for o in &out {
-        assert_eq!(o.0, first.0, "ranks disagree on gathered results");
-    }
-    first
 }
 
 /// The heavyweight sweep for the CI parallel-chaos job
@@ -299,14 +134,21 @@ fn run_ck(
 #[test]
 #[ignore = "heavy: run via the CI parallel-chaos job or --include-ignored"]
 fn parallel_chaos_sweep_heavy_seven_ranks() {
-    let gen = RmatGenerator::graph500(8);
-    let edges = gen.symmetric_edges(1234);
-    let n = gen.num_vertices();
+    let (edges, n) = heavy_sweep_edges();
     let p = 7;
-    let baseline = run_suite(p, 1, &edges, n, None);
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
     sweep_seeds(sweep_seed_set(16), |seed| {
-        let fp = run_suite(p, 4, &edges, n, Some(FaultConfig::chaos(seed)));
-        assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result at p={p}");
+        let fp = run_suite(
+            p,
+            &edges,
+            n,
+            Some(FaultConfig::chaos(seed)),
+            SuiteOptions::default().with_threads(4),
+        );
+        assert_eq!(
+            fp.fingerprint, baseline.fingerprint,
+            "seed {seed:#x} perturbed a converged result at p={p}"
+        );
     });
 }
 
@@ -318,11 +160,9 @@ fn parallel_chaos_sweep_heavy_seven_ranks() {
 #[test]
 #[ignore = "heavy: run via the CI parallel-chaos job or --include-ignored"]
 fn parallel_hammer_threads_eight_external_lossy() {
-    let gen = RmatGenerator::graph500(8);
-    let edges = gen.symmetric_edges(1234);
-    let n = gen.num_vertices();
+    let (edges, n) = heavy_sweep_edges();
     let p = 2;
-    let baseline = run_suite(p, 1, &edges, n, None);
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
     let external = GraphConfig::external(
         DeviceProfile::fusion_io(),
         PageCacheConfig {
@@ -332,10 +172,18 @@ fn parallel_hammer_threads_eight_external_lossy() {
             readahead_pages: 4,
             ..PageCacheConfig::default()
         },
-    )
-    .with_num_vertices(n);
+    );
     sweep_seeds(sweep_seed_set(4), |seed| {
-        let fp = run_suite_with_storage(p, 8, &edges, external, Some(FaultConfig::lossy(seed)));
-        assert_eq!(fp, baseline, "seed {seed:#x} perturbed the external-memory hammer");
+        let fp = run_suite(
+            p,
+            &edges,
+            n,
+            Some(FaultConfig::lossy(seed)),
+            SuiteOptions::default().with_threads(8).with_storage(external),
+        );
+        assert_eq!(
+            fp.fingerprint, baseline.fingerprint,
+            "seed {seed:#x} perturbed the external-memory hammer"
+        );
     });
 }

@@ -233,6 +233,120 @@ fn checkpointed_bfs_survives_random_crash_schedules() {
     assert!(crash_total.load(Ordering::Relaxed) > 0, "sweep never exercised a crash");
 }
 
+/// Batched multi-source BFS against the serial frontier reference on
+/// arbitrary graphs and *arbitrary query sets* — duplicate sources
+/// allowed, every width up to 8 — under random fault schedules including
+/// checkpointed rank crashes. Three properties per case:
+///
+/// - every query's level array equals the serial reference (parents are
+///   schedule-dependent, so they are validated structurally instead);
+/// - the per-query executed/pushed ledgers sum to the batch totals under
+///   every schedule, fault plan and crash/restore cycle;
+/// - at `threads = 1`, `restores == crashes × p` (the world-rewind
+///   invariant the single-source belt pins).
+#[test]
+fn batched_bfs_matches_serial_reference_on_random_query_sets() {
+    use havoq_core::batch::bfs_batch;
+    run_cases(16, |rng: &mut TestRng| {
+        let (n, edges) = arb_graph(rng);
+        let p = rng.range_usize(1, 5);
+        let k = rng.range_usize(1, 8);
+        // duplicates allowed: two queries from the same source must both
+        // be answered, identically
+        let sources: Vec<VertexId> = (0..k).map(|_| VertexId(rng.below(n))).collect();
+        // random fault schedule: none / message chaos / checkpointed crashes
+        let (faults, ckpt_every) = match rng.range(0, 2) {
+            1 => (Some(FaultConfig::chaos(rng.next_u64())), None),
+            2 => (
+                Some(FaultConfig::quiet(rng.next_u64()).with_crash(rng.range(150, 600) as u16)),
+                Some(rng.range(1, 5)),
+            ),
+            _ => (None, None),
+        };
+        // serial frontier reference per query
+        let mut adj = vec![Vec::new(); n as usize];
+        for e in &edges {
+            if !e.is_self_loop() {
+                adj[e.src as usize].push(e.dst);
+            }
+        }
+        let want: Vec<Vec<u64>> = sources
+            .iter()
+            .map(|s| {
+                let mut lv = vec![UNREACHED; n as usize];
+                lv[s.0 as usize] = 0;
+                let mut frontier = vec![s.0];
+                let mut l = 0;
+                while !frontier.is_empty() {
+                    l += 1;
+                    let mut next = Vec::new();
+                    for &v in &frontier {
+                        for &t in &adj[v as usize] {
+                            if lv[t as usize] == UNREACHED {
+                                lv[t as usize] = l;
+                                next.push(t);
+                            }
+                        }
+                    }
+                    frontier = next;
+                }
+                lv
+            })
+            .collect();
+        // batched distributed run, all queries through one traversal
+        let pieces = CommWorld::run_with_faults(p, faults, |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            let mut cfg = havoq_core::batch::BatchConfig::default();
+            if let Some(every) = ckpt_every {
+                cfg = cfg.with_checkpoint(CheckpointSpec::default().with_every(every));
+            }
+            let res = bfs_batch::<8>(ctx, &g, &sources, &cfg);
+            res.ledger
+                .check(sources.len())
+                .unwrap_or_else(|e| panic!("ledger invariant broke: {e}"));
+            let crashes = ctx.all_reduce_sum(res.stats.crashes);
+            let restores = ctx.all_reduce_sum(res.stats.restores);
+            assert_eq!(
+                restores,
+                crashes * p as u64,
+                "every rank must restore exactly once per crash event"
+            );
+            let states: Vec<Vec<(u64, u64)>> = (0..sources.len())
+                .map(|qi| {
+                    let report = validate_bfs(ctx, &g, sources[qi], &res.local_state[qi]);
+                    assert!(
+                        report.is_valid(),
+                        "batched parents invalid for query {qi}: {report:?}"
+                    );
+                    g.local_vertices()
+                        .filter(|&v| g.is_master(v))
+                        .map(|v| (v.0, res.local_state[qi][g.local_index(v)].length))
+                        .collect()
+                })
+                .collect();
+            states
+        });
+        for (qi, want_q) in want.iter().enumerate() {
+            let mut got = vec![UNREACHED; n as usize];
+            for rank_states in &pieces {
+                for &(v, lvl) in &rank_states[qi] {
+                    got[v as usize] = lvl;
+                }
+            }
+            assert_eq!(
+                &got, want_q,
+                "query {qi} (source {:?}) diverged from the serial reference",
+                sources[qi]
+            );
+        }
+    });
+}
+
 #[test]
 fn replica_state_is_consistent_after_bfs() {
     run_cases(24, |rng: &mut TestRng| {

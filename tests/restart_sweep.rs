@@ -8,179 +8,25 @@
 //! results must be bit-identical to a fault-free, checkpoint-free
 //! baseline.
 //!
-//! As in `fault_sweep`, BFS parents are excluded from the fingerprint
-//! (first-arrival-wins makes them schedule-dependent even without faults)
-//! and are instead validated structurally with `validate_bfs`. The
-//! non-idempotent triangle counter is the sharpest probe here: any replayed
-//! or double-delivered visitor shifts the count, so an inconsistent
-//! snapshot cut cannot hide behind monotone state updates.
+//! The suite runner and fingerprint (parents excluded — see
+//! `havoq::testing`) are the shared sweep scaffolding; the runner also
+//! asserts the `restores == crashes × p` world-rewind invariant on every
+//! serial run. The non-idempotent triangle counter is the sharpest probe
+//! here: any replayed or double-delivered visitor shifts the count, so an
+//! inconsistent snapshot cut cannot hide behind monotone state updates.
 //!
 //! Reproduce a failing seed locally:
-//! `run_ck_suite(4, &edges, n, Some(16), Some(FaultConfig::chaos(SEED).with_crash(150)))`.
+//! `run_suite(4, &edges, n, Some(FaultConfig::chaos(SEED).with_crash(150)),
+//!            SuiteOptions::default().with_checkpoint_every(16))`.
 
 use havoq::prelude::*;
+use havoq::testing::{
+    assert_conserved, gather_state, heavy_sweep_edges, run_suite, sweep_edges, RestartTotals,
+    SuiteOptions,
+};
 use havoq_comm::FaultConfig;
-use havoq_core::algorithms::cc::{connected_components, CcConfig};
-use havoq_core::algorithms::kcore::{kcore, KCoreConfig};
-use havoq_core::algorithms::sssp::{sssp, SsspConfig};
 use havoq_core::CheckpointSpec;
 use havoq_util::testing::{sweep_seed_set, sweep_seeds};
-
-/// Schedule-independent results of the whole suite, canonical order.
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Fingerprint {
-    bfs_visited: u64,
-    bfs_max_level: u64,
-    bfs_levels: Vec<(u64, u64)>,
-    cc_components: u64,
-    cc_labels: Vec<(u64, u64)>,
-    kcore_alive: u64,
-    sssp_visited: u64,
-    sssp_distances: Vec<(u64, u64)>,
-    triangles: u64,
-}
-
-/// World totals of the restart machinery's counters, plus per-rank crash
-/// counts so the sweep can prove every rank was a victim somewhere.
-#[derive(Clone, Debug, Default)]
-struct RestartTotals {
-    checkpoints: u64,
-    crashes: u64,
-    restores: u64,
-    /// Committed epochs skipped at restore because their checksum failed.
-    fallbacks: u64,
-    crashes_by_rank: Vec<u64>,
-}
-
-impl RestartTotals {
-    fn accumulate(&mut self, ctx: &havoq_comm::RankCtx, s: &TraversalStats) {
-        self.checkpoints += ctx.all_reduce_sum(s.checkpoints_written);
-        self.crashes += ctx.all_reduce_sum(s.crashes);
-        self.restores += ctx.all_reduce_sum(s.restores);
-        self.fallbacks += ctx.all_reduce_sum(s.restore_epoch_fallbacks);
-        let per_rank = ctx.all_gather(s.crashes);
-        if self.crashes_by_rank.is_empty() {
-            self.crashes_by_rank = per_rank;
-        } else {
-            for (t, c) in self.crashes_by_rank.iter_mut().zip(per_rank) {
-                *t += c;
-            }
-        }
-    }
-
-    fn merge(&mut self, o: &RestartTotals) {
-        self.checkpoints += o.checkpoints;
-        self.crashes += o.crashes;
-        self.restores += o.restores;
-        self.fallbacks += o.fallbacks;
-        if self.crashes_by_rank.is_empty() {
-            self.crashes_by_rank = o.crashes_by_rank.clone();
-        } else {
-            for (t, c) in self.crashes_by_rank.iter_mut().zip(&o.crashes_by_rank) {
-                *t += c;
-            }
-        }
-    }
-}
-
-/// Gather one `u64` of state per master vertex into canonical order.
-fn gather_state(
-    ctx: &havoq_comm::RankCtx,
-    g: &DistGraph,
-    mut f: impl FnMut(usize) -> u64,
-) -> Vec<(u64, u64)> {
-    let local: Vec<(u64, u64)> = g
-        .local_vertices()
-        .filter(|&v| g.is_master(v))
-        .map(|v| (v.0, f(g.local_index(v))))
-        .collect();
-    let mut all: Vec<(u64, u64)> = ctx.all_gather(local).into_iter().flatten().collect();
-    all.sort_unstable();
-    all
-}
-
-/// Global sent == received: quiescence only fired once every payload —
-/// including traffic replayed after a restore — was delivered.
-fn assert_conserved(ctx: &havoq_comm::RankCtx, what: &str, s: &TraversalStats) {
-    let sent = ctx.all_reduce_sum(s.payload_sent);
-    let recv = ctx.all_reduce_sum(s.payload_received);
-    assert_eq!(sent, recv, "{what}: quiescence fired with {sent} sent != {recv} received");
-}
-
-/// Run the whole suite on `p` ranks. `every = Some(k)` checkpoints each
-/// traversal every `k` executed visitors per rank; `None` runs the plain
-/// uncheckpointed path (the baseline).
-fn run_ck_suite(
-    p: usize,
-    edges: &[Edge],
-    n: u64,
-    every: Option<u64>,
-    faults: Option<FaultConfig>,
-) -> (Fingerprint, RestartTotals) {
-    let spec = every.map(|e| CheckpointSpec::default().with_every(e));
-    let mut out = CommWorld::run_with_faults(p, faults, |ctx| {
-        let g = DistGraph::build_replicated(
-            ctx,
-            edges,
-            PartitionStrategy::EdgeList,
-            GraphConfig::default().with_num_vertices(n),
-        );
-        let mut totals = RestartTotals::default();
-
-        let bcfg = BfsConfig { checkpoint: spec, ..BfsConfig::default() };
-        let b = bfs(ctx, &g, VertexId(0), &bcfg);
-        assert_conserved(ctx, "bfs", &b.stats);
-        totals.accumulate(ctx, &b.stats);
-        let report = validate_bfs(ctx, &g, VertexId(0), &b.local_state);
-        assert!(report.is_valid(), "bfs parents/levels invalid: {report:?}");
-
-        let c = connected_components(ctx, &g, &CcConfig { checkpoint: spec, ..Default::default() });
-        assert_conserved(ctx, "cc", &c.stats);
-        totals.accumulate(ctx, &c.stats);
-
-        let k = kcore(ctx, &g, 3, &KCoreConfig { checkpoint: spec, ..Default::default() });
-        assert_conserved(ctx, "kcore", &k.stats);
-        totals.accumulate(ctx, &k.stats);
-
-        let scfg = SsspConfig { checkpoint: spec, ..Default::default() };
-        let s = sssp(ctx, &g, VertexId(0), &scfg);
-        assert_conserved(ctx, "sssp", &s.stats);
-        totals.accumulate(ctx, &s.stats);
-
-        let t = triangle_count(ctx, &g, &TriangleConfig { checkpoint: spec, ..Default::default() });
-        assert_conserved(ctx, "triangle", &t.stats);
-        totals.accumulate(ctx, &t.stats);
-
-        let fp = Fingerprint {
-            bfs_visited: b.visited_count,
-            bfs_max_level: b.max_level,
-            bfs_levels: gather_state(ctx, &g, |li| b.local_state[li].length),
-            cc_components: c.num_components,
-            cc_labels: gather_state(ctx, &g, |li| c.local_state[li].component),
-            kcore_alive: k.alive_count,
-            sssp_visited: s.visited_count,
-            sssp_distances: gather_state(ctx, &g, |li| s.local_state[li].distance),
-            triangles: t.triangles,
-        };
-        (fp, totals)
-    });
-    let (fp0, totals) = out.remove(0);
-    for (fp, _) in &out {
-        assert_eq!(*fp, fp0, "ranks disagree on the gathered fingerprint");
-    }
-    // every crash event rewinds the whole world exactly once
-    assert_eq!(
-        totals.restores,
-        totals.crashes * p as u64,
-        "restores must be one per rank per crash event"
-    );
-    (fp0, totals)
-}
-
-fn sweep_edges() -> (Vec<Edge>, u64) {
-    let gen = RmatGenerator::graph500(7);
-    (gen.symmetric_edges(42), gen.num_vertices())
-}
 
 /// The acceptance sweep: 32 seeded chaos-plus-crash plans at p = 4, every
 /// algorithm checkpointed, results bit-identical to the fault-free
@@ -190,16 +36,25 @@ fn sweep_edges() -> (Vec<Edge>, u64) {
 fn restart_sweep_32_seeds_matches_baseline() {
     let (edges, n) = sweep_edges();
     let p = 4;
-    let (baseline, quiet) = run_ck_suite(p, &edges, n, None, None);
-    assert_eq!(quiet.crashes, 0, "uncheckpointed baseline cannot crash");
-    assert_eq!(quiet.checkpoints, 0, "uncheckpointed baseline cannot checkpoint");
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
+    assert_eq!(baseline.restart.crashes, 0, "uncheckpointed baseline cannot crash");
+    assert_eq!(baseline.restart.checkpoints, 0, "uncheckpointed baseline cannot checkpoint");
 
     let totals = std::sync::Mutex::new(RestartTotals::default());
     sweep_seeds(sweep_seed_set(32), |seed| {
         let faults = FaultConfig::chaos(seed).with_crash(150);
-        let (fp, t) = run_ck_suite(p, &edges, n, Some(16), Some(faults));
-        assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result");
-        totals.lock().unwrap().merge(&t);
+        let out = run_suite(
+            p,
+            &edges,
+            n,
+            Some(faults),
+            SuiteOptions::default().with_checkpoint_every(16),
+        );
+        assert_eq!(
+            out.fingerprint, baseline.fingerprint,
+            "seed {seed:#x} perturbed a converged result"
+        );
+        totals.lock().unwrap().merge(&out.restart);
     });
 
     let t = totals.into_inner().unwrap();
@@ -224,7 +79,7 @@ fn restart_sweep_32_seeds_matches_baseline() {
 fn corrupted_committed_epoch_falls_back_and_recovers() {
     let (edges, n) = sweep_edges();
     for p in [2usize, 4] {
-        let (baseline, _) = run_ck_suite(p, &edges, n, None, None);
+        let baseline = run_suite(p, &edges, n, None, SuiteOptions::default()).fingerprint;
 
         let faults = FaultConfig::quiet(0xC0DE).with_forced_crash(p - 1, 2);
         let mut out = CommWorld::run_with_faults(p, Some(faults), |ctx| {
@@ -272,14 +127,23 @@ fn corrupted_committed_epoch_falls_back_and_recovers() {
 fn restart_every_rank_every_early_epoch() {
     let (edges, n) = sweep_edges();
     let p = 4;
-    let (baseline, _) = run_ck_suite(p, &edges, n, None, None);
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
     let mut crashed_runs = 0u64;
     for victim in 0..p {
         for epoch in 1..=3u64 {
             let faults = FaultConfig::quiet(0xD1E).with_forced_crash(victim, epoch);
-            let (fp, t) = run_ck_suite(p, &edges, n, Some(8), Some(faults));
-            assert_eq!(fp, baseline, "victim {victim} at epoch {epoch} perturbed the result");
-            crashed_runs += u64::from(t.crashes > 0);
+            let out = run_suite(
+                p,
+                &edges,
+                n,
+                Some(faults),
+                SuiteOptions::default().with_checkpoint_every(8),
+            );
+            assert_eq!(
+                out.fingerprint, baseline.fingerprint,
+                "victim {victim} at epoch {epoch} perturbed the result"
+            );
+            crashed_runs += u64::from(out.restart.crashes > 0);
         }
     }
     // every grid point must actually have reached its crash epoch
@@ -291,15 +155,22 @@ fn restart_every_rank_every_early_epoch() {
 #[test]
 #[ignore = "heavy: run via the CI restart-chaos job or --include-ignored"]
 fn restart_sweep_heavy_seven_ranks() {
-    let gen = RmatGenerator::graph500(8);
-    let edges = gen.symmetric_edges(1234);
-    let n = gen.num_vertices();
+    let (edges, n) = heavy_sweep_edges();
     let p = 7;
-    let (baseline, _) = run_ck_suite(p, &edges, n, None, None);
+    let baseline = run_suite(p, &edges, n, None, SuiteOptions::default());
     sweep_seeds(sweep_seed_set(8), |seed| {
         let faults = FaultConfig::chaos(seed).with_crash(100);
-        let (fp, t) = run_ck_suite(p, &edges, n, Some(24), Some(faults));
-        assert_eq!(fp, baseline, "seed {seed:#x} perturbed a converged result at p={p}");
-        assert!(t.checkpoints > 0, "seed {seed:#x} never checkpointed");
+        let out = run_suite(
+            p,
+            &edges,
+            n,
+            Some(faults),
+            SuiteOptions::default().with_checkpoint_every(24),
+        );
+        assert_eq!(
+            out.fingerprint, baseline.fingerprint,
+            "seed {seed:#x} perturbed a converged result at p={p}"
+        );
+        assert!(out.restart.checkpoints > 0, "seed {seed:#x} never checkpointed");
     });
 }
