@@ -14,6 +14,7 @@
 use havoq_bench::{csv_row, ms, pick, Experiment};
 use havoq_comm::{CommWorld, TopologyKind};
 use havoq_core::algorithms::bfs::{bfs, BfsConfig, UNREACHED};
+use havoq_core::direction::{direction_bfs, DirectionMode};
 use havoq_graph::csr::GraphConfig;
 use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::rmat::RmatGenerator;
@@ -133,6 +134,80 @@ fn main() {
     ]);
 
     threads_speedup_table(pick(10, 12));
+    direction_table(pick(10, 12));
+}
+
+/// Companion table: direction-optimizing BFS (DESIGN.md §13) on the p=2
+/// RMAT workload — the per-level `dir=top|bottom` trace of the Beamer
+/// heuristic (`--direction` overrides the policy) with before/after TEPS
+/// against forced top-down. Level fingerprints must be bit-identical
+/// between the two schedules, asserted in-binary.
+fn direction_table(scale: u32) {
+    let p = 2usize;
+    let mode = match havoq_bench::direction() {
+        Some(DirectionMode::Async) | None => DirectionMode::Auto,
+        Some(m) => m,
+    };
+    let gen = RmatGenerator::graph500(scale);
+
+    let out = CommWorld::run(p, |ctx| {
+        let mut local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
+        local.extend(local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()));
+        let g = DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default());
+        let run_one = |m: DirectionMode| {
+            let cfg = BfsConfig::default().with_direction(m);
+            let t = std::time::Instant::now();
+            let run = direction_bfs(ctx, &g, VertexId(0), &cfg);
+            let secs = ctx.all_reduce_max(t.elapsed().as_nanos() as u64) as f64 / 1e9;
+            let mut fp = 0u64;
+            for v in g.local_vertices().filter(|&v| g.is_master(v)) {
+                let l = run.result.local_state[g.local_index(v)].length;
+                if l != UNREACHED {
+                    fp = fp.wrapping_add(mix(v.0 ^ mix(l.wrapping_add(1))));
+                }
+            }
+            (ctx.all_reduce_sum(fp), run, secs)
+        };
+        let (top_fp, top_run, top_secs) = run_one(DirectionMode::TopDown);
+        let (fp, run, secs) = run_one(mode);
+        assert_eq!(fp, top_fp, "{mode:?} level fingerprint diverged from forced top-down");
+        (top_run, top_secs, run, secs)
+    });
+    let (top_run, top_secs, run, secs) = &out[0];
+
+    let mut exp = Experiment::begin(
+        &[
+            "Figure 5 companion — direction-optimizing BFS",
+            &format!("(p={p}, 2^{scale} vertices, {mode:?} vs forced top-down)"),
+        ],
+        "fig05_bfs_direction.csv",
+        &["level", "dir", "frontier", "frontier_edges", "inspected", "candidates"],
+        &["level", "dir", "frontier", "frontier_edges", "inspected", "candidates"],
+    );
+    for t in &run.trace {
+        exp.row(&csv_row![
+            t.level,
+            t.dir.label(),
+            t.frontier,
+            t.frontier_edges,
+            t.inspected,
+            t.candidates
+        ]);
+    }
+    let traversed = run.result.traversed_edges;
+    let top_mteps = traversed as f64 / top_secs.max(1e-12) / 1e6;
+    let mode_mteps = traversed as f64 / secs.max(1e-12) / 1e6;
+    let ratio = top_run.edges_inspected as f64 / run.edges_inspected.max(1) as f64;
+    let notes = [
+        format!(
+            "edge inspections: top-down {} vs {mode:?} {} ({ratio:.2}x fewer)",
+            top_run.edges_inspected, run.edges_inspected
+        ),
+        format!("TEPS before/after: {top_mteps:.2} -> {mode_mteps:.2} MTEPS"),
+        "level fingerprints bit-identical between schedules (asserted in-binary)".to_string(),
+    ];
+    let note_refs: Vec<&str> = notes.iter().map(String::as_str).collect();
+    exp.finish(&note_refs);
 }
 
 /// Companion table: intra-rank worker-pool speedup (DESIGN.md §11) on the

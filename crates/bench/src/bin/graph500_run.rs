@@ -27,15 +27,17 @@ use havoq_comm::{CommWorld, FaultConfig, RankCtx};
 use havoq_core::algorithms::bfs::{bfs, BfsConfig};
 use havoq_core::algorithms::validate::validate_bfs;
 use havoq_core::batch::{BatchConfig, QueryBatch, MAX_BATCH};
+use havoq_core::direction::{direction_bfs, DirectionMode};
 use havoq_core::CheckpointSpec;
 use havoq_graph::csr::GraphConfig;
 use havoq_graph::dist::{DistGraph, PartitionStrategy};
 use havoq_graph::gen::rmat::RmatGenerator;
 
 fn main() {
-    match havoq_bench::batch() {
-        Some(k) => run_batched(k),
-        None => run_thread_sweep(),
+    match (havoq_bench::batch(), havoq_bench::direction()) {
+        (Some(k), _) => run_batched(k),
+        (None, Some(mode)) if mode != DirectionMode::Async => run_direction_compare(mode),
+        _ => run_thread_sweep(),
     }
 }
 
@@ -235,6 +237,156 @@ fn run_batched(k: usize) {
     }
 }
 
+/// The `--direction {top,bottom,auto}` mode (DESIGN.md §13): every search
+/// key runs twice through the level-synchronous engine — forced top-down,
+/// then the requested policy — asserting bit-identical level fingerprints
+/// in-binary while reporting the edge-inspection and TEPS deltas, with a
+/// per-level `dir=top|bottom` trace table per key.
+fn run_direction_compare(mode: DirectionMode) {
+    let scale: u32 = pick(10, 18);
+    let ranks: usize = pick(2, 4);
+    let num_keys: usize = pick(3, 8);
+    let threads = havoq_bench::threads().unwrap_or(1).max(1);
+    let fault_seed = havoq_bench::faults();
+    let ckpt_every = havoq_bench::checkpoint_every();
+
+    println!(
+        "Graph500 direction mode: {mode:?} vs forced top-down, RMAT scale {scale}, \
+         {ranks} ranks, {num_keys} search keys, {threads} worker thread(s)/rank"
+    );
+    if let Some(e) = ckpt_every {
+        println!("checkpointing every {e} visitors/rank into the NVRAM store");
+    }
+    if let Some(s) = fault_seed {
+        println!("fault injection: lossy chaos plan, seed {s:#x}");
+    }
+    let gen = RmatGenerator::graph500(scale);
+
+    let results = CommWorld::run_with_faults(ranks, fault_seed.map(FaultConfig::lossy), |ctx| {
+        let t0 = std::time::Instant::now();
+        let mut local = gen.edges_for_rank(42, ctx.rank(), ctx.size());
+        local.extend(local.clone().iter().filter(|e| !e.is_self_loop()).map(|e| e.reversed()));
+        let g = DistGraph::build(ctx, local, PartitionStrategy::EdgeList, GraphConfig::default());
+        ctx.barrier();
+        let construction = t0.elapsed();
+
+        let keys = havoq_bench::select_search_keys(ctx, &g, num_keys, havoq_bench::SEARCH_KEY_SEED);
+
+        let run_one = |key, m: DirectionMode| {
+            let mut cfg = BfsConfig::default().with_direction(m).with_threads(threads);
+            if let Some(every) = ckpt_every {
+                cfg = cfg.with_checkpoint(CheckpointSpec::default().with_every(every));
+            }
+            let t = std::time::Instant::now();
+            let run = direction_bfs(ctx, &g, key, &cfg);
+            let secs = world_elapsed(ctx, t.elapsed());
+            let report = validate_bfs(ctx, &g, key, &run.result.local_state);
+            assert!(report.is_valid(), "{m:?} tree for key {key:?} invalid: {report:?}");
+            let fp = level_fingerprint(ctx, &g, |li| run.result.local_state[li].length);
+            (fp, run.edges_inspected, run.result.traversed_edges, secs, run.trace)
+        };
+
+        let mut rows = Vec::new();
+        for &key in &keys {
+            let (top_fp, top_insp, top_trav, top_secs, _) = run_one(key, DirectionMode::TopDown);
+            let (fp, insp, trav, secs, trace) = run_one(key, mode);
+            // the in-binary equivalence gate: identical level arrays
+            assert_eq!(
+                fp, top_fp,
+                "key {key:?}: {mode:?} level fingerprint diverged from forced top-down"
+            );
+            assert_eq!(trav, top_trav, "key {key:?}: traversed-edge count diverged");
+            rows.push((key.0, top_insp, insp, top_trav, top_secs, secs, trace));
+        }
+        (construction, rows)
+    });
+
+    let (construction, rows) = &results[0];
+    let mut exp = Experiment::begin(
+        &[&format!("construction time: {construction:?} (built once, reused for every BFS)")],
+        "graph500_direction.csv",
+        &["key", "top_insp", "mode_insp", "insp_ratio", "top_MTEPS", "mode_MTEPS", "sched"],
+        &[
+            "key",
+            "top_inspected",
+            "mode_inspected",
+            "inspection_ratio",
+            "top_mteps",
+            "mode_mteps",
+            "schedule",
+        ],
+    );
+    let mut top_total = 0u64;
+    let mut mode_total = 0u64;
+    for (key, top_insp, insp, trav, top_secs, secs, trace) in rows {
+        top_total += top_insp;
+        mode_total += insp;
+        let ratio = *top_insp as f64 / (*insp).max(1) as f64;
+        let top_mteps = *trav as f64 / top_secs.max(1e-12) / 1e6;
+        let mode_mteps = *trav as f64 / secs.max(1e-12) / 1e6;
+        let sched: String =
+            trace.iter().map(|t| if t.dir.label() == "top" { 'T' } else { 'B' }).collect();
+        exp.row2(
+            &csv_row![
+                key,
+                top_insp,
+                insp,
+                format!("{ratio:.2}x"),
+                format!("{top_mteps:.2}"),
+                format!("{mode_mteps:.2}"),
+                sched
+            ],
+            &csv_row![key, top_insp, insp, ratio, top_mteps, mode_mteps, sched],
+        );
+    }
+
+    // per-level direction traces: the dir=top|bottom column per key
+    for (key, _, _, _, _, _, trace) in rows {
+        println!("\nper-level trace, key {key}:");
+        havoq_bench::print_header(&[
+            "level",
+            "dir",
+            "frontier",
+            "frontier_edges",
+            "inspected",
+            "candidates",
+        ]);
+        for t in trace {
+            havoq_bench::print_row(&csv_row![
+                t.level,
+                t.dir.label(),
+                t.frontier,
+                t.frontier_edges,
+                t.inspected,
+                t.candidates
+            ]);
+        }
+    }
+
+    let aggregate_ratio = top_total as f64 / mode_total.max(1) as f64;
+    let notes = [
+        format!(
+            "aggregate inspections: top-down {top_total}, {mode:?} {mode_total} \
+             ({aggregate_ratio:.2}x fewer)"
+        ),
+        "level fingerprints and traversed-edge counts bit-identical to forced top-down on every \
+         key (asserted in-binary)"
+            .to_string(),
+    ];
+    let note_refs: Vec<&str> = notes.iter().map(String::as_str).collect();
+    exp.finish(&note_refs);
+
+    // the acceptance gate: at Graph500 submission scale the heuristic must
+    // cut edge inspections at least 3x on the RMAT workload
+    if mode == DirectionMode::Auto && scale >= 18 {
+        assert!(
+            aggregate_ratio >= 3.0,
+            "direction-optimizing BFS inspected only {aggregate_ratio:.2}x fewer edges than \
+             top-down at scale {scale} (gate: >= 3x)"
+        );
+    }
+}
+
 /// The classic mode: per-key sequential BFS swept over worker-pool sizes.
 fn run_thread_sweep() {
     let scale: u32 = pick(10, 14);
@@ -381,8 +533,26 @@ fn run_thread_sweep() {
     // worker-pool size, plus harmonic-mean speedup over the serial rows
     println!();
     havoq_bench::print_header(&["threads", "min_MTEPS", "harm_MTEPS", "max_MTEPS", "speedup"]);
-    let harm = |ts: &[f64]| ts.len() as f64 / ts.iter().map(|t| 1.0 / t).sum::<f64>();
-    let base_harm = harm(&teps_by_tc[0]);
+    // harmonic mean over the *finite, nonzero* TEPS population: a single
+    // zero-TEPS key (a degenerate timer or an empty traversal) used to
+    // poison the whole mean with a division by zero; such keys are now
+    // skipped and counted loudly instead
+    let harm = |ts: &[f64]| {
+        let usable: Vec<f64> = ts.iter().copied().filter(|t| t.is_finite() && *t > 0.0).collect();
+        let skipped = ts.len() - usable.len();
+        if skipped > 0 {
+            println!(
+                "WARNING: {skipped} of {} TEPS samples zero or non-finite; \
+                 excluded from the harmonic mean",
+                ts.len()
+            );
+        }
+        if usable.is_empty() {
+            return 0.0;
+        }
+        usable.len() as f64 / usable.iter().map(|t| 1.0 / t).sum::<f64>()
+    };
+    let base_harm = harm(&teps_by_tc[0]).max(f64::MIN_POSITIVE);
     let mut summary_lines = Vec::new();
     for (tc, ts) in tcs.iter().zip(&teps_by_tc) {
         let min = ts.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -86,17 +86,23 @@ fn main() {
         // the load sweep: same query stream, scaled inter-arrival gaps
         let mut rows = Vec::new();
         for (li, load) in LOAD_FACTORS.iter().enumerate() {
-            let offered_qps = capacity_qps * load;
-            let gap_ns = (1e9 / offered_qps).max(1.0) as u64;
+            let target_qps = capacity_qps * load;
+            // round, don't truncate: at high offered rates the gap is a
+            // handful of ns and `as u64` truncation inflated the offered
+            // load by up to a full rate step
+            let gap_ns = ((1e9 / target_qps).round() as u64).max(1);
             // deterministic jittered arrivals, identical on every rank
             let mut rng = TestRng::new(0xAD51_5510 + li as u64);
             let mut aq = AdmissionQueue::new(capacity);
             let mut at = 0u64;
             for _ in 0..num_queries {
-                at += gap_ns / 2 + rng.below(gap_ns.max(1));
+                at += gap_ns / 2 + rng.below(gap_ns);
                 let source = pool[rng.range_usize(0, pool.len() - 1)];
                 aq.offer(Arrival { at_ns: at, source });
             }
+            // the offered rate actually generated (jitter + integer gaps),
+            // not the nominal target — this is what the row reports
+            let offered_qps = num_queries as f64 / (at as f64 / 1e9).max(1e-12);
             let mut batches = 0u64;
             let mut traversed_total = 0u64;
             let mut service_total_ns = 0u64;
@@ -111,11 +117,26 @@ fn main() {
                 traversed_total += traversed;
                 service_total_ns += ns;
             }
+            // a degenerate sweep (no batches, or a clock that never
+            // advanced) must read as zero throughput, not as the inf/NaN a
+            // zero divisor produces — clamp and flag loudly
+            let degenerate = batches == 0 || service_total_ns == 0 || aq.clock_ns() == 0;
+            if degenerate {
+                println!(
+                    "WARNING: load {load:.2}x served {batches} batches in \
+                     {service_total_ns} ns (clock {} ns): reporting zero throughput",
+                    aq.clock_ns()
+                );
+            }
             let span_secs = aq.clock_ns() as f64 / 1e9;
-            let achieved_qps = num_queries as f64 / span_secs.max(1e-12);
+            let achieved_qps = if degenerate { 0.0 } else { num_queries as f64 / span_secs };
             let p50 = percentile_ns(aq.latencies_ns(), 50);
             let p99 = percentile_ns(aq.latencies_ns(), 99);
-            let mteps = traversed_total as f64 / (service_total_ns as f64 / 1e9) / 1e6;
+            let mteps = if degenerate {
+                0.0
+            } else {
+                traversed_total as f64 / (service_total_ns as f64 / 1e9) / 1e6
+            };
             rows.push((
                 *load,
                 offered_qps,
@@ -178,6 +199,9 @@ fn main() {
     }
     let notes = [
         format!("saturated throughput: {saturated_qps:.1} QPS at batch capacity {capacity}"),
+        "offered QPS is measured from the generated arrival stream (rounded integer gaps plus \
+         jitter), not the nominal load-factor target"
+            .to_string(),
         "under overload the admission queue saturates near capacity QPS; latency grows with the \
          backlog while achieved throughput stays flat — the expected open-loop saturation curve"
             .to_string(),

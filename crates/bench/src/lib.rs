@@ -104,6 +104,29 @@ pub fn batch() -> Option<usize> {
     std::env::var("HAVOQ_BATCH").ok().and_then(|v| v.parse().ok())
 }
 
+/// BFS engine direction policy for the traversal binaries: `--direction
+/// {top,bottom,auto,async}` on the command line (or `HAVOQ_DIRECTION` in
+/// the environment) selects the direction-optimizing level-synchronous
+/// engine (DESIGN.md §13) instead of the asynchronous visitor loop.
+/// `None` (the default) keeps the asynchronous engine; an unknown token
+/// panics loudly rather than silently falling back.
+pub fn direction() -> Option<havoq_core::direction::DirectionMode> {
+    let parse = |v: &str| {
+        havoq_core::direction::DirectionMode::parse(v)
+            .unwrap_or_else(|| panic!("unknown --direction {v:?} (want top|bottom|auto|async)"))
+    };
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--direction" {
+            return args.next().as_deref().map(parse);
+        }
+        if let Some(v) = a.strip_prefix("--direction=") {
+            return Some(parse(v));
+        }
+    }
+    std::env::var("HAVOQ_DIRECTION").ok().as_deref().map(parse)
+}
+
 /// The Graph500 search-key seed the benchmark binaries share.
 pub const SEARCH_KEY_SEED: u64 = 0x9E3779B97F4A7C15;
 
@@ -482,6 +505,23 @@ mod tests {
         std::env::set_var("HAVOQ_BATCH", "junk");
         assert_eq!(batch(), None);
         std::env::remove_var("HAVOQ_BATCH");
+    }
+
+    #[test]
+    fn direction_parses_from_env() {
+        use havoq_core::direction::DirectionMode;
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var("HAVOQ_DIRECTION");
+        assert_eq!(direction(), None);
+        std::env::set_var("HAVOQ_DIRECTION", "auto");
+        assert_eq!(direction(), Some(DirectionMode::Auto));
+        std::env::set_var("HAVOQ_DIRECTION", "top");
+        assert_eq!(direction(), Some(DirectionMode::TopDown));
+        std::env::set_var("HAVOQ_DIRECTION", "bottom-up");
+        assert_eq!(direction(), Some(DirectionMode::BottomUp));
+        std::env::set_var("HAVOQ_DIRECTION", "async");
+        assert_eq!(direction(), Some(DirectionMode::Async));
+        std::env::remove_var("HAVOQ_DIRECTION");
     }
 
     /// The key-selection regression: a graph with only two non-isolated

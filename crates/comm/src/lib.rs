@@ -27,6 +27,7 @@ pub mod chan;
 pub mod codec;
 pub mod collectives;
 pub mod fault;
+pub mod frontier;
 pub mod mailbox;
 pub mod registry;
 pub mod runtime;
@@ -37,6 +38,7 @@ pub mod transport;
 
 pub use codec::{Frame, FramePool, WireCodec, FRAME_HEADER_BYTES, RECORD_DST_BYTES};
 pub use fault::{FaultConfig, FaultPlan};
+pub use frontier::{FrontierPlane, FrontierRecord};
 pub use mailbox::{
     Mailbox, MailboxConfig, MailboxStatsSnapshot, SendShard, DEFAULT_CHANNEL_CAPACITY,
 };

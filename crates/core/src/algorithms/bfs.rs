@@ -149,6 +149,17 @@ impl BfsConfig {
         self.checkpoint = Some(spec);
         self
     }
+
+    /// Select the traversal engine / direction policy (DESIGN.md §13).
+    pub fn with_direction(mut self, mode: crate::direction::DirectionMode) -> Self {
+        self.traversal.direction.mode = mode;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.traversal = self.traversal.with_threads(threads);
+        self
+    }
 }
 
 /// Aggregated + local results of one BFS run (per rank).
@@ -206,6 +217,12 @@ impl BfsResult {
 /// assert_eq!(results[0].max_level, 2); // the opposite corner
 /// ```
 pub fn bfs(ctx: &RankCtx, g: &DistGraph, source: VertexId, cfg: &BfsConfig) -> BfsResult {
+    if cfg.traversal.direction.mode != crate::direction::DirectionMode::Async {
+        // Level-synchronous direction-optimizing engine (DESIGN.md §13):
+        // same levels, deterministic min-id parents, per-level traces
+        // available via `direction_bfs` directly.
+        return crate::direction::direction_bfs(ctx, g, source, cfg).result;
+    }
     let mut q = VisitorQueue::<BfsVisitor>::new(ctx, g, cfg.traversal);
     // state defaults to length = infinity (Alg. 3 lines 4-7)
     if g.is_master(source) {
@@ -215,7 +232,17 @@ pub fn bfs(ctx: &RankCtx, g: &DistGraph, source: VertexId, cfg: &BfsConfig) -> B
         Some(spec) => q.do_traversal_checkpointed(ctx, spec),
         None => q.do_traversal(),
     }
+    finish_result(ctx, g, q)
+}
 
+/// Aggregate a finished BFS-shaped traversal (any visitor whose per-vertex
+/// state is [`BfsData`]) into a [`BfsResult`]: master-only visited /
+/// traversed-edge / deepest-level reductions plus the storage-layer stat
+/// fold. Shared by the asynchronous visitor path and the direction engine.
+pub(crate) fn finish_result<V>(ctx: &RankCtx, g: &DistGraph, q: VisitorQueue<V>) -> BfsResult
+where
+    V: Visitor<Data = BfsData> + WireCodec,
+{
     // aggregate over masters only (replica state is a copy)
     let mut visited = 0u64;
     let mut traversed = 0u64;

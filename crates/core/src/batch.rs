@@ -891,6 +891,25 @@ mod tests {
         assert_eq!(percentile_ns(&[], 50), 0);
     }
 
+    /// Boundary ranks: the rank clamp must keep p=0 on the minimum (rank
+    /// 1, not a 0 index underflow), p=100 on the maximum, and a single
+    /// sample must answer every percentile with itself.
+    #[test]
+    fn percentile_boundary_ranks() {
+        let lats: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&lats, 0), 1, "p=0 is the population minimum");
+        assert_eq!(percentile_ns(&lats, 1), 1);
+        assert_eq!(percentile_ns(&lats, 100), 100, "p=100 is the population maximum");
+        for p in [0, 1, 50, 99, 100] {
+            assert_eq!(percentile_ns(&[7], p), 7, "single sample answers p={p}");
+        }
+        assert_eq!(percentile_ns(&[], 0), 0);
+        assert_eq!(percentile_ns(&[], 100), 0);
+        // unsorted input: percentile works on a sorted copy
+        assert_eq!(percentile_ns(&[30, 10, 20], 0), 10);
+        assert_eq!(percentile_ns(&[30, 10, 20], 100), 30);
+    }
+
     #[test]
     fn query_batch_admission_control() {
         let mut b = QueryBatch::new(2);

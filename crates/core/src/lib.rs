@@ -28,11 +28,13 @@
 pub mod algorithms;
 pub mod batch;
 pub mod checkpoint;
+pub mod direction;
 pub mod ghost;
 pub mod queue;
 pub mod rounds;
 pub mod visitor;
 
 pub use checkpoint::CheckpointSpec;
+pub use direction::{direction_bfs, DirBfsRun, Direction, DirectionConfig, DirectionMode};
 pub use queue::{TraversalConfig, TraversalStats, VisitorQueue};
 pub use visitor::{Role, Visitor};

@@ -28,6 +28,7 @@ use havoq_nvram::checkpoint::CheckpointStore;
 use havoq_util::parallel::{AtomicBitVec, PerWorker, SharedSlots, WorkerPool};
 
 use crate::checkpoint::{CheckpointSpec, QueueCheckpoint, QueueCounters};
+use crate::direction::DirectionConfig;
 use crate::ghost::GhostTable;
 use crate::visitor::{Role, Visitor, VisitorPush};
 
@@ -53,6 +54,11 @@ pub struct TraversalConfig {
     /// mailbox, quiescence and checkpoint paths stay on the coordinator
     /// thread, so the wire format and integrity counters are unchanged.
     pub threads: usize,
+    /// Direction-optimizing traversal knobs (BFS only): forced or
+    /// heuristic top-down/bottom-up switching with Beamer-style
+    /// alpha/beta thresholds. The default mode keeps the historical
+    /// asynchronous visitor loop (DESIGN.md §13).
+    pub direction: DirectionConfig,
 }
 
 impl Default for TraversalConfig {
@@ -63,6 +69,7 @@ impl Default for TraversalConfig {
             poll_batch: 128,
             locality_order: true,
             threads: 1,
+            direction: DirectionConfig::default(),
         }
     }
 }
@@ -71,6 +78,12 @@ impl TraversalConfig {
     /// Builder: set the intra-rank worker thread count (clamped to ≥ 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder: set the direction-optimizing traversal mode.
+    pub fn with_direction(mut self, mode: crate::direction::DirectionMode) -> Self {
+        self.direction.mode = mode;
         self
     }
 }
@@ -161,6 +174,15 @@ pub struct TraversalStats {
     /// the device re-reads issued to recover them.
     pub page_checksum_failures: u64,
     pub page_reread_retries: u64,
+    /// Direction-optimizing engine only (zero on the asynchronous visitor
+    /// path): adjacency entries examined while generating candidates —
+    /// whole frontier slices top-down, early-exit prefixes bottom-up —
+    /// plus the per-direction level counts and the frontier-bitmap words
+    /// this rank shipped to peers before bottom-up levels.
+    pub edges_inspected: u64,
+    pub top_down_levels: u64,
+    pub bottom_up_levels: u64,
+    pub frontier_words_sent: u64,
 }
 
 impl TraversalStats {
@@ -536,6 +558,71 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
         executed
     }
 
+    /// Drive one level-synchronous *round* to a confirmed global cut
+    /// (direction-optimizing engine, DESIGN.md §13). Polls the mailbox,
+    /// pre-visits and replica-forwards arrivals exactly like the
+    /// asynchronous loop, but *parks* every surviving visitor into `newly`
+    /// instead of executing its `visit` — the engine folds survivors into
+    /// the next frontier bitmap and generates the following level's
+    /// candidates itself. Returns once [`Quiescence::poll_cut`] confirms a
+    /// non-terminal consistent cut: every candidate sent anywhere this
+    /// round has been delivered, pre-visited and (where it improved state)
+    /// forwarded down its replica chain, and nothing is in flight.
+    ///
+    /// Collective: every rank must call `drain_round` the same number of
+    /// times, and the caller must run at least one collective between
+    /// consecutive rounds (the engine's frontier-size `all_reduce_sum`),
+    /// so no rank can inject round-`k+1` traffic while a peer still polls
+    /// round `k`.
+    pub(crate) fn drain_round(&mut self, scratch: &mut Vec<V>, newly: &mut Vec<V>) {
+        loop {
+            let delivered = self.check_mailbox(scratch);
+            while let Some(HeapEntry(vis, _)) = self.heap.pop() {
+                self.stats.visitors_executed += 1;
+                newly.push(vis);
+            }
+            if delivered == 0 {
+                self.mailbox.flush();
+                let drained = self.mailbox.pending_out() == 0;
+                // flag=false: the cut is a reusable level barrier, never a
+                // terminal verdict — the engine terminates on an empty
+                // global frontier, not on queue quiescence.
+                if self
+                    .quiescence
+                    .poll_cut(
+                        self.mailbox.sent_count(),
+                        self.mailbox.received_count(),
+                        drained,
+                        false,
+                    )
+                    .is_some()
+                {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Absorb a worker-staged shard of generated candidates through the
+    /// ghost filter + mailbox, in coordinator context (direction engine's
+    /// parallel generation pass; mirrors the tail of [`Self::run_chunk`]).
+    pub(crate) fn absorb_generated(&mut self, shard: &mut SendShard<V>, pushed: u64) {
+        let Self { mailbox, ghosts, stats, .. } = self;
+        stats.visitors_pushed += pushed;
+        for (dst, visitor) in shard.drain() {
+            if ghost_pass::<V>(ghosts, stats, &visitor) {
+                mailbox.send(dst, visitor);
+            }
+        }
+    }
+
+    /// Mutable access to the traversal counters for same-crate engines
+    /// layered on the queue (the direction engine's inspection counters).
+    pub(crate) fn stats_mut(&mut self) -> &mut TraversalStats {
+        &mut self.stats
+    }
+
     /// Run the traversal with periodic checkpoints and (fault-injected)
     /// crash/restore. Collective; every rank must call it with the same
     /// `spec`.
@@ -691,9 +778,63 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
     ) where
         V::Data: WireCodec<DecodeCtx = ()>,
     {
+        let blob = self.export_checkpoint().encode();
+        if let Some(bytes) = self.cut_core(ctx, spec, store, epoch, incarnation, blob) {
+            let ck = QueueCheckpoint::<V>::decode(&bytes, &self.decode_ctx)
+                .expect("committed checkpoint blob decodes");
+            self.restore_from(ck);
+        }
+    }
+
+    /// Like [`Self::checkpoint_cut`] but for engines that carry extra
+    /// per-rank loop state alongside the queue snapshot (the direction
+    /// engine's level counter, direction and trace — DESIGN.md §13). The
+    /// blob is `[extra_len u64][extra][queue blob]`; on a crash-triggered
+    /// world rewind the queue part is restored in place and the `extra`
+    /// bytes of the restore epoch are returned for the caller to rewind
+    /// its own state. Collective under the same contract as
+    /// `checkpoint_cut`: all ranks enter together at a confirmed cut.
+    pub(crate) fn round_checkpoint(
+        &mut self,
+        ctx: &RankCtx,
+        spec: &CheckpointSpec,
+        store: &mut CheckpointStore,
+        epoch: &mut u64,
+        incarnation: &mut u64,
+        extra: &[u8],
+    ) -> Option<Vec<u8>>
+    where
+        V::Data: WireCodec<DecodeCtx = ()>,
+    {
+        let queue_blob = self.export_checkpoint().encode();
+        let mut blob = Vec::with_capacity(8 + extra.len() + queue_blob.len());
+        blob.extend_from_slice(&(extra.len() as u64).to_le_bytes());
+        blob.extend_from_slice(extra);
+        blob.extend_from_slice(&queue_blob);
+        let bytes = self.cut_core(ctx, spec, store, epoch, incarnation, blob)?;
+        let extra_len = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+        let ck = QueueCheckpoint::<V>::decode(&bytes[8 + extra_len..], &self.decode_ctx)
+            .expect("committed checkpoint blob decodes");
+        self.restore_from(ck);
+        Some(bytes[8..8 + extra_len].to_vec())
+    }
+
+    /// Shared body of one checkpoint cut: write this rank's epoch blob
+    /// (torn if we are the injected victim), then — if anyone crashed —
+    /// collectively agree on the newest globally complete epoch, truncate
+    /// above it and return its blob bytes so the caller can restore.
+    /// Returns `None` when no crash fired (epoch advances normally).
+    fn cut_core(
+        &mut self,
+        ctx: &RankCtx,
+        spec: &CheckpointSpec,
+        store: &mut CheckpointStore,
+        epoch: &mut u64,
+        incarnation: &mut u64,
+        blob: Vec<u8>,
+    ) -> Option<Vec<u8>> {
         let t = Instant::now();
         let victim = ctx.crash_victim(*epoch, *incarnation);
-        let blob = self.export_checkpoint().encode();
         if victim == Some(self.rank) {
             store.write_epoch_torn(*epoch, &blob);
             self.stats.crashes += 1;
@@ -718,9 +859,6 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
             self.stats.restore_epoch_fallbacks += fallbacks;
             let target = ctx.all_reduce_min(local_latest);
             let bytes = store.read_epoch(target).expect("agreed restore epoch is complete");
-            let ck = QueueCheckpoint::<V>::decode(&bytes, &self.decode_ctx)
-                .expect("committed checkpoint blob decodes");
-            self.restore_from(ck);
             // Drop every epoch above the restore target: the rewound run
             // will re-number them, and a stale complete epoch from this
             // incarnation must never satisfy a later recovery's
@@ -730,6 +868,8 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
             self.mailbox.channel_stats().record_restore(self.rank);
             *incarnation += 1;
             *epoch = target + 1;
+            self.stats.checkpoint_time += t.elapsed();
+            Some(bytes)
         } else {
             *epoch += 1;
             // Post-cut barrier: without it a fast rank resumes executing
@@ -741,8 +881,9 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
             // counter increments) turn into wrong answers. The crash
             // branch above is already synchronized by `all_reduce_min`.
             ctx.barrier();
+            self.stats.checkpoint_time += t.elapsed();
+            None
         }
-        self.stats.checkpoint_time += t.elapsed();
     }
 
     /// Freeze this rank's traversal state at a confirmed cut.

@@ -96,6 +96,45 @@ impl AtomicBitVec {
     pub fn unlock(&self, i: usize) {
         self.clear(i);
     }
+
+    /// Number of backing 64-bit words (`ceil(len / 64)`).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Read backing word `wi` (bit `i` lives in word `i / 64`).
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        self.words[wi].load(Ordering::Acquire)
+    }
+
+    /// Atomically OR `bits` into backing word `wi` — the dense-frontier
+    /// merge step when remote frontier words arrive off the wire.
+    #[inline]
+    pub fn or_word(&self, wi: usize, bits: u64) {
+        self.words[wi].fetch_or(bits, Ordering::AcqRel);
+    }
+
+    /// Reset every bit to zero. Not atomic as a whole (concurrent setters
+    /// may survive); callers must quiesce writers first.
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Release);
+        }
+    }
+
+    /// Visit the index of every set bit, in increasing order.
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut bits = w.load(Ordering::Acquire);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                f(wi * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
 }
 
 /// A shared mutable view over the slots of a `Vec<T>`.
@@ -351,6 +390,21 @@ mod tests {
         assert!(b.get(64));
         b.clear(64);
         assert!(!b.get(64));
+    }
+
+    #[test]
+    fn bitvec_word_level_ops() {
+        let b = AtomicBitVec::new(130);
+        assert_eq!(b.num_words(), 3);
+        b.or_word(1, 0b101);
+        assert!(b.get(64) && !b.get(65) && b.get(66));
+        assert_eq!(b.word(1), 0b101);
+        b.test_and_set(129);
+        let mut seen = Vec::new();
+        b.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, vec![64, 66, 129]);
+        b.clear_all();
+        assert_eq!(b.word(0) | b.word(1) | b.word(2), 0);
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub mod prelude {
         bfs_batch, reach_batch, AdmissionQueue, Arrival, BatchBfsResult, BatchConfig, BatchLedger,
         QueryBatch, MAX_BATCH,
     };
+    pub use havoq_core::direction::{
+        direction_bfs, DirBfsRun, Direction, DirectionConfig, DirectionMode,
+    };
     pub use havoq_core::queue::{TraversalConfig, TraversalStats};
     pub use havoq_graph::csr::{CsrStorage, GraphConfig};
     pub use havoq_graph::dist::{DistGraph, PartitionStrategy};
