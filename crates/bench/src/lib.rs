@@ -127,6 +127,72 @@ pub fn direction() -> Option<havoq_core::direction::DirectionMode> {
     std::env::var("HAVOQ_DIRECTION").ok().as_deref().map(parse)
 }
 
+/// CSR storage backend for the traversal binaries (DESIGN.md §14).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Targets in DRAM.
+    Mem,
+    /// Raw `u64` targets behind the NVRAM page cache.
+    Ext,
+    /// Varint gap-compressed target bytes behind the page cache.
+    ExtCompressed,
+}
+
+impl StorageMode {
+    pub fn parse(v: &str) -> Option<Self> {
+        match v {
+            "mem" => Some(Self::Mem),
+            "ext" => Some(Self::Ext),
+            "ext-compressed" | "ext-comp" => Some(Self::ExtCompressed),
+            _ => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Mem => "mem",
+            Self::Ext => "ext",
+            Self::ExtCompressed => "ext-comp",
+        }
+    }
+
+    /// Build the matching [`havoq_graph::GraphConfig`] — `profile`/`cache`
+    /// apply to the external variants so mem and ext rows share one call
+    /// site at equal cache budget.
+    pub fn graph_config(
+        &self,
+        profile: havoq_nvram::DeviceProfile,
+        cache: havoq_nvram::PageCacheConfig,
+    ) -> havoq_graph::GraphConfig {
+        match self {
+            Self::Mem => havoq_graph::GraphConfig::default(),
+            Self::Ext => havoq_graph::GraphConfig::external(profile, cache),
+            Self::ExtCompressed => havoq_graph::GraphConfig::external_compressed(profile, cache),
+        }
+    }
+}
+
+/// CSR storage backend: `--storage {mem,ext,ext-compressed}` on the command
+/// line (or `HAVOQ_STORAGE` in the environment). `None` (the default) lets
+/// each binary keep its built-in storage matrix; an unknown token panics
+/// loudly rather than silently falling back.
+pub fn storage() -> Option<StorageMode> {
+    let parse = |v: &str| {
+        StorageMode::parse(v)
+            .unwrap_or_else(|| panic!("unknown --storage {v:?} (want mem|ext|ext-compressed)"))
+    };
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--storage" {
+            return args.next().as_deref().map(parse);
+        }
+        if let Some(v) = a.strip_prefix("--storage=") {
+            return Some(parse(v));
+        }
+    }
+    std::env::var("HAVOQ_STORAGE").ok().as_deref().map(parse)
+}
+
 /// The Graph500 search-key seed the benchmark binaries share.
 pub const SEARCH_KEY_SEED: u64 = 0x9E3779B97F4A7C15;
 
@@ -522,6 +588,59 @@ mod tests {
         std::env::set_var("HAVOQ_DIRECTION", "async");
         assert_eq!(direction(), Some(DirectionMode::Async));
         std::env::remove_var("HAVOQ_DIRECTION");
+    }
+
+    #[test]
+    fn storage_parses_from_env() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var("HAVOQ_STORAGE");
+        assert_eq!(storage(), None);
+        std::env::set_var("HAVOQ_STORAGE", "mem");
+        assert_eq!(storage(), Some(StorageMode::Mem));
+        std::env::set_var("HAVOQ_STORAGE", "ext");
+        assert_eq!(storage(), Some(StorageMode::Ext));
+        std::env::set_var("HAVOQ_STORAGE", "ext-compressed");
+        assert_eq!(storage(), Some(StorageMode::ExtCompressed));
+        std::env::set_var("HAVOQ_STORAGE", "ext-comp");
+        assert_eq!(storage(), Some(StorageMode::ExtCompressed));
+        std::env::remove_var("HAVOQ_STORAGE");
+        assert!(StorageMode::parse("junk").is_none());
+    }
+
+    /// Bench hygiene regression: key selection probes degrees through the
+    /// DRAM degree table, so on compressed storage it must decode *zero*
+    /// adjacency slices — decoding the full adjacency of every probed
+    /// vertex would drag cold edge bytes through the cache before the
+    /// timed run starts.
+    #[test]
+    fn search_key_selection_decodes_no_slices_on_compressed_storage() {
+        use havoq_graph::csr::GraphConfig;
+        use havoq_graph::dist::{DistGraph, PartitionStrategy};
+        use havoq_graph::gen::rmat::RmatGenerator;
+        use havoq_nvram::{DeviceProfile, PageCacheConfig};
+
+        let gen = RmatGenerator::graph500(6);
+        let edges = gen.symmetric_edges(99);
+        let counts = havoq_comm::CommWorld::run(2, move |ctx| {
+            let cache = PageCacheConfig {
+                page_size: 256,
+                capacity_pages: 8,
+                shards: 1,
+                ..PageCacheConfig::default()
+            };
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::external_compressed(DeviceProfile::dram(), cache),
+            );
+            let keys = select_search_keys(ctx, &g, 8, SEARCH_KEY_SEED);
+            assert_eq!(keys.len(), 8);
+            g.csr().storage_snapshot().unwrap().adj_decodes
+        });
+        for decodes in counts {
+            assert_eq!(decodes, 0, "key selection must not decode adjacency slices");
+        }
     }
 
     /// The key-selection regression: a graph with only two non-isolated

@@ -274,6 +274,12 @@ where
         stats.io_avg_queue_depth = io.avg_queue_depth();
         stats.io_queue_peak = io.peak_outstanding;
     }
+    if let Some(snap) = g.csr().storage_snapshot() {
+        stats.adj_decodes = snap.adj_decodes;
+        stats.adj_decoded_bytes = snap.adj_decoded_bytes;
+        stats.edge_bytes_encoded = snap.encoded_bytes;
+        stats.edge_bytes_raw = snap.raw_bytes;
+    }
     let transport = q.transport_stats();
     BfsResult {
         visited_count,

@@ -567,21 +567,17 @@ fn generate_serial(
 
 /// Bottom-up inner loop: scan `v`'s local (sorted) adjacency slice for the
 /// first neighbor in the global frontier. Early exit makes the hit the
-/// slice minimum — the determinism anchor for bottom-up parents.
+/// slice minimum — the determinism anchor for bottom-up parents. Routed
+/// through `DistGraph::scan_adj` so compressed storage stops its gap
+/// decoder at the hit instead of materializing the whole slice; the
+/// scanned count (and so `edges_inspected`) is storage-invariant.
 #[inline]
 fn scan_for_parent(
     g: &DistGraph,
     v: VertexId,
     global_frontier: &AtomicBitVec,
 ) -> (u64, Option<u64>) {
-    g.with_adj(v, |adj| {
-        for (k, &t) in adj.iter().enumerate() {
-            if global_frontier.get(t as usize) {
-                return (k as u64 + 1, Some(t));
-            }
-        }
-        (adj.len() as u64, None)
-    })
+    g.scan_adj(v, |t| global_frontier.get(t as usize))
 }
 
 /// Parallel candidate generation: workers sweep static chunks of the local

@@ -183,6 +183,15 @@ pub struct TraversalStats {
     pub top_down_levels: u64,
     pub bottom_up_levels: u64,
     pub frontier_words_sent: u64,
+    /// Compressed CSR storage only (all zero otherwise): adjacency slices
+    /// decoded and encoded bytes pulled through the gap decoder during the
+    /// traversal, plus the pool sizes — encoded versus raw `u64` targets —
+    /// so the decode-CPU-vs-IO-stall trade is measured alongside the cache
+    /// counters above.
+    pub adj_decodes: u64,
+    pub adj_decoded_bytes: u64,
+    pub edge_bytes_encoded: u64,
+    pub edge_bytes_raw: u64,
 }
 
 impl TraversalStats {

@@ -12,8 +12,11 @@
 //!   (Section III-A1).
 //! - [`partition`] — partition assignment functions for 1D, 2D and
 //!   edge-list partitioning plus the imbalance metric of Figure 2.
-//! - [`csr`] — local compressed-sparse-row storage, either in memory or
-//!   semi-external (offsets in DRAM, targets behind the NVRAM page cache).
+//! - [`csr`] — local compressed-sparse-row storage, in memory, semi-external
+//!   (offsets in DRAM, targets behind the NVRAM page cache), or
+//!   semi-external *gap-compressed* (varint-delta adjacency bytes behind
+//!   the cache, decoded per slice — DESIGN.md §14).
+//! - [`varint`] — the LEB128 gap codec the compressed CSR encodes with.
 //! - [`dist`] — [`dist::DistGraph`]: the per-rank partitioned graph with
 //!   `min_owner` / `max_owner`, split-vertex replica chains, global degrees
 //!   and ghost candidates, built collectively over a `havoq-comm` world.
@@ -27,6 +30,7 @@ pub mod io;
 pub mod partition;
 pub mod sort;
 pub mod types;
+pub mod varint;
 
 pub use csr::{CsrStorage, GraphConfig, LocalCsr};
 pub use dist::{DistGraph, PartitionStrategy};

@@ -165,6 +165,21 @@ impl<T: Pod> ExternalVec<T> {
     }
 }
 
+impl ExternalVec<u8> {
+    /// Byte-granular bulk read straight into `out`, skipping the generic
+    /// per-element decode loop — the compressed-CSR decode path reads
+    /// varint byte slices at arbitrary (unaligned) offsets, routinely
+    /// spanning page boundaries, and the cache already splits one logical
+    /// read across the covered pages.
+    pub fn read_bytes(&self, start: usize, out: &mut [u8]) {
+        assert!(start + out.len() <= self.len, "range out of bounds");
+        if out.is_empty() {
+            return;
+        }
+        self.cache.read_at(self.offset_of(start), out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +269,26 @@ mod tests {
         let st = store(4);
         let v = st.alloc::<u64>(3);
         let _ = v.get(3);
+    }
+
+    #[test]
+    fn byte_reads_span_page_boundaries() {
+        // page_size = 128: every 128th byte starts a new page, so these
+        // windows cross one or more boundaries at unaligned offsets
+        let st = store(4);
+        let data: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(37) % 251) as u8).collect();
+        let v = st.alloc_from(&data);
+        for (start, len) in [(0usize, 1024usize), (127, 2), (100, 300), (511, 513), (1, 255)] {
+            let mut out = vec![0u8; len];
+            v.read_bytes(start, &mut out);
+            assert_eq!(out, data[start..start + len], "window [{start}, +{len})");
+        }
+        // the generic path agrees with the byte fast path
+        let mut generic = vec![0u8; 300];
+        v.read_range(100, &mut generic);
+        let mut fast = vec![0u8; 300];
+        v.read_bytes(100, &mut fast);
+        assert_eq!(generic, fast);
     }
 
     #[test]

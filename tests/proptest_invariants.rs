@@ -516,3 +516,94 @@ fn page_cache_matches_memory_model() {
         assert_eq!(all, model);
     });
 }
+
+/// Varint gap codec round-trip on arbitrary sorted `u64` lists: empty,
+/// single, duplicate-heavy (dedup-off zero gaps), and extreme values up to
+/// `u64::MAX` — bulk decode and the streaming decoder must both return the
+/// input exactly.
+#[test]
+fn varint_gap_codec_roundtrips_arbitrary_sorted_lists() {
+    use havoq_graph::varint;
+    run_cases(64, |rng: &mut TestRng| {
+        let len = rng.range_usize(0, 64);
+        let mut targets = Vec::with_capacity(len);
+        let mut cur = 0u64;
+        for _ in 0..len {
+            // mix of small gaps, zero gaps (duplicates) and huge jumps, with
+            // a saturating tail that parks runs at u64::MAX
+            cur = match rng.below(4) {
+                0 => cur, // duplicate target (dedup: false)
+                1 => cur.saturating_add(rng.below(3)),
+                2 => cur.saturating_add(rng.below(1 << 20)),
+                _ => cur.saturating_add(rng.next_u64() >> rng.below(8)),
+            };
+            targets.push(cur);
+        }
+        let mut buf = Vec::new();
+        let appended = varint::encode_gaps(&targets, &mut buf);
+        assert_eq!(appended, buf.len());
+        let mut bulk = Vec::new();
+        varint::decode_gaps(&buf, targets.len(), &mut bulk);
+        assert_eq!(bulk, targets, "bulk decode diverged");
+        let mut dec = varint::GapDecoder::new(&buf);
+        for (i, &want) in targets.iter().enumerate() {
+            assert_eq!(dec.next_target(), want, "streaming decode diverged at {i}");
+        }
+        assert_eq!(dec.consumed(), buf.len(), "stream must consume exactly the encoding");
+    });
+}
+
+/// Compressed CSR equals the in-memory CSR on arbitrary graphs — with a
+/// deliberately tiny page so encoded slices straddle page boundaries, with
+/// duplicates kept (`dedup: false`) so zero gaps hit the decoder, and with
+/// `scan_adj`'s early-exit counts included in the comparison.
+#[test]
+fn compressed_csr_matches_memory_on_arbitrary_graphs() {
+    run_cases(32, |rng: &mut TestRng| {
+        let (n, edges) = arb_graph(rng);
+        let dedup = rng.bool();
+        let page_size = [64usize, 128, 256][rng.range_usize(0, 3)];
+        let base = GraphConfig { dedup, num_vertices: Some(n), ..GraphConfig::default() };
+        let comp = GraphConfig {
+            storage: havoq_graph::csr::CsrStorage::ExternalCompressed {
+                profile: DeviceProfile::dram(),
+                cache: PageCacheConfig {
+                    page_size,
+                    capacity_pages: 2,
+                    shards: 1,
+                    ..PageCacheConfig::default()
+                },
+            },
+            ..base
+        };
+        let p = 1 + rng.range_usize(0, 2);
+        let (edges_a, edges_b) = (edges.clone(), edges);
+        let mem_view = CommWorld::run(p, move |ctx| {
+            let g = DistGraph::build_replicated(ctx, &edges_a, PartitionStrategy::EdgeList, base);
+            collect_adjacency_view(&g)
+        });
+        let comp_view = CommWorld::run(p, move |ctx| {
+            let g = DistGraph::build_replicated(ctx, &edges_b, PartitionStrategy::EdgeList, comp);
+            collect_adjacency_view(&g)
+        });
+        assert_eq!(comp_view, mem_view, "p={p} dedup={dedup} page={page_size}");
+    });
+}
+
+/// Every observable of a rank's adjacency: slices, degrees, and early-exit
+/// scan results for a few needles per vertex.
+#[allow(clippy::type_complexity)]
+fn collect_adjacency_view(g: &DistGraph) -> Vec<(u64, Vec<u64>, u64, Vec<(u64, Option<u64>)>)> {
+    g.local_vertices()
+        .map(|v| {
+            let adj = g.with_adj(v, |a| a.to_vec());
+            let scans = adj
+                .iter()
+                .copied()
+                .chain([u64::MAX])
+                .map(|needle| g.scan_adj(v, |t| t >= needle))
+                .collect();
+            (v.0, adj, g.local_out_degree(v), scans)
+        })
+        .collect()
+}
