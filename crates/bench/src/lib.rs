@@ -87,6 +87,40 @@ pub fn threads() -> Option<usize> {
     std::env::var("HAVOQ_THREADS").ok().and_then(|v| v.parse().ok())
 }
 
+/// Admission backlog bound for the serving binaries: `--backlog N` on the
+/// command line (or `HAVOQ_BACKLOG=N` in the environment) caps the
+/// admission queue at `N` pending queries; beyond it the shed policy
+/// drops work instead of letting latency ramp without bound (DESIGN.md
+/// §15). `None` (the default) leaves the backlog unbounded.
+pub fn backlog() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--backlog" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--backlog=") {
+            return v.parse().ok();
+        }
+    }
+    std::env::var("HAVOQ_BACKLOG").ok().and_then(|v| v.parse().ok())
+}
+
+/// Shed policy at the backlog bound: `--shed-policy reject-new` (default)
+/// or `--shed-policy drop-oldest` (or `HAVOQ_SHED_POLICY` in the
+/// environment). Only meaningful together with [`backlog`].
+pub fn shed_policy() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--shed-policy" {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix("--shed-policy=") {
+            return Some(v.to_string());
+        }
+    }
+    std::env::var("HAVOQ_SHED_POLICY").ok()
+}
+
 /// Batched query width for the traversal binaries: `--batch K` on the
 /// command line (or `HAVOQ_BATCH=K` in the environment) runs search keys
 /// through the multi-source batching layer, `K` queries per shared

@@ -1,0 +1,71 @@
+//! Lifecycle control records for the serving path.
+//!
+//! A [`CancelRecord`] is the wire form of "stop working on query q": the
+//! origin rank broadcasts one record per peer over a dedicated user-tag
+//! mailbox, so cancels ride the same CRC-framed, retransmitted, chaos-
+//! hardened plane as visitor traffic. Delivery is made *cut-consistent*
+//! by the lifecycle driver: the cancel mailbox's sent/received counters
+//! are summed into the quiescence poll, so a round cut cannot confirm
+//! while any cancel is still in flight — at every confirmed cut, all
+//! ranks hold exactly the same set of cancel records and apply them
+//! identically. Application itself is idempotent (an OR into a retired
+//! bitmask), so a duplicated or retransmitted record is harmless.
+
+use crate::codec::WireCodec;
+
+/// One cancellation request for one in-flight batched query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CancelRecord {
+    /// Batch slot of the query being cancelled (`0..64`).
+    pub query: u32,
+    /// Rank that issued the cancel (for stats/tracing only; application
+    /// does not depend on the origin).
+    pub origin: u32,
+    /// Round (cut index) at which the origin issued the cancel. Purely
+    /// diagnostic: application happens at whatever cut the record is
+    /// confirmed under, which the quiescence sum makes identical on
+    /// every rank.
+    pub round: u64,
+}
+
+impl WireCodec for CancelRecord {
+    const WIRE_SIZE: usize = 16;
+    type DecodeCtx = ();
+
+    #[inline]
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.query.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.origin.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.round.to_le_bytes());
+    }
+
+    #[inline]
+    fn decode(buf: &[u8], _ctx: &()) -> Self {
+        Self {
+            query: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            origin: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            round: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_record_round_trips() {
+        let r = CancelRecord { query: 63, origin: 7, round: 0xDEAD_BEEF_0123 };
+        let mut buf = [0u8; CancelRecord::WIRE_SIZE];
+        r.encode(&mut buf);
+        assert_eq!(CancelRecord::decode(&buf, &()), r);
+    }
+
+    #[test]
+    fn cancel_record_wire_size_matches_encoding() {
+        let r = CancelRecord { query: u32::MAX, origin: u32::MAX, round: u64::MAX };
+        let mut buf = [0u8; CancelRecord::WIRE_SIZE];
+        r.encode(&mut buf);
+        assert_eq!(buf[15], 0xFF, "encoding fills the full wire size");
+    }
+}

@@ -103,6 +103,11 @@ pub struct FaultConfig {
     /// Deterministic crash: `(rank, epoch)` dies on the run's first
     /// incarnation. `(rank, 0)` never fires (epoch 0 is protected).
     pub forced_crash: Option<(usize, u64)>,
+    /// Deterministic unbounded stall: `(rank, after_arrivals)` wedges the
+    /// faulted channel's receive side on `rank` forever once it has
+    /// accepted that many arrivals. Unlike `stall_permille`, this stall
+    /// never releases — it exists to exercise the progress watchdog.
+    pub hard_stall: Option<(usize, u64)>,
     /// Per-mille chance an arriving frame has one payload bit flipped.
     pub corrupt_permille: u16,
     /// Per-mille chance an arriving frame is dropped before delivery.
@@ -127,6 +132,7 @@ impl FaultConfig {
             slow_rank_ticks: 0,
             crash_permille: 0,
             forced_crash: None,
+            hard_stall: None,
             corrupt_permille: 0,
             drop_permille: 0,
         }
@@ -149,6 +155,7 @@ impl FaultConfig {
             slow_rank_ticks: 2,
             crash_permille: 0,
             forced_crash: None,
+            hard_stall: None,
             corrupt_permille: 0,
             drop_permille: 0,
         }
@@ -204,6 +211,18 @@ impl FaultConfig {
         self
     }
 
+    /// Wedge `rank`'s receive side of every faulted (user-tag) channel
+    /// forever once that channel has accepted `after_arrivals` messages.
+    /// Collectives and termination detection are never faulted, so the
+    /// progress watchdog can still reach a world-agreed abort. Unlike
+    /// [`FaultConfig::with_stall`], this stall never releases; pairing it
+    /// with a lossy plan would eventually trip the retransmit panic
+    /// horizon, so keep hard-stall runs on non-lossy plans.
+    pub fn with_hard_stall(mut self, rank: usize, after_arrivals: u64) -> Self {
+        self.hard_stall = Some((rank, after_arrivals));
+        self
+    }
+
     /// Seeded single-bit flips in arriving frame payloads. Requires the
     /// mailbox integrity layer (on by default) — the CRC is what turns a
     /// flipped bit into a NACK instead of silent data corruption.
@@ -238,6 +257,7 @@ impl FaultConfig {
             slow_rank_ticks,
             crash_permille,
             forced_crash,
+            hard_stall,
             corrupt_permille,
             drop_permille,
         } = *self;
@@ -248,6 +268,7 @@ impl FaultConfig {
             || (slow_rank_permille > 0 && slow_rank_ticks > 0)
             || crash_permille > 0
             || forced_crash.is_some()
+            || hard_stall.is_some()
             || corrupt_permille > 0
             || drop_permille > 0
     }
@@ -576,6 +597,14 @@ impl<M: Send + 'static> FaultState<M> {
         let arrival = self.arrivals;
         self.arrivals += 1;
         let src = w.src as usize;
+        if let Some((victim, after)) = self.plan.config().hard_stall {
+            if victim == self.rank && self.arrivals > after && self.stall_until != u64::MAX {
+                // permanent wedge: the channel keeps draining (ingest still
+                // runs) but release never fires again on this endpoint
+                self.stall_until = u64::MAX;
+                stats.record_fault_stall(src, self.rank);
+            }
+        }
         let stall = self.plan.stall_window(self.tag, self.rank, arrival);
         if stall > 0 {
             self.stall_until = self.stall_until.max(self.tick + stall as u64);

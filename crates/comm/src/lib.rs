@@ -26,6 +26,7 @@
 pub mod chan;
 pub mod codec;
 pub mod collectives;
+pub mod control;
 pub mod fault;
 pub mod frontier;
 pub mod mailbox;
@@ -37,6 +38,7 @@ pub mod topology;
 pub mod transport;
 
 pub use codec::{Frame, FramePool, WireCodec, FRAME_HEADER_BYTES, RECORD_DST_BYTES};
+pub use control::CancelRecord;
 pub use fault::{FaultConfig, FaultPlan};
 pub use frontier::{FrontierPlane, FrontierRecord};
 pub use mailbox::{
@@ -44,6 +46,6 @@ pub use mailbox::{
 };
 pub use runtime::{CommWorld, RankCtx};
 pub use stats::{ChannelStats, ChannelStatsSnapshot};
-pub use termination::Quiescence;
+pub use termination::{CutVerdict, Quiescence};
 pub use topology::{Topology, TopologyKind};
 pub use transport::Transport;

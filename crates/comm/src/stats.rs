@@ -58,6 +58,10 @@ pub struct ChannelStats {
     checkpoints: Vec<AtomicU64>,
     crashes: Vec<AtomicU64>,
     restores: Vec<AtomicU64>,
+    /// Per-rank lifecycle events: cancel records applied, traversals
+    /// aborted by the progress watchdog.
+    cancels: Vec<AtomicU64>,
+    aborts: Vec<AtomicU64>,
 }
 
 impl ChannelStats {
@@ -84,6 +88,8 @@ impl ChannelStats {
             checkpoints: per_rank(),
             crashes: per_rank(),
             restores: per_rank(),
+            cancels: per_rank(),
+            aborts: per_rank(),
         }
     }
 
@@ -184,6 +190,18 @@ impl ChannelStats {
         self.restores[rank].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Rank `rank` applied one cancel record to a live query.
+    #[inline]
+    pub fn record_cancel(&self, rank: usize) {
+        self.cancels[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rank `rank` aborted a traversal on a watchdog verdict.
+    #[inline]
+    pub fn record_abort(&self, rank: usize) {
+        self.aborts[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn ranks(&self) -> usize {
         self.ranks
     }
@@ -211,6 +229,8 @@ impl ChannelStats {
             checkpoints: load(&self.checkpoints),
             crashes: load(&self.crashes),
             restores: load(&self.restores),
+            cancels: load(&self.cancels),
+            aborts: load(&self.aborts),
         }
     }
 }
@@ -242,6 +262,9 @@ pub struct ChannelStatsSnapshot {
     pub checkpoints: Vec<u64>,
     pub crashes: Vec<u64>,
     pub restores: Vec<u64>,
+    /// Per-rank lifecycle events: cancels applied, watchdog aborts.
+    pub cancels: Vec<u64>,
+    pub aborts: Vec<u64>,
 }
 
 impl ChannelStatsSnapshot {
@@ -335,6 +358,14 @@ impl ChannelStatsSnapshot {
 
     pub fn total_restores(&self) -> u64 {
         self.restores.iter().sum()
+    }
+
+    pub fn total_cancels(&self) -> u64 {
+        self.cancels.iter().sum()
+    }
+
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
     }
 
     /// Sum of all fault events of every type — nonzero iff the fault layer
@@ -539,6 +570,22 @@ mod tests {
         assert_eq!(snap.total_restores(), 3);
         assert_eq!(snap.total_msgs(), 0, "checkpoint events are not messages");
         assert_eq!(snap.total_faults(), 0, "process faults are not message faults");
+    }
+
+    #[test]
+    fn lifecycle_counters_are_tracked_per_rank() {
+        let s = ChannelStats::new(3);
+        s.record_cancel(0);
+        s.record_cancel(0);
+        s.record_cancel(2);
+        s.record_abort(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.cancels, vec![2, 0, 1]);
+        assert_eq!(snap.aborts, vec![0, 1, 0]);
+        assert_eq!(snap.total_cancels(), 3);
+        assert_eq!(snap.total_aborts(), 1);
+        assert_eq!(snap.total_msgs(), 0, "lifecycle events are not messages");
+        assert_eq!(snap.total_faults(), 0, "lifecycle events are not faults");
     }
 
     #[test]

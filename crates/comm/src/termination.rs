@@ -26,7 +26,26 @@ enum TermMsg {
     /// subtree's user flags (see [`Quiescence::poll_cut`]).
     Up { wave: u64, sent: u64, recv: u64, stable: bool, flag: bool },
     /// Parent -> child: root decision for `wave`, with the global flag AND.
-    Down { wave: u64, terminate: bool, flag: bool },
+    /// `abort` carries the stall watchdog's verdict (see
+    /// [`Quiescence::arm_watchdog`]); it is only ever true when `terminate`
+    /// is false, and every rank surfaces it as [`CutVerdict::Abort`].
+    Down { wave: u64, terminate: bool, abort: bool, flag: bool },
+}
+
+/// What a completed detector wave decided, as surfaced by
+/// [`Quiescence::poll_cut_watched`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutVerdict {
+    /// A non-terminal consistent cut confirmed (global flag AND was false);
+    /// the detector rearmed for further cuts.
+    Cut,
+    /// Global quiescence confirmed with a true flag; sticky.
+    Terminate,
+    /// The stall watchdog fired: the world has been stable with
+    /// `sent != recv` — in-flight traffic that is provably not being
+    /// delivered — for the armed number of consecutive waves. Every rank
+    /// receives the same verdict on the same wave; sticky.
+    Abort,
 }
 
 /// Per-rank handle on the termination-detection protocol.
@@ -48,6 +67,13 @@ pub struct Quiescence {
     /// Consistent cuts confirmed with a false global flag (see
     /// [`Quiescence::poll_cut`]).
     cuts_fired: u64,
+    /// Stall watchdog: abort after this many consecutive completed waves in
+    /// which the world was stable but `sent != recv` (root-side count).
+    watchdog_waves: Option<u64>,
+    /// Root-side count of consecutive stalled waves (see above).
+    stalled_waves: u64,
+    /// Sticky abort verdict (set on every rank by the root's broadcast).
+    aborted: bool,
 }
 
 impl Quiescence {
@@ -71,7 +97,28 @@ impl Quiescence {
             terminated: false,
             waves_run: 0,
             cuts_fired: 0,
+            watchdog_waves: None,
+            stalled_waves: 0,
+            aborted: false,
         }
+    }
+
+    /// Arm the stall watchdog: if `waves` consecutive completed waves see a
+    /// globally stable world whose send and receive totals disagree — every
+    /// rank idle, nothing moving, yet messages in flight that are never
+    /// delivered — the root broadcasts an abort verdict and every rank's
+    /// [`Quiescence::poll_cut_watched`] returns [`CutVerdict::Abort`] on
+    /// the same wave. That signature cannot occur at a true quiescent point
+    /// and is exactly what a hard receive stall (a dead NIC, a wedged peer)
+    /// looks like; transient faults reset the count as soon as a delivery
+    /// moves a counter. Collective: every rank must arm the same limit.
+    ///
+    /// Pick `waves` large enough to outlast legitimate repair traffic
+    /// (NACK/RTO retransmission holds the stable-but-unbalanced signature
+    /// for up to ~RTO sender ticks, roughly one wave per tick) — thousands
+    /// of waves, not dozens, under lossy fault plans.
+    pub fn arm_watchdog(&mut self, waves: u64) {
+        self.watchdog_waves = Some(waves.max(1));
     }
 
     fn reset_wave(&mut self) {
@@ -108,9 +155,43 @@ impl Quiescence {
     /// cut with all ranks drained reads as termination while a cut forced by
     /// a checkpoint threshold reads as a checkpointable barrier with the
     /// frontier parked in local heaps.
+    fn verdict(terminated: bool) -> CutVerdict {
+        if terminated {
+            CutVerdict::Terminate
+        } else {
+            CutVerdict::Cut
+        }
+    }
+
     pub fn poll_cut(&mut self, sent: u64, recv: u64, ready: bool, flag: bool) -> Option<bool> {
+        match self.poll_cut_watched(sent, recv, ready, flag) {
+            None => None,
+            Some(CutVerdict::Cut) => Some(false),
+            Some(CutVerdict::Terminate) => Some(true),
+            Some(CutVerdict::Abort) => panic!(
+                "stall watchdog fired but the caller polls through poll_cut; \
+                 armed detectors must be driven via poll_cut_watched"
+            ),
+        }
+    }
+
+    /// Like [`Quiescence::poll_cut`], but also surfaces the stall
+    /// watchdog's verdict (see [`Quiescence::arm_watchdog`]). Returns
+    /// `Some(CutVerdict::Abort)` — sticky, world-agreed — when the armed
+    /// watchdog fires; with no watchdog armed it behaves exactly like
+    /// `poll_cut` with `Cut`/`Terminate` standing in for `false`/`true`.
+    pub fn poll_cut_watched(
+        &mut self,
+        sent: u64,
+        recv: u64,
+        ready: bool,
+        flag: bool,
+    ) -> Option<CutVerdict> {
+        if self.aborted {
+            return Some(CutVerdict::Abort);
+        }
         if self.terminated {
-            return Some(true);
+            return Some(CutVerdict::Terminate);
         }
         if self.ch.is_poisoned() {
             // a peer rank panicked: detection can never complete, so join
@@ -128,13 +209,17 @@ impl Quiescence {
                     self.child_flag &= flag;
                     self.children_seen += 1;
                 }
-                TermMsg::Down { wave, terminate, flag } => {
+                TermMsg::Down { wave, terminate, abort, flag } => {
                     debug_assert_eq!(wave, self.wave, "parent wave skew");
                     for &c in &self.children {
-                        self.ch.send(c, TermMsg::Down { wave, terminate, flag });
+                        self.ch.send(c, TermMsg::Down { wave, terminate, abort, flag });
+                    }
+                    if abort {
+                        self.aborted = true;
+                        return Some(CutVerdict::Abort);
                     }
                     if terminate {
-                        return Some(self.finish_cut(flag));
+                        return Some(Self::verdict(self.finish_cut(flag)));
                     }
                     self.reset_wave();
                 }
@@ -164,12 +249,27 @@ impl Quiescence {
                 }
                 None => {
                     let terminate = tot_stable && tot_sent == tot_recv;
+                    // Root-side watchdog: a stable world with unbalanced
+                    // totals is in-flight work that is not being delivered.
+                    // Any wave that moves a counter (or finds a busy rank)
+                    // resets the count, so only a persistent wedge aborts.
+                    if tot_stable && tot_sent != tot_recv {
+                        self.stalled_waves += 1;
+                    } else {
+                        self.stalled_waves = 0;
+                    }
+                    let abort =
+                        !terminate && self.watchdog_waves.is_some_and(|w| self.stalled_waves >= w);
                     let wave = self.wave;
                     for &c in &self.children {
-                        self.ch.send(c, TermMsg::Down { wave, terminate, flag: tot_flag });
+                        self.ch.send(c, TermMsg::Down { wave, terminate, abort, flag: tot_flag });
+                    }
+                    if abort {
+                        self.aborted = true;
+                        return Some(CutVerdict::Abort);
                     }
                     if terminate {
-                        return Some(self.finish_cut(tot_flag));
+                        return Some(Self::verdict(self.finish_cut(tot_flag)));
                     }
                     self.reset_wave();
                 }
@@ -394,6 +494,92 @@ mod tests {
             for instance in 0..3 {
                 let mut q = Quiescence::new(ctx, instance);
                 while !q.poll(5, 5, true) {}
+            }
+        });
+    }
+
+    /// An armed watchdog converts a persistent sent != recv imbalance
+    /// (a receiver that will never drain) into a world-agreed Abort on
+    /// every rank, instead of spinning forever.
+    #[test]
+    fn watchdog_aborts_on_persistent_imbalance() {
+        for p in [1usize, 2, 4] {
+            CommWorld::run(p, |ctx| {
+                let mut q = Quiescence::new(ctx, 0);
+                q.arm_watchdog(8);
+                // rank 0 claims one message that is never delivered
+                let (sent, recv) = if ctx.rank() == 0 { (1, 0) } else { (0, 0) };
+                let mut polls = 0u64;
+                loop {
+                    match q.poll_cut_watched(sent, recv, true, false) {
+                        Some(CutVerdict::Abort) => break,
+                        Some(v) => panic!("imbalanced world produced {v:?} (p={p})"),
+                        None => {
+                            polls += 1;
+                            if polls.is_multiple_of(64) {
+                                std::thread::yield_now();
+                            }
+                            assert!(polls < 1_000_000, "watchdog too slow (p={p})");
+                        }
+                    }
+                }
+                // aborts are sticky
+                assert_eq!(q.poll_cut_watched(sent, recv, true, false), Some(CutVerdict::Abort));
+            });
+        }
+    }
+
+    /// A balanced, idle world terminates normally even with the watchdog
+    /// armed — the stall counter only advances on stable-but-unbalanced
+    /// waves, which never occur here.
+    #[test]
+    fn watchdog_does_not_fire_on_clean_termination() {
+        for p in [1usize, 2, 4] {
+            CommWorld::run(p, |ctx| {
+                let mut q = Quiescence::new(ctx, 0);
+                q.arm_watchdog(2);
+                let mut polls = 0u64;
+                loop {
+                    match q.poll_cut_watched(3, 3, true, true) {
+                        Some(CutVerdict::Terminate) => break,
+                        Some(v) => panic!("clean world produced {v:?} (p={p})"),
+                        None => {
+                            polls += 1;
+                            if polls.is_multiple_of(64) {
+                                std::thread::yield_now();
+                            }
+                            assert!(polls < 1_000_000, "termination too slow (p={p})");
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Non-terminal cuts fire normally under an armed watchdog: the
+    /// detector still reports `Cut` for flag=false waves and only
+    /// escalates when imbalance persists across full waves.
+    #[test]
+    fn watchdog_allows_nonterminal_cuts() {
+        CommWorld::run(3, |ctx| {
+            let mut q = Quiescence::new(ctx, 0);
+            q.arm_watchdog(1000);
+            for cut in 0..3u64 {
+                let mut polls = 0u64;
+                loop {
+                    match q.poll_cut_watched(9, 9, true, false) {
+                        Some(CutVerdict::Cut) => break,
+                        Some(v) => panic!("non-terminal cut produced {v:?}"),
+                        None => {
+                            polls += 1;
+                            if polls.is_multiple_of(64) {
+                                std::thread::yield_now();
+                            }
+                            assert!(polls < 1_000_000, "cut {cut} too slow");
+                        }
+                    }
+                }
+                assert_eq!(q.cuts_fired(), cut + 1);
             }
         });
     }

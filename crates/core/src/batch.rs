@@ -68,6 +68,12 @@ pub struct LedgerCells {
     pushed: [AtomicU64; MAX_BATCH],
     executed_total: AtomicU64,
     pushed_total: AtomicU64,
+    /// Queries this rank has stopped working for (cancelled, expired, or
+    /// aborted by the lifecycle engine, DESIGN.md §15). A set bit gates
+    /// the query out of every future `visit` live mask; setting it is
+    /// idempotent, so duplicated or retransmitted cancel records are
+    /// harmless.
+    retired: AtomicU64,
 }
 
 impl Default for LedgerCells {
@@ -77,6 +83,7 @@ impl Default for LedgerCells {
             pushed: std::array::from_fn(|_| AtomicU64::new(0)),
             executed_total: AtomicU64::new(0),
             pushed_total: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
         }
     }
 }
@@ -100,6 +107,18 @@ impl LedgerCells {
             self.pushed[q].fetch_add(per_query, Relaxed);
         }
         self.pushed_total.fetch_add(per_query * live.count_ones() as u64, Relaxed);
+    }
+
+    /// Retire the queries in `mask`: no future `visit` on this rank will
+    /// expand for them. OR-idempotent, so repeated application (duplicate
+    /// cancels, retransmits) changes nothing.
+    pub fn retire(&self, mask: u64) {
+        self.retired.fetch_or(mask, Relaxed);
+    }
+
+    /// The current retired-query mask.
+    pub fn retired_mask(&self) -> u64 {
+        self.retired.load(Relaxed)
     }
 
     /// Plain-data snapshot (quiescent reads: take it after `do_traversal`).
@@ -224,7 +243,7 @@ pub struct BatchBfsVisitor<const K: usize> {
     pub length: u64,
     pub parent: u64,
     pub mask: u64,
-    ledger: Arc<LedgerCells>,
+    pub(crate) ledger: Arc<LedgerCells>,
 }
 
 impl<const K: usize> WireCodec for BatchBfsVisitor<K> {
@@ -297,6 +316,8 @@ impl<const K: usize> Visitor for BatchBfsVisitor<K> {
                 live |= 1 << q;
             }
         }
+        // retired queries (cancelled / expired / aborted) never expand
+        live &= !self.ledger.retired_mask();
         if live == 0 {
             return;
         }
@@ -354,6 +375,25 @@ pub struct BatchConfig {
     /// single-source algorithms: the widened state is still a fixed-size
     /// `WireCodec` record.
     pub checkpoint: Option<CheckpointSpec>,
+    /// Lifecycle budget (lifecycle engine only, DESIGN.md §15): a query
+    /// whose traversal reaches this many level-synchronous rounds expires
+    /// with `DeadlineExceeded` at that round's cut. Checked against the
+    /// globally agreed round counter, so every rank expires the query at
+    /// the same cut — no wall clocks involved.
+    pub max_rounds: Option<u64>,
+    /// Lifecycle budget: a query whose globally all-reduced edge-push
+    /// count exceeds this expires with `DeadlineExceeded` at the cut that
+    /// observes the overrun. The all-reduce makes the decision a pure
+    /// function of cut-consistent counters, identical on every rank.
+    pub max_inspected: Option<u64>,
+    /// Lifecycle watchdog: abort the whole traversal (outcome `Aborted`
+    /// for every still-live query) once the quiescence detector sees this
+    /// many consecutive stable-but-unbalanced waves — the signature of a
+    /// receiver that will never drain (e.g. a hard-stalled rank). Keep it
+    /// in the thousands so transient chaos (bounded stalls, retransmit
+    /// round trips) can never trip it; a true wedge still aborts promptly
+    /// because idle waves complete in microseconds.
+    pub watchdog_waves: Option<u64>,
 }
 
 impl BatchConfig {
@@ -364,6 +404,21 @@ impl BatchConfig {
 
     pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
         self.checkpoint = Some(spec);
+        self
+    }
+
+    pub fn with_max_rounds(mut self, rounds: u64) -> Self {
+        self.max_rounds = Some(rounds);
+        self
+    }
+
+    pub fn with_max_inspected(mut self, edges: u64) -> Self {
+        self.max_inspected = Some(edges);
+        self
+    }
+
+    pub fn with_watchdog(mut self, waves: u64) -> Self {
+        self.watchdog_waves = Some(waves);
         self
     }
 }
@@ -678,6 +733,16 @@ impl QueryBatch {
 
     /// Admit one query; returns its slot index, or [`BatchFull`] when the
     /// batch is at capacity and the caller must wait for the next batch.
+    ///
+    /// Duplicate sources are deliberately *not* deduplicated: two queries
+    /// on the same key are two independent queries. Each gets its own
+    /// batch slot, its own mask bit, its own ledger entry and its own
+    /// per-query result — the mask plane multiplexes them through one
+    /// traversal exactly as it does distinct sources, so a duplicate
+    /// costs one state bit, not a second traversal. Deduplication, if
+    /// wanted, belongs in a caller-side cache keyed on (source, epoch),
+    /// not in admission, where it would silently merge queries with
+    /// different deadlines or owners.
     pub fn try_admit(&mut self, source: VertexId) -> Result<usize, BatchFull> {
         if self.is_full() {
             return Err(BatchFull);
@@ -715,11 +780,44 @@ impl QueryBatch {
 // --- admission queue (offered-load scheduler) -----------------------------
 
 /// One query arrival in the serving simulation: when it arrived (on the
-/// virtual clock) and what it asks for.
+/// virtual clock), what it asks for, and by when it must *start* service
+/// to still be useful (`u64::MAX` = no deadline).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Arrival {
     pub at_ns: u64,
     pub source: VertexId,
+    /// Absolute event-clock deadline: if the queue cannot admit the query
+    /// before this instant, serving it is wasted work and the scheduler
+    /// sheds it instead ([`QueryOutcome::Shed`](crate::lifecycle::QueryOutcome)).
+    pub deadline_ns: u64,
+}
+
+impl Arrival {
+    /// An arrival with no deadline.
+    pub fn new(at_ns: u64, source: VertexId) -> Self {
+        Self { at_ns, source, deadline_ns: u64::MAX }
+    }
+
+    /// Set an absolute start-of-service deadline on the event clock.
+    pub fn with_deadline(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = deadline_ns;
+        self
+    }
+}
+
+/// What to do with new work when the pending queue is at its backlog
+/// bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Refuse the newest arrival (classic bounded queue; protects queries
+    /// already waiting, so no admitted query is ever betrayed).
+    #[default]
+    RejectNew,
+    /// Drop the oldest pending arrival to make room (freshest-first;
+    /// right when stale answers are worthless, e.g. deadline-heavy
+    /// traffic — the oldest entry is the most likely to be dead on
+    /// admission anyway).
+    DropOldest,
 }
 
 /// The pure event-clock scheduler behind the `qps_serve` bench.
@@ -731,41 +829,95 @@ pub struct Arrival {
 /// no wall-clock state of its own, so multi-rank drivers can feed it a
 /// world-agreed duration (`all_reduce_max` of the measured nanos) and
 /// every rank makes identical admission decisions.
+///
+/// Overload protection is opt-in and two-pronged:
+/// - [`AdmissionQueue::with_max_backlog`] bounds the pending queue; at
+///   the bound, the configured [`ShedPolicy`] sheds either the newest
+///   offer or the oldest waiter. A bounded backlog is what turns an
+///   overload from an unbounded latency ramp into a bounded-latency,
+///   partial-goodput regime: with backlog ≤ B and batch capacity C, no
+///   admitted query ever waits more than ⌈B/C⌉ + 1 batch services.
+/// - Deadline-aware admission: an arrival whose `deadline_ns` has passed
+///   when a batch forms is dead on admission — serving it is pure waste,
+///   so it is shed instead.
+///
+/// Shed queries never contribute latency samples (they have no service
+/// completion); they are accounted in [`AdmissionQueue::shed_overflow`]
+/// and [`AdmissionQueue::shed_expired`].
 #[derive(Clone, Debug)]
 pub struct AdmissionQueue {
     capacity: usize,
+    max_backlog: Option<usize>,
+    shed_policy: ShedPolicy,
     clock_ns: u64,
     pending: VecDeque<Arrival>,
     in_flight: Vec<Arrival>,
     latencies_ns: Vec<u64>,
     peak_backlog: usize,
+    shed_overflow: u64,
+    shed_expired: u64,
+    offered: u64,
 }
 
 impl AdmissionQueue {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: capacity.clamp(1, MAX_BATCH),
+            max_backlog: None,
+            shed_policy: ShedPolicy::default(),
             clock_ns: 0,
             pending: VecDeque::new(),
             in_flight: Vec::new(),
             latencies_ns: Vec::new(),
             peak_backlog: 0,
+            shed_overflow: 0,
+            shed_expired: 0,
+            offered: 0,
         }
+    }
+
+    /// Bound the pending queue to `n` waiters (clamped to at least 1);
+    /// beyond it, the shed policy decides who is dropped.
+    pub fn with_max_backlog(mut self, n: usize) -> Self {
+        self.max_backlog = Some(n.max(1));
+        self
+    }
+
+    /// Choose who is shed at the backlog bound (default
+    /// [`ShedPolicy::RejectNew`]).
+    pub fn with_shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.shed_policy = policy;
+        self
     }
 
     /// Enqueue one arrival. Arrival timestamps must be non-decreasing.
-    pub fn offer(&mut self, a: Arrival) {
+    /// Returns `false` iff the arrival (or, under
+    /// [`ShedPolicy::DropOldest`], a previously pending one) was shed at
+    /// the backlog bound.
+    pub fn offer(&mut self, a: Arrival) -> bool {
         if let Some(last) = self.pending.back() {
             assert!(a.at_ns >= last.at_ns, "arrivals must be offered in time order");
         }
+        self.offered += 1;
+        if self.max_backlog.is_some_and(|b| self.pending.len() >= b) {
+            self.shed_overflow += 1;
+            match self.shed_policy {
+                ShedPolicy::RejectNew => return false,
+                ShedPolicy::DropOldest => {
+                    self.pending.pop_front();
+                }
+            }
+        }
         self.pending.push_back(a);
         self.peak_backlog = self.peak_backlog.max(self.pending.len());
+        true
     }
 
     /// Form the next batch: advance the clock to the first pending arrival
-    /// if the server is idle, then admit (FIFO) every arrival already in
-    /// the past, up to capacity. Returns the admitted queries (empty iff
-    /// nothing is pending).
+    /// if the server is idle, shed every waiter whose deadline has already
+    /// passed, then admit (FIFO) every arrival already in the past, up to
+    /// capacity. Returns the admitted queries (empty iff nothing is
+    /// pending or everything pending expired).
     pub fn start_batch(&mut self) -> &[Arrival] {
         assert!(self.in_flight.is_empty(), "previous batch not finished");
         if let Some(first) = self.pending.front() {
@@ -774,7 +926,12 @@ impl AdmissionQueue {
         while self.in_flight.len() < self.capacity {
             match self.pending.front() {
                 Some(a) if a.at_ns <= self.clock_ns => {
-                    self.in_flight.push(self.pending.pop_front().unwrap());
+                    let a = self.pending.pop_front().unwrap();
+                    if a.deadline_ns <= self.clock_ns {
+                        self.shed_expired += 1;
+                    } else {
+                        self.in_flight.push(a);
+                    }
                 }
                 _ => break,
             }
@@ -798,6 +955,27 @@ impl AdmissionQueue {
 
     pub fn peak_backlog(&self) -> usize {
         self.peak_backlog
+    }
+
+    /// Arrivals shed at the backlog bound (whichever side the policy
+    /// dropped).
+    pub fn shed_overflow(&self) -> u64 {
+        self.shed_overflow
+    }
+
+    /// Arrivals shed at batch formation because their deadline had
+    /// already passed.
+    pub fn shed_expired(&self) -> u64 {
+        self.shed_expired
+    }
+
+    pub fn shed_total(&self) -> u64 {
+        self.shed_overflow + self.shed_expired
+    }
+
+    /// Every arrival ever offered (served + shed + still pending).
+    pub fn offered(&self) -> u64 {
+        self.offered
     }
 
     pub fn clock_ns(&self) -> u64 {
@@ -827,7 +1005,7 @@ mod tests {
     use super::*;
 
     fn arr(at_ns: u64, v: u64) -> Arrival {
-        Arrival { at_ns, source: VertexId(v) }
+        Arrival::new(at_ns, VertexId(v))
     }
 
     #[test]
@@ -918,6 +1096,116 @@ mod tests {
         assert!(b.is_full());
         assert_eq!(b.try_admit(VertexId(3)), Err(BatchFull));
         assert_eq!(b.sources(), &[VertexId(1), VertexId(2)]);
+    }
+
+    /// Two queries on the same source key are two independent queries:
+    /// distinct slots at admission, and after a run, per-query aggregates
+    /// and ledger entries that are each complete on their own (not split
+    /// between the twins).
+    #[test]
+    fn duplicate_sources_are_independent_queries() {
+        let mut b = QueryBatch::new(4);
+        assert_eq!(b.try_admit(VertexId(5)), Ok(0));
+        assert_eq!(b.try_admit(VertexId(5)), Ok(1), "duplicate gets its own slot");
+        assert_eq!(b.sources(), &[VertexId(5), VertexId(5)]);
+
+        use havoq_comm::CommWorld;
+        use havoq_graph::csr::GraphConfig;
+        use havoq_graph::dist::PartitionStrategy;
+        use havoq_graph::gen::rmat::RmatGenerator;
+        let gen = RmatGenerator::graph500(7);
+        let edges = gen.symmetric_edges(13);
+        let out = CommWorld::run(2, move |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default(),
+            );
+            let mut b = QueryBatch::new(4);
+            b.try_admit(VertexId(5)).unwrap();
+            b.try_admit(VertexId(5)).unwrap();
+            b.run_bfs(ctx, &g, &BatchConfig::default())
+        });
+        for res in out {
+            res.ledger.check(2).unwrap();
+            let (a, b) = (&res.per_query[0], &res.per_query[1]);
+            assert_eq!(a.visited_count, b.visited_count, "twins answer identically");
+            assert_eq!(a.traversed_edges, b.traversed_edges);
+            assert_eq!(a.max_level, b.max_level);
+            assert!(a.visited_count > 1, "vertex 5 reaches the RMAT core");
+            // each twin's ledger entry is a full traversal's worth of work,
+            // not half of one: executed counts must match exactly (the mask
+            // plane drives both bits through the same visitor executions)
+            assert_eq!(res.ledger.executed[0], res.ledger.executed[1]);
+            assert_eq!(res.ledger.pushed[0], res.ledger.pushed[1]);
+            assert!(res.ledger.executed[0] > 0);
+            // and the per-vertex states agree bit for bit
+            let l0: Vec<u64> = res.local_state[0].iter().map(|d| d.length).collect();
+            let l1: Vec<u64> = res.local_state[1].iter().map(|d| d.length).collect();
+            assert_eq!(l0, l1, "twin level arrays identical");
+        }
+    }
+
+    #[test]
+    fn backlog_bound_reject_new_sheds_the_offer() {
+        let mut aq = AdmissionQueue::new(2).with_max_backlog(2);
+        assert!(aq.offer(arr(0, 0)));
+        assert!(aq.offer(arr(0, 1)));
+        assert!(!aq.offer(arr(0, 2)), "third offer bounces off the bound");
+        assert_eq!(aq.shed_overflow(), 1);
+        assert_eq!(aq.pending_len(), 2);
+        aq.start_batch();
+        aq.finish_batch(10);
+        // both survivors served; the shed offer never shows up in latency
+        assert_eq!(aq.latencies_ns().len(), 2);
+        assert_eq!(aq.offered(), 3);
+        assert_eq!(aq.shed_total(), 1);
+    }
+
+    #[test]
+    fn backlog_bound_drop_oldest_prefers_fresh_work() {
+        let mut aq =
+            AdmissionQueue::new(2).with_max_backlog(2).with_shed_policy(ShedPolicy::DropOldest);
+        assert!(aq.offer(arr(0, 0)));
+        assert!(aq.offer(arr(0, 1)));
+        assert!(aq.offer(arr(0, 2)), "newest survives by evicting the oldest");
+        assert_eq!(aq.shed_overflow(), 1);
+        let b: Vec<u64> = aq.start_batch().iter().map(|a| a.source.0).collect();
+        assert_eq!(b, vec![1, 2], "arrival 0 was evicted");
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_at_batch_formation() {
+        let mut aq = AdmissionQueue::new(4);
+        aq.offer(arr(0, 0)); // no deadline: always served
+        aq.offer(arr(0, 1).with_deadline(50)); // dead once the clock passes 50
+        aq.offer(arr(0, 2).with_deadline(10_000)); // alive
+        aq.start_batch();
+        aq.finish_batch(100); // clock = 100
+        aq.offer(arr(100, 3).with_deadline(90)); // already dead on arrival
+        let b: Vec<u64> = aq.start_batch().iter().map(|a| a.source.0).collect();
+        assert_eq!(b, Vec::<u64>::new(), "the only waiter was past its deadline");
+        // first batch served all three (clock was 0 ≤ both deadlines);
+        // the late-offered expired one was shed at formation
+        assert_eq!(aq.shed_expired(), 1);
+        assert_eq!(aq.latencies_ns().len(), 3);
+    }
+
+    /// A deadline that expires while waiting (not only on arrival): the
+    /// query was alive when offered, but the clock passed its deadline
+    /// before a batch slot opened.
+    #[test]
+    fn deadline_expires_while_queued() {
+        let mut aq = AdmissionQueue::new(1);
+        aq.offer(arr(0, 0));
+        aq.offer(arr(1, 1).with_deadline(50));
+        aq.start_batch(); // serves query 0
+        aq.finish_batch(100); // clock = 100 > 50
+        let b: Vec<u64> = aq.start_batch().iter().map(|a| a.source.0).collect();
+        assert!(b.is_empty());
+        assert_eq!(aq.shed_expired(), 1);
+        assert_eq!(aq.latencies_ns().len(), 1);
     }
 
     #[test]

@@ -24,17 +24,25 @@
 //!   concurrent queries multiplexed through one shared traversal via a
 //!   per-visitor `active_mask`, plus the admission scheduler behind the
 //!   query-serving bench (DESIGN.md §12).
+//! - [`lifecycle`] — the query lifecycle control plane (DESIGN.md §15):
+//!   deterministic deadlines, cooperative cut-consistent cancellation and
+//!   a stall watchdog, driving the batched visitors level-synchronously
+//!   so every query ends in a well-defined [`lifecycle::QueryOutcome`].
 
 pub mod algorithms;
 pub mod batch;
 pub mod checkpoint;
 pub mod direction;
 pub mod ghost;
+pub mod lifecycle;
 pub mod queue;
 pub mod rounds;
 pub mod visitor;
 
 pub use checkpoint::CheckpointSpec;
 pub use direction::{direction_bfs, DirBfsRun, Direction, DirectionConfig, DirectionMode};
+pub use lifecycle::{
+    bfs_batch_lifecycle, run_bfs_lifecycle, LifecycleBfsResult, QueryLifecycle, QueryOutcome,
+};
 pub use queue::{TraversalConfig, TraversalStats, VisitorQueue};
 pub use visitor::{Role, Visitor};

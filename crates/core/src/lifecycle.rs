@@ -1,0 +1,692 @@
+//! Query lifecycle control plane for the batched serving path
+//! (DESIGN.md §15).
+//!
+//! [`bfs_batch`](crate::batch::bfs_batch) runs every admitted query to its
+//! fixed point; a serving system cannot afford that promise. This module
+//! drives the same batched BFS visitors through a *level-synchronous*
+//! round loop — one confirmed quiescence cut per BFS depth — and makes
+//! every query terminate in exactly one of the [`QueryOutcome`] states,
+//! with a well-formed (possibly partial) result that is bit-identical
+//! across ranks, thread counts, storage backends and injected faults.
+//!
+//! The determinism argument has one anchor: **every lifecycle decision is
+//! a pure function of cut-consistent data.** A confirmed cut means every
+//! payload sent anywhere during the round was delivered (`sent == recv`
+//! globally, stable across a full detector wave), so at a cut all ranks
+//! hold the same merged per-vertex state, the same set of delivered
+//! cancel records, and ledger counters that all-reduce to the same
+//! global totals on every rank. Deadlines are round/edge budgets checked
+//! against those all-reduced values — never wall clocks. Cancels ride
+//! their own CRC-framed mailbox whose payload counters are summed into
+//! the quiescence poll ([`VisitorQueue::drain_round_side`]), so a cut
+//! cannot confirm while a cancel is in flight. The stall watchdog is the
+//! one exception — it exists precisely for the case where no further cut
+//! will ever confirm — and it is made world-agreed by the detector
+//! itself: the root broadcasts the abort inside the wave protocol, so
+//! every rank observes `Abort` on the same wave.
+//!
+//! Exactly-once expansion across threads is enforced by a *claim*
+//! protocol instead of the asynchronous engine's recompute-in-`visit`
+//! idiom: at a round boundary the depth-`d` state is frozen (arrivals
+//! during round `d` are all depth `d+1`), so claiming the live mask
+//! under the per-slot bit lock — and filtering retired queries — yields
+//! a claimed set per (rank, vertex, depth) that is independent of worker
+//! scheduling. Pushes carry the expanding vertex as parent, so the
+//! pushed *set* (and the per-query ledger sums) are schedule-invariant
+//! too; only BFS parents remain arrival-order dependent, exactly as in
+//! the asynchronous engine, which is why result digests cover levels
+//! only.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::Ordering as MemOrdering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use havoq_comm::{CancelRecord, CutVerdict, Mailbox, RankCtx, SendShard};
+use havoq_graph::dist::DistGraph;
+use havoq_graph::types::VertexId;
+use havoq_util::parallel::{AtomicBitVec, PerWorker, SharedSlots, WorkerPool};
+
+use crate::algorithms::bfs::UNREACHED;
+use crate::batch::{
+    BatchBfsData, BatchBfsVisitor, BatchConfig, BatchLedger, LedgerCells, MAX_BATCH,
+};
+use crate::queue::{TraversalStats, VisitorQueue};
+use crate::visitor::{Visitor, VisitorPush};
+
+/// Watchdog threshold used when [`BatchConfig::watchdog_waves`] is unset.
+/// Sized so that transient chaos — bounded stall windows, slow-rank
+/// throttles, NACK/retransmit round trips — can never accumulate this
+/// many *consecutive* stable-but-unbalanced waves, while a true wedge
+/// still aborts in well under a second (idle waves complete in
+/// microseconds).
+pub const DEFAULT_WATCHDOG_WAVES: u64 = 8192;
+
+/// Terminal state of one query under the lifecycle control plane. Every
+/// admitted query ends in exactly one of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The query ran to its BFS fixed point.
+    Complete,
+    /// A deterministic budget (max rounds / max inspected edges) expired
+    /// at a cut; the result covers everything up to that cut.
+    DeadlineExceeded,
+    /// The admission layer dropped the query before it ever ran (bounded
+    /// backlog or past-deadline shedding). Never produced by the
+    /// traversal itself.
+    Shed,
+    /// A cancel record retired the query mid-traversal; the result covers
+    /// everything up to the cut that confirmed the cancel.
+    Cancelled,
+    /// The stall watchdog fired: the whole traversal was abandoned on a
+    /// world-agreed detector wave. Partial state is well-formed but not
+    /// cut-consistent, so only the outcome itself is comparable across
+    /// configurations.
+    Aborted,
+}
+
+impl QueryOutcome {
+    /// Stable single-letter code for CSV columns and digests.
+    pub fn code(&self) -> char {
+        match self {
+            QueryOutcome::Complete => 'C',
+            QueryOutcome::DeadlineExceeded => 'D',
+            QueryOutcome::Shed => 'S',
+            QueryOutcome::Cancelled => 'X',
+            QueryOutcome::Aborted => 'A',
+        }
+    }
+}
+
+/// Per-query result of a lifecycle run. All fields except `outcome ==
+/// Aborted` runs are globally agreed values (all-reduced over masters),
+/// identical on every rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryLifecycle {
+    pub outcome: QueryOutcome,
+    /// Order-invariant digest of the query's (possibly partial) BFS
+    /// levels: sum over reached masters of `mix(vertex ^ mix(level))`.
+    /// Covers levels only — parents are one valid tree, arrival-order
+    /// dependent, exactly as in the asynchronous engine.
+    pub levels_digest: u64,
+    /// Vertices this query reached (including its source), global.
+    pub visited_count: u64,
+    /// Global sum of whole-adjacency degrees of reached vertices.
+    pub traversed_edges: u64,
+    /// Deepest level reached.
+    pub max_level: u64,
+    /// Globally all-reduced per-query ledger sums: visitor executions
+    /// that advanced this query, and edges pushed on its behalf.
+    /// `executed_global` counts one claim per *copy* of a vertex (masters
+    /// and replicas alike), so it is identical across ranks, threads and
+    /// storages at a fixed rank count but scales with the replication
+    /// factor; `pushed_global` sums split adjacency fanout and is
+    /// invariant across rank counts too.
+    pub executed_global: u64,
+    pub pushed_global: u64,
+}
+
+/// Result of one lifecycle-managed batched BFS run (per rank).
+#[derive(Clone, Debug)]
+pub struct LifecycleBfsResult {
+    /// Per-query lifecycle verdicts, index-aligned with the sources.
+    pub queries: Vec<QueryLifecycle>,
+    /// Level-synchronous rounds driven to a confirmed cut.
+    pub rounds: u64,
+    /// True iff the stall watchdog abandoned the traversal.
+    pub aborted: bool,
+    /// This rank's per-query execution ledger snapshot.
+    pub ledger: BatchLedger,
+    /// This rank's queue statistics.
+    pub stats: TraversalStats,
+    pub elapsed: Duration,
+}
+
+/// SplitMix64 finalizer: the digest mixer (order-invariant under
+/// wrapping-sum aggregation because each term is mixed independently).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Claim every query bit that is live at `length` on this slot — best
+/// length matches, not yet expanded, not retired — and mark it expanded.
+/// Callers serialize per-slot access (bit lock in the parallel path);
+/// given that, the claimed union per (vertex, depth) is independent of
+/// visitor order because depth-`length` state is frozen during the round.
+#[inline]
+fn claim_live<const K: usize>(data: &mut BatchBfsData<K>, length: u64, retired: u64) -> u64 {
+    let mut live = 0u64;
+    for q in 0..K {
+        if data.length[q] == length && data.expanded & (1 << q) == 0 {
+            live |= 1 << q;
+        }
+    }
+    live &= !retired;
+    data.expanded |= live;
+    live
+}
+
+/// Stages pushes into a per-worker shard, mirroring the queue's internal
+/// shard pusher: route to the destination's minimum owner, count the
+/// push; ghost filtering happens when the coordinator absorbs the shard.
+struct StagePusher<'a, const K: usize> {
+    g: &'a DistGraph,
+    shard: &'a mut SendShard<BatchBfsVisitor<K>>,
+    pushed: &'a mut u64,
+}
+
+impl<const K: usize> VisitorPush<BatchBfsVisitor<K>> for StagePusher<'_, K> {
+    fn push(&mut self, visitor: BatchBfsVisitor<K>) {
+        *self.pushed += 1;
+        self.shard.send(self.g.min_owner(visitor.vertex()), visitor);
+    }
+}
+
+/// Per-worker staging state for one round's expansion.
+struct ExecShard<const K: usize> {
+    shard: SendShard<BatchBfsVisitor<K>>,
+    pushed: u64,
+    claimed: u64,
+}
+
+impl<const K: usize> Default for ExecShard<K> {
+    fn default() -> Self {
+        Self { shard: SendShard::default(), pushed: 0, claimed: 0 }
+    }
+}
+
+/// Expand one claimed live mask: rebuild a seed holding exactly the
+/// claimed bits at the visitor's depth and let the visitor's own `visit`
+/// do the ledger recording and adjacency walk, so the wire records and
+/// counters are identical in kind to the asynchronous engine's.
+#[inline]
+fn expand_claimed<const K: usize>(
+    g: &DistGraph,
+    vis: &BatchBfsVisitor<K>,
+    live: u64,
+    shard: &mut ExecShard<K>,
+) {
+    let mut seed = BatchBfsData::<K>::default();
+    let mut m = live;
+    while m != 0 {
+        let q = m.trailing_zeros() as usize;
+        m &= m - 1;
+        seed.length[q] = vis.length;
+    }
+    let mut pusher = StagePusher { g, shard: &mut shard.shard, pushed: &mut shard.pushed };
+    vis.visit(g, &mut seed, &mut pusher);
+    shard.claimed |= live;
+}
+
+/// Execute one round's frontier: claim live masks on the shared state
+/// (exactly-once per (query, vertex, depth)) and expand them, staging
+/// pushes per worker and absorbing them in worker order. Returns the
+/// union of claimed masks on this rank.
+fn execute_round<const K: usize>(
+    q: &mut VisitorQueue<'_, BatchBfsVisitor<K>>,
+    g: &DistGraph,
+    pool: Option<&WorkerPool>,
+    locks: &AtomicBitVec,
+    newly: &[BatchBfsVisitor<K>],
+    retired: u64,
+) -> u64 {
+    if newly.is_empty() {
+        return 0;
+    }
+    match pool {
+        None => {
+            let mut shard = ExecShard::<K>::default();
+            let state = q.state_mut_slice();
+            for vis in newly {
+                let li = g.local_index(vis.vertex());
+                let live = claim_live(&mut state[li], vis.length, retired);
+                if live != 0 {
+                    expand_claimed(g, vis, live, &mut shard);
+                }
+            }
+            let claimed = shard.claimed;
+            q.absorb_generated(&mut shard.shard, shard.pushed);
+            claimed
+        }
+        Some(pool) => {
+            let mut shards: PerWorker<ExecShard<K>> =
+                PerWorker::new_with(pool.size(), |_| ExecShard::default());
+            {
+                let slots = SharedSlots::new(q.state_mut_slice());
+                let shards_ref: &PerWorker<ExecShard<K>> = &shards;
+                let cursor = AtomicUsize::new(0);
+                // Small blocks keep load balance under skewed degrees
+                // without cursor contention (same constant as run_chunk).
+                const BLOCK: usize = 16;
+                let job = move |w: usize| {
+                    // safety: worker `w` is the only thread touching cell `w`
+                    let shard = unsafe { shards_ref.cell(w) };
+                    loop {
+                        let begin = cursor.fetch_add(BLOCK, MemOrdering::Relaxed);
+                        if begin >= newly.len() {
+                            break;
+                        }
+                        let end = (begin + BLOCK).min(newly.len());
+                        for vis in &newly[begin..end] {
+                            let li = g.local_index(vis.vertex());
+                            locks.lock(li);
+                            // safety: the bit lock serializes slot `li`
+                            let live = claim_live(unsafe { slots.slot(li) }, vis.length, retired);
+                            locks.unlock(li);
+                            if live != 0 {
+                                expand_claimed(g, vis, live, shard);
+                            }
+                        }
+                    }
+                };
+                pool.broadcast(&job);
+            }
+            let mut claimed = 0u64;
+            for shard in shards.iter_mut() {
+                claimed |= shard.claimed;
+                q.absorb_generated(&mut shard.shard, shard.pushed);
+                shard.pushed = 0;
+                shard.claimed = 0;
+            }
+            claimed
+        }
+    }
+}
+
+/// Run up to `K` BFS queries under the lifecycle control plane.
+/// Collective; every rank must pass identical `sources`, `cfg` and
+/// `cancels`.
+///
+/// `cancels` schedules cooperative cancellation for testing and serving:
+/// `(query, round)` makes rank 0 broadcast a [`CancelRecord`] for
+/// `query` at the cut that ends round `round`; the record is confirmed
+/// delivered at the following cut, where every rank retires the query
+/// identically. Queries already terminal when a cancel lands keep their
+/// earlier outcome.
+///
+/// Outcome classes and what is deterministic for each:
+/// - `Complete` / `DeadlineExceeded` / `Cancelled`: the full
+///   [`QueryLifecycle`] record (digest, aggregates, global ledger sums)
+///   is bit-identical across ranks, thread counts, storage backends and
+///   chaos/lossy fault plans.
+/// - `Aborted`: the *outcome* is world-agreed (all ranks abort on the
+///   same detector wave) and the run terminates without hanging, but the
+///   partial state is not cut-consistent — digests are reported, not
+///   comparable.
+pub fn bfs_batch_lifecycle<const K: usize>(
+    ctx: &RankCtx,
+    g: &DistGraph,
+    sources: &[VertexId],
+    cfg: &BatchConfig,
+    cancels: &[(usize, u64)],
+) -> LifecycleBfsResult {
+    assert!(K <= MAX_BATCH, "batch width {K} exceeds MAX_BATCH {MAX_BATCH}");
+    assert!(sources.len() <= K, "{} sources exceed batch width {K}", sources.len());
+    let width = sources.len();
+    let start = Instant::now();
+    let ledger = Arc::new(LedgerCells::default());
+    let mut q = VisitorQueue::<BatchBfsVisitor<K>>::new_with_ctx(
+        ctx,
+        g,
+        cfg.traversal,
+        Arc::clone(&ledger),
+    );
+    q.arm_watchdog(cfg.watchdog_waves.unwrap_or(DEFAULT_WATCHDOG_WAVES));
+    let cancel_tag = ctx.auto_tag();
+    let mut cancel_mb: Mailbox<CancelRecord> =
+        Mailbox::open_with(ctx, cancel_tag, cfg.traversal.mailbox, ());
+    let pool = (cfg.traversal.threads > 1).then(|| WorkerPool::new(cfg.traversal.threads));
+    let locks = AtomicBitVec::new(g.num_local_vertices());
+
+    for (qi, &s) in sources.iter().enumerate() {
+        if g.is_master(s) {
+            q.push(BatchBfsVisitor {
+                vertex: s,
+                length: 0,
+                parent: s.0,
+                mask: 1u64 << qi,
+                ledger: Arc::clone(&ledger),
+            });
+        }
+    }
+
+    let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; width];
+    let mut rounds: u64 = 0;
+    let mut aborted = false;
+    let mut scratch: Vec<BatchBfsVisitor<K>> = Vec::new();
+    let mut newly: Vec<BatchBfsVisitor<K>> = Vec::new();
+    let mut cancels_in: Vec<CancelRecord> = Vec::new();
+
+    // Round 0 delivery: the seeds merge into per-vertex state and land in
+    // `newly` as the depth-0 frontier.
+    let mut verdict = q.drain_round_side(&mut scratch, &mut newly, &mut cancel_mb, &mut cancels_in);
+    // Phase fence: a rank that confirms the seed cut must not inject round-1
+    // traffic (cancel records, depth-1 visitors) while a peer still polls
+    // that cut — the straggler would absorb next-round traffic into its seed
+    // round and the round↔depth mapping would diverge across ranks. Every
+    // later iteration gets this fence from the claimed-mask `all_reduce`.
+    if verdict != CutVerdict::Abort {
+        ctx.all_reduce_sum(0u64);
+    }
+
+    loop {
+        if verdict == CutVerdict::Abort {
+            aborted = true;
+            let mut live = 0u64;
+            for (qi, o) in outcomes.iter_mut().enumerate() {
+                if o.is_none() {
+                    *o = Some(QueryOutcome::Aborted);
+                    live |= 1 << qi;
+                }
+            }
+            ledger.retire(live);
+            cancel_mb.channel_stats().record_abort(ctx.rank());
+            break;
+        }
+
+        // --- lifecycle decisions at this confirmed cut -------------------
+        // 1. Cancels: the cut guarantees every rank holds the same record
+        //    set; application is idempotent per record.
+        for rec in cancels_in.drain(..) {
+            let qi = rec.query as usize;
+            if qi < width && outcomes[qi].is_none() {
+                outcomes[qi] = Some(QueryOutcome::Cancelled);
+                ledger.retire(1 << qi);
+                cancel_mb.channel_stats().record_cancel(ctx.rank());
+            }
+        }
+        // 2. Budgets: pure functions of the globally agreed round counter
+        //    and all-reduced per-query edge-push counts.
+        if cfg.max_rounds.is_some() || cfg.max_inspected.is_some() {
+            let snap = ledger.snapshot();
+            let local: Vec<u64> = (0..width).map(|qi| snap.pushed[qi]).collect();
+            let global = ctx.all_reduce(local, |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            });
+            for (qi, o) in outcomes.iter_mut().enumerate() {
+                if o.is_none() {
+                    let over_rounds = cfg.max_rounds.is_some_and(|b| rounds >= b);
+                    let over_edges = cfg.max_inspected.is_some_and(|b| global[qi] > b);
+                    if over_rounds || over_edges {
+                        *o = Some(QueryOutcome::DeadlineExceeded);
+                        ledger.retire(1 << qi);
+                    }
+                }
+            }
+        }
+        if outcomes.iter().all(|o| o.is_some()) {
+            break;
+        }
+
+        // --- send this cut's scheduled cancels (origin: rank 0); they fly
+        //     during the next round and are confirmed at its cut ----------
+        if ctx.rank() == 0 {
+            for &(qi, at_round) in cancels {
+                if at_round == rounds && qi < width && outcomes[qi].is_none() {
+                    for dst in 0..ctx.size() {
+                        cancel_mb
+                            .send(dst, CancelRecord { query: qi as u32, origin: 0, round: rounds });
+                    }
+                }
+            }
+        }
+
+        // --- expand the confirmed frontier (exactly-once claims) ---------
+        let retired = ledger.retired_mask();
+        let claimed_local = execute_round(&mut q, g, pool.as_ref(), &locks, &newly, retired);
+        newly.clear();
+        verdict = q.drain_round_side(&mut scratch, &mut newly, &mut cancel_mb, &mut cancels_in);
+        rounds += 1;
+        if verdict == CutVerdict::Abort {
+            continue;
+        }
+        // A live query that claimed nothing anywhere this round has an
+        // empty frontier: no push can ever revive it. (Collective; every
+        // rank computes the same verdicts from the same reduced mask.)
+        let claimed_global = ctx.all_reduce(claimed_local, |a, b| a | b);
+        for (qi, o) in outcomes.iter_mut().enumerate() {
+            if o.is_none() && claimed_global & (1 << qi) == 0 {
+                *o = Some(QueryOutcome::Complete);
+            }
+        }
+    }
+
+    // --- globally agreed per-query results (masters only) ----------------
+    let mut visited = vec![0u64; width];
+    let mut traversed = vec![0u64; width];
+    let mut deepest = vec![0u64; width];
+    let mut digest = vec![0u64; width];
+    for v in g.local_vertices() {
+        if !g.is_master(v) {
+            continue;
+        }
+        let d = &q.state()[g.local_index(v)];
+        let deg = g.total_degree(v);
+        for qi in 0..width {
+            if d.length[qi] != UNREACHED {
+                visited[qi] += 1;
+                traversed[qi] += deg;
+                deepest[qi] = deepest[qi].max(d.length[qi]);
+                digest[qi] = digest[qi].wrapping_add(mix(v.0 ^ mix(d.length[qi])));
+            }
+        }
+    }
+    let snap = ledger.snapshot();
+    let mut sums: Vec<u64> = Vec::with_capacity(width * 5);
+    sums.extend_from_slice(&visited);
+    sums.extend_from_slice(&traversed);
+    sums.extend_from_slice(&digest);
+    sums.extend((0..width).map(|qi| snap.executed[qi]));
+    sums.extend((0..width).map(|qi| snap.pushed[qi]));
+    let sums = ctx.all_reduce(sums, |mut a, b| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x = x.wrapping_add(y);
+        }
+        a
+    });
+    let deepest = ctx.all_reduce(deepest, |mut a, b| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x = (*x).max(y);
+        }
+        a
+    });
+
+    let queries = (0..width)
+        .map(|qi| QueryLifecycle {
+            outcome: outcomes[qi].expect("every query has a terminal outcome"),
+            levels_digest: sums[2 * width + qi],
+            visited_count: sums[qi],
+            traversed_edges: sums[width + qi],
+            max_level: deepest[qi],
+            executed_global: sums[3 * width + qi],
+            pushed_global: sums[4 * width + qi],
+        })
+        .collect();
+
+    let stats = q.stats();
+    LifecycleBfsResult { queries, rounds, aborted, ledger: snap, stats, elapsed: start.elapsed() }
+}
+
+/// Width-dispatching wrapper mirroring [`crate::batch::QueryBatch::run_bfs`]:
+/// run `sources` under the lifecycle plane at the narrowest compile-time
+/// state width that fits.
+pub fn run_bfs_lifecycle(
+    ctx: &RankCtx,
+    g: &DistGraph,
+    sources: &[VertexId],
+    cfg: &BatchConfig,
+    cancels: &[(usize, u64)],
+) -> LifecycleBfsResult {
+    match sources.len() {
+        0..=2 => bfs_batch_lifecycle::<2>(ctx, g, sources, cfg, cancels),
+        3..=8 => bfs_batch_lifecycle::<8>(ctx, g, sources, cfg, cancels),
+        9..=16 => bfs_batch_lifecycle::<16>(ctx, g, sources, cfg, cancels),
+        _ => bfs_batch_lifecycle::<64>(ctx, g, sources, cfg, cancels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::bfs_batch;
+    use havoq_comm::CommWorld;
+    use havoq_graph::csr::GraphConfig;
+    use havoq_graph::dist::PartitionStrategy;
+    use havoq_graph::gen::rmat::RmatGenerator;
+    use havoq_graph::types::Edge;
+
+    fn test_graph() -> (Vec<Edge>, u64) {
+        let gen = RmatGenerator::graph500(8);
+        (gen.symmetric_edges(41), gen.num_vertices())
+    }
+
+    fn lifecycle_run(
+        p: usize,
+        threads: usize,
+        cfg: BatchConfig,
+        cancels: Vec<(usize, u64)>,
+    ) -> Vec<LifecycleBfsResult> {
+        let (edges, n) = test_graph();
+        CommWorld::run(p, move |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            let sources: Vec<VertexId> = (0..6).map(VertexId).collect();
+            let cfg = cfg.with_threads(threads);
+            bfs_batch_lifecycle::<8>(ctx, &g, &sources, &cfg, &cancels)
+        })
+    }
+
+    #[test]
+    fn unbudgeted_run_completes_and_matches_bfs_batch() {
+        let (edges, n) = test_graph();
+        let reference = CommWorld::run(2, move |ctx| {
+            let g = DistGraph::build_replicated(
+                ctx,
+                &edges,
+                PartitionStrategy::EdgeList,
+                GraphConfig::default().with_num_vertices(n),
+            );
+            let sources: Vec<VertexId> = (0..6).map(VertexId).collect();
+            let res = bfs_batch::<8>(ctx, &g, &sources, &BatchConfig::default());
+            res.per_query.clone()
+        })
+        .remove(0);
+        for p in [1usize, 2] {
+            for threads in [1usize, 4] {
+                let runs = lifecycle_run(p, threads, BatchConfig::default(), vec![]);
+                // every rank reports the same globally agreed records
+                for w in 1..runs.len() {
+                    assert_eq!(runs[w].queries, runs[0].queries, "rank {w} diverged");
+                }
+                let run = &runs[0];
+                assert!(!run.aborted);
+                for (qi, q) in run.queries.iter().enumerate() {
+                    assert_eq!(q.outcome, QueryOutcome::Complete, "query {qi}");
+                    assert_eq!(q.visited_count, reference[qi].visited_count, "query {qi}");
+                    assert_eq!(q.traversed_edges, reference[qi].traversed_edges, "query {qi}");
+                    assert_eq!(q.max_level, reference[qi].max_level, "query {qi}");
+                    assert!(q.executed_global >= q.visited_count);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_budget_yields_deadline_exceeded() {
+        let cfg = BatchConfig::default().with_max_rounds(2);
+        let runs = lifecycle_run(2, 1, cfg, vec![]);
+        assert_eq!(runs[0].queries, runs[1].queries);
+        let mut expired = 0;
+        for q in &runs[0].queries {
+            // A query either reached its fixed point within the 2-round
+            // budget (e.g. an isolated source) or was cut off with a
+            // partial result no deeper than the rounds it was granted.
+            match q.outcome {
+                QueryOutcome::Complete => {}
+                QueryOutcome::DeadlineExceeded => {
+                    expired += 1;
+                    assert!(q.max_level <= 2, "partial result deeper than the budget");
+                }
+                other => panic!("unexpected outcome {other:?} under a round budget"),
+            }
+        }
+        assert!(expired > 0, "RMAT BFS from hub sources must exceed 2 rounds");
+    }
+
+    #[test]
+    fn scheduled_cancel_is_applied_identically_on_all_ranks() {
+        let runs = lifecycle_run(2, 4, BatchConfig::default(), vec![(3, 1)]);
+        assert_eq!(runs[0].queries, runs[1].queries);
+        assert_eq!(runs[0].queries[3].outcome, QueryOutcome::Cancelled);
+        for (qi, q) in runs[0].queries.iter().enumerate() {
+            if qi != 3 {
+                assert_eq!(q.outcome, QueryOutcome::Complete, "query {qi}");
+            }
+        }
+        // the cancelled query's partial result is still well-formed
+        assert!(runs[0].queries[3].visited_count >= 1);
+    }
+
+    /// Everything except `executed_global`, which counts per-copy claim
+    /// events and therefore scales with the replication factor across
+    /// rank counts (it is still identical across ranks and threads at a
+    /// fixed rank count — the full-record asserts above pin that).
+    type CrossPView = Vec<(QueryOutcome, u64, u64, u64, u64, u64)>;
+
+    fn cross_p_view(qs: &[QueryLifecycle]) -> CrossPView {
+        qs.iter()
+            .map(|q| {
+                (
+                    q.outcome,
+                    q.levels_digest,
+                    q.visited_count,
+                    q.traversed_edges,
+                    q.max_level,
+                    q.pushed_global,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lifecycle_digests_are_thread_and_rank_invariant() {
+        let cfg = BatchConfig::default().with_max_rounds(3);
+        let mut seen: Option<CrossPView> = None;
+        for p in [1usize, 2] {
+            let mut full: Option<Vec<QueryLifecycle>> = None;
+            for threads in [1usize, 4] {
+                let runs = lifecycle_run(p, threads, cfg, vec![(1, 0)]);
+                for r in &runs {
+                    // full records (ledger sums included) are identical
+                    // across ranks and threads at this rank count
+                    match &full {
+                        None => full = Some(r.queries.clone()),
+                        Some(expect) => {
+                            assert_eq!(&r.queries, expect, "p={p} threads={threads} diverged")
+                        }
+                    }
+                    // the replication-independent view is identical across
+                    // rank counts too
+                    match &seen {
+                        None => seen = Some(cross_p_view(&r.queries)),
+                        Some(expect) => assert_eq!(
+                            &cross_p_view(&r.queries),
+                            expect,
+                            "p={p} threads={threads} diverged across rank counts"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -21,7 +21,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering as MemOrdering};
 use std::time::{Duration, Instant};
 
-use havoq_comm::{Mailbox, MailboxConfig, Quiescence, RankCtx, SendShard, WireCodec};
+use havoq_comm::{CutVerdict, Mailbox, MailboxConfig, Quiescence, RankCtx, SendShard, WireCodec};
 use havoq_graph::dist::DistGraph;
 use havoq_graph::types::VertexId;
 use havoq_nvram::checkpoint::CheckpointStore;
@@ -613,6 +613,55 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
         }
     }
 
+    /// Arm the quiescence detector's stall watchdog (lifecycle engine,
+    /// DESIGN.md §15): after `waves` consecutive completed waves that are
+    /// stable but payload-unbalanced, every rank's next
+    /// [`Self::drain_round_side`] returns [`CutVerdict::Abort`].
+    pub(crate) fn arm_watchdog(&mut self, waves: u64) {
+        self.quiescence.arm_watchdog(waves);
+    }
+
+    /// Like [`Self::drain_round`], but co-settles a *side mailbox* (the
+    /// lifecycle engine's cancel plane) under the same cut and surfaces the
+    /// stall watchdog's verdict. The side channel's payload counters are
+    /// summed into the quiescence poll, so a cut cannot confirm while a
+    /// cancel record is still in flight anywhere — at every confirmed cut,
+    /// all ranks hold the same set of side records. Arrivals on the side
+    /// channel are appended to `side_in` (never executed or forwarded:
+    /// side records are rank-terminal control messages).
+    pub(crate) fn drain_round_side<C: Send + WireCodec + 'static>(
+        &mut self,
+        scratch: &mut Vec<V>,
+        newly: &mut Vec<V>,
+        side: &mut Mailbox<C>,
+        side_in: &mut Vec<C>,
+    ) -> CutVerdict {
+        loop {
+            let delivered = self.check_mailbox(scratch);
+            let side_delivered = side.poll(side_in);
+            while let Some(HeapEntry(vis, _)) = self.heap.pop() {
+                self.stats.visitors_executed += 1;
+                newly.push(vis);
+            }
+            if delivered == 0 && side_delivered == 0 {
+                self.mailbox.flush();
+                side.flush();
+                let drained = self.mailbox.pending_out() == 0 && side.pending_out() == 0;
+                // flag=false: cuts are reusable round barriers; the engine
+                // decides termination from all-reduced frontier state.
+                if let Some(verdict) = self.quiescence.poll_cut_watched(
+                    self.mailbox.sent_count() + side.sent_count(),
+                    self.mailbox.received_count() + side.received_count(),
+                    drained,
+                    false,
+                ) {
+                    return verdict;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// Absorb a worker-staged shard of generated candidates through the
     /// ghost filter + mailbox, in coordinator context (direction engine's
     /// parallel generation pass; mirrors the tail of [`Self::run_chunk`]).
@@ -630,6 +679,13 @@ impl<'g, V: Visitor + WireCodec> VisitorQueue<'g, V> {
     /// layered on the queue (the direction engine's inspection counters).
     pub(crate) fn stats_mut(&mut self) -> &mut TraversalStats {
         &mut self.stats
+    }
+
+    /// Mutable access to the per-vertex state slice for same-crate engines
+    /// that claim and expand frontier slots themselves (the lifecycle
+    /// engine's exactly-once claim protocol, DESIGN.md §15).
+    pub(crate) fn state_mut_slice(&mut self) -> &mut [V::Data] {
+        &mut self.state
     }
 
     /// Run the traversal with periodic checkpoints and (fault-injected)

@@ -61,10 +61,13 @@ pub mod prelude {
     pub use havoq_core::algorithms::wedge::{approx_clustering, WedgeSampleResult};
     pub use havoq_core::batch::{
         bfs_batch, reach_batch, AdmissionQueue, Arrival, BatchBfsResult, BatchConfig, BatchLedger,
-        QueryBatch, MAX_BATCH,
+        QueryBatch, ShedPolicy, MAX_BATCH,
     };
     pub use havoq_core::direction::{
         direction_bfs, DirBfsRun, Direction, DirectionConfig, DirectionMode,
+    };
+    pub use havoq_core::lifecycle::{
+        bfs_batch_lifecycle, run_bfs_lifecycle, LifecycleBfsResult, QueryLifecycle, QueryOutcome,
     };
     pub use havoq_core::queue::{TraversalConfig, TraversalStats};
     pub use havoq_graph::csr::{CsrStorage, GraphConfig};

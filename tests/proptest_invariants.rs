@@ -607,3 +607,136 @@ fn collect_adjacency_view(g: &DistGraph) -> Vec<(u64, Vec<u64>, u64, Vec<(u64, O
         })
         .collect()
 }
+
+/// The admission queue's scheduling invariants under arbitrary arrival
+/// streams, batch capacities, backlog bounds, shed policies, deadlines
+/// and service times, driven by the same event-fed loop `qps_serve` uses:
+///
+/// - the event clock never runs backwards;
+/// - service is FIFO — served arrival timestamps are globally
+///   non-decreasing (the pending queue is time-ordered and only ever
+///   popped from the front, under either shed policy);
+/// - every recorded latency is exactly queue wait plus batch service
+///   (`(start_clock + service) − at_ns`), and shed queries record none;
+/// - conservation at every quiescent point: offered == served + shed +
+///   still-pending;
+/// - `peak_backlog` equals the externally observed maximum and never
+///   exceeds the configured bound.
+#[test]
+fn admission_queue_schedule_invariants_under_random_streams() {
+    use havoq_core::batch::percentile_ns;
+    run_cases(48, |rng: &mut TestRng| {
+        let capacity = rng.range_usize(1, 7);
+        let bounded = rng.bool();
+        let backlog = bounded.then(|| rng.range_usize(1, 9));
+        let policy = if rng.bool() { ShedPolicy::RejectNew } else { ShedPolicy::DropOldest };
+        let mut aq = AdmissionQueue::new(capacity).with_shed_policy(policy);
+        if let Some(b) = backlog {
+            aq = aq.with_max_backlog(b);
+        }
+
+        let mut stream: Vec<Arrival> = Vec::new();
+        let mut at = 0u64;
+        for i in 0..rng.range_usize(0, 51) {
+            at += rng.below(800);
+            let mut a = Arrival::new(at, VertexId(i as u64));
+            if rng.below(5) == 0 {
+                a = a.with_deadline(at + rng.below(1500));
+            }
+            stream.push(a);
+        }
+
+        let mut next = 0usize;
+        let mut observed_peak = 0usize;
+        let mut served_ats: Vec<u64> = Vec::new();
+        let mut expected_latencies: Vec<u64> = Vec::new();
+        let mut last_clock = aq.clock_ns();
+        loop {
+            while next < stream.len() && stream[next].at_ns <= aq.clock_ns() {
+                aq.offer(stream[next]);
+                observed_peak = observed_peak.max(aq.pending_len());
+                next += 1;
+            }
+            if aq.pending_len() == 0 {
+                if next >= stream.len() {
+                    break;
+                }
+                aq.offer(stream[next]);
+                observed_peak = observed_peak.max(aq.pending_len());
+                next += 1;
+                continue;
+            }
+            let admitted: Vec<Arrival> = aq.start_batch().to_vec();
+            let start_clock = aq.clock_ns();
+            assert!(start_clock >= last_clock, "clock ran backwards at batch start");
+            let service = if admitted.is_empty() { 0 } else { 1 + rng.below(600) };
+            for pair in admitted.windows(2) {
+                assert!(pair[0].at_ns <= pair[1].at_ns, "batch not in FIFO order");
+            }
+            for a in &admitted {
+                assert!(a.at_ns <= start_clock, "admitted a query from the future");
+                assert!(a.deadline_ns > start_clock, "admitted a dead-on-arrival query");
+                served_ats.push(a.at_ns);
+                expected_latencies.push(start_clock + service - a.at_ns);
+            }
+            aq.finish_batch(service);
+            assert!(aq.clock_ns() >= start_clock, "clock ran backwards at batch finish");
+            last_clock = aq.clock_ns();
+            let served = aq.latencies_ns().len() as u64;
+            assert_eq!(
+                aq.offered(),
+                served + aq.shed_total() + aq.pending_len() as u64,
+                "conservation violated (policy {policy:?}, backlog {backlog:?})"
+            );
+        }
+
+        for pair in served_ats.windows(2) {
+            assert!(pair[0] <= pair[1], "service order not FIFO across batches");
+        }
+        assert_eq!(aq.latencies_ns(), expected_latencies.as_slice(), "latency != wait + service");
+        assert_eq!(aq.peak_backlog(), observed_peak, "peak_backlog != observed maximum");
+        if let Some(b) = backlog {
+            assert!(aq.peak_backlog() <= b, "backlog bound exceeded");
+        }
+        assert_eq!(aq.offered(), stream.len() as u64, "offers lost");
+        assert!(percentile_ns(aq.latencies_ns(), 100) >= percentile_ns(aq.latencies_ns(), 50));
+    });
+}
+
+/// Without a backlog bound and without deadlines, the admission queue is
+/// lossless: nothing is ever shed and every offered query is served with
+/// a recorded latency.
+#[test]
+fn admission_queue_unbounded_is_lossless() {
+    run_cases(24, |rng: &mut TestRng| {
+        let mut aq = AdmissionQueue::new(rng.range_usize(1, 7));
+        let mut at = 0u64;
+        let stream: Vec<Arrival> = (0..rng.range_usize(1, 41))
+            .map(|i| {
+                at += rng.below(500);
+                Arrival::new(at, VertexId(i as u64))
+            })
+            .collect();
+        let mut next = 0usize;
+        loop {
+            while next < stream.len() && stream[next].at_ns <= aq.clock_ns() {
+                assert!(aq.offer(stream[next]), "unbounded queue refused an offer");
+                next += 1;
+            }
+            if aq.pending_len() == 0 {
+                if next >= stream.len() {
+                    break;
+                }
+                assert!(aq.offer(stream[next]), "unbounded queue refused an offer");
+                next += 1;
+                continue;
+            }
+            aq.start_batch();
+            aq.finish_batch(1 + rng.below(400));
+        }
+        assert_eq!(aq.shed_total(), 0);
+        assert_eq!(aq.latencies_ns().len(), stream.len());
+        assert_eq!(aq.offered(), stream.len() as u64);
+        assert_eq!(aq.pending_len(), 0);
+    });
+}
